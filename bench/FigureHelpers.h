@@ -1,0 +1,358 @@
+//===- FigureHelpers.h - Shared harness code for figure benches ---*- C++ -*-===//
+///
+/// \file
+/// Loads the synthetic corpus once and renders each table/figure of the
+/// paper's evaluation section, printing paper-reported vs measured values
+/// side by side. Shared by the per-figure binaries and fig_all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_BENCH_FIGUREHELPERS_H
+#define IRDL_BENCH_FIGUREHELPERS_H
+
+#include "analysis/DialectStatistics.h"
+#include "analysis/Render.h"
+#include "corpus/Corpus.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace irdl::bench {
+
+struct CorpusFixture {
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags{&SrcMgr};
+  CorpusLoadResult Corpus;
+  CorpusStatistics Stats;
+
+  CorpusFixture() {
+    Corpus = loadSyntheticCorpus(Ctx, SrcMgr, Diags);
+    if (!Corpus) {
+      std::cerr << "failed to load the synthetic corpus:\n"
+                << Diags.renderAll();
+      std::exit(1);
+    }
+    Stats = CorpusStatistics::compute(Corpus.AnalysisDialects);
+  }
+};
+
+inline void printPaperVsMeasured(std::ostream &OS, const std::string &What,
+                                 double Paper, double Measured,
+                                 bool AsPercent = true) {
+  OS << "  " << What << ": paper "
+     << (AsPercent ? formatPercent(Paper) : std::to_string(Paper))
+     << ", measured "
+     << (AsPercent ? formatPercent(Measured, 1) : std::to_string(Measured))
+     << "\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Table 1
+//===----------------------------------------------------------------------===//
+
+inline void printTable1(std::ostream &OS, const CorpusFixture &F) {
+  OS << "== Table 1: the 28 MLIR dialects ==\n";
+  TextTable T({"dialect", "ops", "types", "attrs", "description"});
+  for (const DialectProfile &P : getDialectProfiles()) {
+    const DialectStatistics *D = F.Stats.lookup(P.Name);
+    T.addRow({P.Name, std::to_string(D ? D->numOps() : 0),
+              std::to_string(D ? D->numTypes() : 0),
+              std::to_string(D ? D->numAttrs() : 0), P.Description});
+  }
+  T.addRow({"total", std::to_string(F.Stats.totalOps()),
+            std::to_string(F.Stats.totalTypes()),
+            std::to_string(F.Stats.totalAttrs()), ""});
+  T.print(OS);
+  PaperAggregates Paper;
+  OS << "  paper: " << Paper.NumDialects << " dialects, " << Paper.NumOps
+     << " operations, " << Paper.NumTypes << " types, " << Paper.NumAttrs
+     << " attributes\n\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 3
+//===----------------------------------------------------------------------===//
+
+inline void printFigure3(std::ostream &OS, const CorpusFixture &F) {
+  OS << "== Figure 3: operations defined in MLIR over 20 months ==\n";
+  const auto &Timeline = getGrowthTimeline();
+  unsigned Max = Timeline.back().NumOps;
+  for (const GrowthPoint &P : Timeline)
+    OS << "  " << P.Month << " " << countBar(P.NumOps, Max, 50) << " "
+       << P.NumOps << "\n";
+  double Growth = static_cast<double>(Timeline.back().NumOps) /
+                  Timeline.front().NumOps;
+  OS << "  growth: paper 2.1x, measured " << formatPercent(Growth / 2.1, 1)
+     << " of 2.1x (" << Timeline.front().NumOps << " -> "
+     << Timeline.back().NumOps << ")\n";
+  OS << "  today's corpus (measured): " << F.Stats.totalOps()
+     << " operations\n\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 4
+//===----------------------------------------------------------------------===//
+
+inline void printFigure4(std::ostream &OS, const CorpusFixture &F) {
+  OS << "== Figure 4: operations per dialect (log scale) ==\n";
+  unsigned Max = 0;
+  for (const DialectStatistics &D : F.Stats.getDialects())
+    Max = std::max(Max, D.numOps());
+  for (const DialectStatistics &D : F.Stats.getDialects())
+    OS << "  " << D.Name
+       << std::string(D.Name.size() < 14 ? 14 - D.Name.size() : 1, ' ')
+       << countBar(D.numOps(), Max, 40, /*LogScale=*/true) << " "
+       << D.numOps() << "\n";
+  OS << "  paper: 3 ops in the smallest dialects (arm_neon, builtin), "
+        ">100 in llvm and spv\n\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Figures 5-7: stacked per-dialect distributions
+//===----------------------------------------------------------------------===//
+
+template <typename DistFn>
+inline void printStackedDistribution(
+    std::ostream &OS, const CorpusFixture &F, const std::string &Title,
+    const std::vector<std::string> &Buckets, DistFn Fn) {
+  std::vector<std::pair<std::string, std::vector<double>>> Rows;
+  for (const DialectStatistics &D : F.Stats.getDialects()) {
+    Distribution Dist = Fn(D.Name);
+    std::vector<double> Fracs;
+    for (size_t B = 0; B < Buckets.size(); ++B)
+      Fracs.push_back(Dist.fraction(B));
+    Rows.emplace_back(D.Name, std::move(Fracs));
+  }
+  // Paper panels sort dialects by the share of the last bucket.
+  std::sort(Rows.begin(), Rows.end(), [](const auto &A, const auto &B) {
+    return A.second.back() > B.second.back();
+  });
+  Distribution Overall = Fn("");
+  std::vector<double> OverallFracs;
+  for (size_t B = 0; B < Buckets.size(); ++B)
+    OverallFracs.push_back(Overall.fraction(B));
+  printStackedFigure(OS, Title, Buckets, Rows, OverallFracs);
+}
+
+inline void printFigure5(std::ostream &OS, const CorpusFixture &F) {
+  PaperAggregates Paper;
+  printStackedDistribution(
+      OS, F, "== Figure 5a: operand definitions per op ==",
+      {"0", "1", "2", "3+"}, [&](std::string_view D) {
+        return D.empty() ? F.Stats.operandCountDist()
+                         : F.Stats.operandCountDist(D);
+      });
+  Distribution O = F.Stats.operandCountDist();
+  printPaperVsMeasured(OS, "ops with 0 operands", Paper.Operands0,
+                       O.fraction(0));
+  printPaperVsMeasured(OS, "ops with 1 operand", Paper.Operands1,
+                       O.fraction(1));
+  printPaperVsMeasured(OS, "ops with 2 operands", Paper.Operands2,
+                       O.fraction(2));
+  printPaperVsMeasured(OS, "ops with 3+ operands", Paper.Operands3Plus,
+                       O.fraction(3));
+  OS << "\n";
+
+  printStackedDistribution(
+      OS, F, "== Figure 5b: variadic operand definitions per op ==",
+      {"0", "1", "2+"}, [&](std::string_view D) {
+        return D.empty() ? F.Stats.variadicOperandDist()
+                         : F.Stats.variadicOperandDist(D);
+      });
+  Distribution V = F.Stats.variadicOperandDist();
+  printPaperVsMeasured(OS, "ops with a variadic operand",
+                       Paper.OpsWithVariadicOperand, 1.0 - V.fraction(0));
+  printPaperVsMeasured(
+      OS, "dialects with a variadic-operand op",
+      Paper.DialectsWithVariadicOperand,
+      F.Stats.dialectFractionWithOp([](const OpRecord &R) {
+        return R.NumVariadicOperandDefs > 0;
+      }));
+  OS << "\n";
+}
+
+inline void printFigure6(std::ostream &OS, const CorpusFixture &F) {
+  PaperAggregates Paper;
+  printStackedDistribution(
+      OS, F, "== Figure 6a: result definitions per op ==",
+      {"0", "1", "2"}, [&](std::string_view D) {
+        return D.empty() ? F.Stats.resultCountDist()
+                         : F.Stats.resultCountDist(D);
+      });
+  Distribution R = F.Stats.resultCountDist();
+  printPaperVsMeasured(OS, "ops with 0 results", Paper.Results0,
+                       R.fraction(0));
+  printPaperVsMeasured(OS, "ops with 1 result", Paper.Results1,
+                       R.fraction(1));
+  OS << "\n";
+
+  printStackedDistribution(
+      OS, F, "== Figure 6b: variadic result definitions per op ==",
+      {"0", "1"}, [&](std::string_view D) {
+        return D.empty() ? F.Stats.variadicResultDist()
+                         : F.Stats.variadicResultDist(D);
+      });
+  Distribution V = F.Stats.variadicResultDist();
+  printPaperVsMeasured(OS, "ops with a variadic result",
+                       Paper.OpsWithVariadicResult, 1.0 - V.fraction(0));
+  OS << "\n";
+}
+
+inline void printFigure7(std::ostream &OS, const CorpusFixture &F) {
+  PaperAggregates Paper;
+  printStackedDistribution(
+      OS, F, "== Figure 7a: attribute definitions per op ==",
+      {"0", "1", "2+"}, [&](std::string_view D) {
+        return D.empty() ? F.Stats.attrCountDist()
+                         : F.Stats.attrCountDist(D);
+      });
+  Distribution A = F.Stats.attrCountDist();
+  printPaperVsMeasured(OS, "ops without attributes", Paper.OpsWithNoAttr,
+                       A.fraction(0));
+  OS << "\n";
+
+  printStackedDistribution(
+      OS, F, "== Figure 7b: region definitions per op ==",
+      {"0", "1", "2"}, [&](std::string_view D) {
+        return D.empty() ? F.Stats.regionCountDist()
+                         : F.Stats.regionCountDist(D);
+      });
+  Distribution R = F.Stats.regionCountDist();
+  printPaperVsMeasured(OS, "ops with a region", Paper.OpsWithRegion,
+                       1.0 - R.fraction(0));
+  printPaperVsMeasured(
+      OS, "dialects with a region op", Paper.DialectsWithRegionOp,
+      F.Stats.dialectFractionWithOp(
+          [](const OpRecord &Rec) { return Rec.NumRegionDefs > 0; }));
+  OS << "\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 8
+//===----------------------------------------------------------------------===//
+
+inline void printFigure8(std::ostream &OS, const CorpusFixture &F) {
+  OS << "== Figure 8: type and attribute parameter kinds ==\n";
+  auto PrintPanel = [&OS](const std::string &Title,
+                          const std::map<ParamKind, unsigned> &Kinds) {
+    OS << Title << "\n";
+    unsigned Max = 0;
+    for (const auto &[K, N] : Kinds)
+      Max = std::max(Max, N);
+    for (const auto &[K, N] : Kinds) {
+      std::string Name(paramKindName(K));
+      OS << "  " << Name
+         << std::string(Name.size() < 16 ? 16 - Name.size() : 1, ' ')
+         << countBar(N, Max, 30) << " " << N << "\n";
+    }
+  };
+  PrintPanel("(a) type parameters", F.Stats.typeParamKinds());
+  PrintPanel("(b) attribute parameters", F.Stats.attrParamKinds());
+  OS << "  paper: only a few parameters (3%) are domain-specific\n\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Figures 9-11
+//===----------------------------------------------------------------------===//
+
+inline void printExpressibility(std::ostream &OS, const std::string &Title,
+                                CorpusStatistics::Expressibility Defs,
+                                CorpusStatistics::Expressibility Verifiers,
+                                double PaperDefsIRDL,
+                                double PaperVerifierCpp) {
+  OS << Title << "\n";
+  OS << "  definitions:  " << Defs.PureIRDL << " IRDL / " << Defs.NeedsCpp
+     << " IRDL-C++\n";
+  printPaperVsMeasured(OS, "definable in pure IRDL", PaperDefsIRDL,
+                       1.0 - Defs.cppFraction());
+  OS << "  verifiers:    " << Verifiers.PureIRDL << " IRDL / "
+     << Verifiers.NeedsCpp << " IRDL-C++\n";
+  printPaperVsMeasured(OS, "needing a C++ verifier", PaperVerifierCpp,
+                       Verifiers.cppFraction());
+  OS << "\n";
+}
+
+inline void printFigure9(std::ostream &OS, const CorpusFixture &F) {
+  PaperAggregates Paper;
+  printExpressibility(OS, "== Figure 9: type expressibility ==",
+                      F.Stats.typeParamExpressibility(),
+                      F.Stats.typeVerifierExpressibility(),
+                      Paper.TypesParamsInIRDL, Paper.TypesWithCppVerifier);
+}
+
+inline void printFigure10(std::ostream &OS, const CorpusFixture &F) {
+  PaperAggregates Paper;
+  printExpressibility(OS, "== Figure 10: attribute expressibility ==",
+                      F.Stats.attrParamExpressibility(),
+                      F.Stats.attrVerifierExpressibility(),
+                      Paper.AttrsParamsInIRDL, Paper.AttrsWithCppVerifier);
+}
+
+inline void printFigure11(std::ostream &OS, const CorpusFixture &F) {
+  PaperAggregates Paper;
+  OS << "== Figure 11: operation expressibility ==\n";
+  // Per-dialect panels (fraction needing IRDL-C++, descending).
+  auto PrintPanel = [&](const std::string &Title, bool Local) {
+    OS << Title << "\n";
+    std::vector<std::pair<std::string, double>> Rows;
+    for (const DialectStatistics &D : F.Stats.getDialects()) {
+      auto E = Local
+                   ? F.Stats.opLocalConstraintExpressibility(D.Name)
+                   : F.Stats.opVerifierExpressibility(D.Name);
+      Rows.emplace_back(D.Name, E.cppFraction());
+    }
+    std::sort(Rows.begin(), Rows.end(), [](const auto &A, const auto &B) {
+      return A.second > B.second;
+    });
+    for (const auto &[Name, Frac] : Rows) {
+      if (Frac == 0)
+        continue;
+      OS << "  " << Name
+         << std::string(Name.size() < 14 ? 14 - Name.size() : 1, ' ')
+         << stackedBar({1.0 - Frac, Frac}, 30) << " "
+         << formatPercent(Frac, 1) << " IRDL-C++\n";
+    }
+  };
+  PrintPanel("(a) local constraints", /*Local=*/true);
+  auto Local = F.Stats.opLocalConstraintExpressibility();
+  printPaperVsMeasured(OS, "local constraints in pure IRDL",
+                       Paper.OpsLocalConstraintsInIRDL,
+                       1.0 - Local.cppFraction());
+  PrintPanel("(b) verifiers", /*Local=*/false);
+  auto Verifiers = F.Stats.opVerifierExpressibility();
+  printPaperVsMeasured(OS, "ops needing a C++ verifier",
+                       Paper.OpsNeedingCppVerifier,
+                       Verifiers.cppFraction());
+  OS << "\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 12
+//===----------------------------------------------------------------------===//
+
+inline void printFigure12(std::ostream &OS, const CorpusFixture &F) {
+  OS << "== Figure 12: local constraints requiring IRDL-C++ ==\n";
+  auto Kinds = F.Stats.localCppConstraintKinds();
+  unsigned Max = 0;
+  for (const auto &[K, N] : Kinds)
+    Max = std::max(Max, N);
+  for (CppConstraintKind K :
+       {CppConstraintKind::IntegerInequality,
+        CppConstraintKind::StrideCheck, CppConstraintKind::StructOpacity,
+        CppConstraintKind::Other}) {
+    unsigned N = Kinds.count(K) ? Kinds[K] : 0;
+    if (K == CppConstraintKind::Other && N == 0)
+      continue;
+    std::string Name(cppConstraintKindName(K));
+    OS << "  " << Name
+       << std::string(Name.size() < 20 ? 20 - Name.size() : 1, ' ')
+       << countBar(N, Max, 30) << " " << N << "\n";
+  }
+  OS << "  paper: only three kinds of operation constraints require "
+        "IRDL-C++\n\n";
+}
+
+} // namespace irdl::bench
+
+#endif // IRDL_BENCH_FIGUREHELPERS_H

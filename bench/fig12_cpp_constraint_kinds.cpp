@@ -1,0 +1,9 @@
+//===- fig12_cpp_constraint_kinds.cpp - regenerates one piece of the paper's evaluation -----===//
+
+#include "FigureHelpers.h"
+
+int main() {
+  irdl::bench::CorpusFixture Fixture;
+  irdl::bench::printFigure12(std::cout, Fixture);
+  return 0;
+}

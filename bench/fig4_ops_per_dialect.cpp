@@ -1,0 +1,9 @@
+//===- fig4_ops_per_dialect.cpp - regenerates one piece of the paper's evaluation -----===//
+
+#include "FigureHelpers.h"
+
+int main() {
+  irdl::bench::CorpusFixture Fixture;
+  irdl::bench::printFigure4(std::cout, Fixture);
+  return 0;
+}

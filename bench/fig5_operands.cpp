@@ -1,0 +1,9 @@
+//===- fig5_operands.cpp - regenerates one piece of the paper's evaluation -----===//
+
+#include "FigureHelpers.h"
+
+int main() {
+  irdl::bench::CorpusFixture Fixture;
+  irdl::bench::printFigure5(std::cout, Fixture);
+  return 0;
+}

@@ -1,0 +1,9 @@
+//===- fig6_results.cpp - regenerates one piece of the paper's evaluation -----===//
+
+#include "FigureHelpers.h"
+
+int main() {
+  irdl::bench::CorpusFixture Fixture;
+  irdl::bench::printFigure6(std::cout, Fixture);
+  return 0;
+}

@@ -1,0 +1,9 @@
+//===- fig7_attrs_regions.cpp - regenerates one piece of the paper's evaluation -----===//
+
+#include "FigureHelpers.h"
+
+int main() {
+  irdl::bench::CorpusFixture Fixture;
+  irdl::bench::printFigure7(std::cout, Fixture);
+  return 0;
+}

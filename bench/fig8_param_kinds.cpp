@@ -1,0 +1,9 @@
+//===- fig8_param_kinds.cpp - regenerates one piece of the paper's evaluation -----===//
+
+#include "FigureHelpers.h"
+
+int main() {
+  irdl::bench::CorpusFixture Fixture;
+  irdl::bench::printFigure8(std::cout, Fixture);
+  return 0;
+}

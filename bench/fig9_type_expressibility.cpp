@@ -1,0 +1,9 @@
+//===- fig9_type_expressibility.cpp - regenerates one piece of the paper's evaluation -----===//
+
+#include "FigureHelpers.h"
+
+int main() {
+  irdl::bench::CorpusFixture Fixture;
+  irdl::bench::printFigure9(std::cout, Fixture);
+  return 0;
+}

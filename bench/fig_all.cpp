@@ -1,0 +1,20 @@
+//===- fig_all.cpp - regenerates every table and figure ------------------===//
+
+#include "FigureHelpers.h"
+
+int main() {
+  irdl::bench::CorpusFixture Fixture;
+  using namespace irdl::bench;
+  printTable1(std::cout, Fixture);
+  printFigure3(std::cout, Fixture);
+  printFigure4(std::cout, Fixture);
+  printFigure5(std::cout, Fixture);
+  printFigure6(std::cout, Fixture);
+  printFigure7(std::cout, Fixture);
+  printFigure8(std::cout, Fixture);
+  printFigure9(std::cout, Fixture);
+  printFigure10(std::cout, Fixture);
+  printFigure11(std::cout, Fixture);
+  printFigure12(std::cout, Fixture);
+  return 0;
+}

@@ -1,0 +1,114 @@
+//===- perf_constraints.cpp - Constraint evaluation ablations -----------===//
+///
+/// Ablation (DESIGN.md): AnyOf short-circuiting (match position matters)
+/// and the cost of constraint-variable binding with backtracking.
+
+#include "irdl/Constraint.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace irdl;
+
+namespace {
+
+struct Fixture {
+  IRContext Ctx;
+  std::vector<ConstraintPtr> Branches;
+
+  Fixture() {
+    for (unsigned W = 1; W <= 16; ++W)
+      Branches.push_back(Constraint::typeEq(Ctx.getIntegerType(W)));
+  }
+};
+
+void BM_AnyOf_MatchFirst(benchmark::State &State) {
+  Fixture F;
+  ConstraintPtr C = Constraint::anyOf(F.Branches);
+  ParamValue V(F.Ctx.getIntegerType(1));
+  for (auto _ : State) {
+    MatchContext MC;
+    bool R = C->matches(V, MC);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_AnyOf_MatchFirst);
+
+void BM_AnyOf_MatchLast(benchmark::State &State) {
+  Fixture F;
+  ConstraintPtr C = Constraint::anyOf(F.Branches);
+  ParamValue V(F.Ctx.getIntegerType(16));
+  for (auto _ : State) {
+    MatchContext MC;
+    bool R = C->matches(V, MC);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_AnyOf_MatchLast);
+
+void BM_AnyOf_NoMatch(benchmark::State &State) {
+  Fixture F;
+  ConstraintPtr C = Constraint::anyOf(F.Branches);
+  ParamValue V(F.Ctx.getFloatType(32));
+  for (auto _ : State) {
+    MatchContext MC;
+    bool R = C->matches(V, MC);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_AnyOf_NoMatch);
+
+void BM_VarBind_FirstUse(benchmark::State &State) {
+  Fixture F;
+  std::vector<ConstraintPtr> Vars = {Constraint::anyType()};
+  ConstraintPtr C = Constraint::var(0, "T");
+  ParamValue V(F.Ctx.getIntegerType(32));
+  for (auto _ : State) {
+    MatchContext MC(&Vars);
+    bool R = C->matches(V, MC);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_VarBind_FirstUse);
+
+void BM_VarBind_UnifyThreeUses(benchmark::State &State) {
+  // The cmath.mul pattern: one var, three uses.
+  Fixture F;
+  std::vector<ConstraintPtr> Vars = {Constraint::anyType()};
+  ConstraintPtr C = Constraint::var(0, "T");
+  ParamValue V(F.Ctx.getIntegerType(32));
+  for (auto _ : State) {
+    MatchContext MC(&Vars);
+    bool R = C->matches(V, MC) && C->matches(V, MC) && C->matches(V, MC);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_VarBind_UnifyThreeUses);
+
+void BM_AnyOf_BacktrackingWithVars(benchmark::State &State) {
+  // Branches that bind a var before failing exercise snapshot/rollback.
+  Fixture F;
+  Dialect *D = F.Ctx.getOrCreateDialect("bt");
+  TypeDefinition *Pair = D->addType("pair");
+  Pair->setParamNames({"a", "b"});
+  std::vector<ConstraintPtr> Vars = {Constraint::anyType()};
+  ConstraintPtr T = Constraint::var(0, "T");
+  std::vector<ConstraintPtr> Branches;
+  for (unsigned W = 1; W <= 8; ++W)
+    Branches.push_back(Constraint::typeConstraint(
+        Pair, {T, Constraint::typeEq(F.Ctx.getIntegerType(W))},
+        /*BaseOnly=*/false));
+  ConstraintPtr C = Constraint::anyOf(Branches);
+  Type V = F.Ctx.getType(Pair, {ParamValue(F.Ctx.getFloatType(32)),
+                                ParamValue(F.Ctx.getIntegerType(8))});
+  ParamValue PV(V);
+  for (auto _ : State) {
+    MatchContext MC(&Vars);
+    bool R = C->matches(PV, MC);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_AnyOf_BacktrackingWithVars);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+//===- perf_irdl_frontend.cpp - IRDL frontend microbenchmarks -----------===//
+///
+/// Measures the cost of the Section 3 flow: parsing IRDL text, full
+/// dialect loading (sema + verifier compilation + registration), and
+/// synthesizing/loading the whole 28-dialect corpus.
+
+#include "analysis/DialectStatistics.h"
+#include "corpus/Corpus.h"
+#include "irdl/IRDLParser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace irdl;
+
+namespace {
+
+std::string readCmath() {
+  std::ifstream In(std::string(IRDL_DIALECTS_DIR) + "/cmath.irdl");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+void BM_ParseIRDL_Cmath(benchmark::State &State) {
+  std::string Source = readCmath();
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Ast = parseIRDL(Source, Diags);
+    benchmark::DoNotOptimize(Ast);
+  }
+  State.SetBytesProcessed(State.iterations() * Source.size());
+}
+BENCHMARK(BM_ParseIRDL_Cmath);
+
+void BM_LoadDialect_Cmath(benchmark::State &State) {
+  std::string Source = readCmath();
+  for (auto _ : State) {
+    IRContext Ctx;
+    SourceMgr SrcMgr;
+    DiagnosticEngine Diags(&SrcMgr);
+    auto Module = loadIRDL(Ctx, Source, SrcMgr, Diags);
+    benchmark::DoNotOptimize(Module);
+  }
+}
+BENCHMARK(BM_LoadDialect_Cmath);
+
+void BM_SynthesizeCorpus(benchmark::State &State) {
+  for (auto _ : State) {
+    std::string Text = synthesizeCorpusIRDL();
+    benchmark::DoNotOptimize(Text);
+  }
+}
+BENCHMARK(BM_SynthesizeCorpus);
+
+void BM_LoadCorpus_28Dialects_942Ops(benchmark::State &State) {
+  std::string Text = synthesizeCorpusIRDL();
+  for (auto _ : State) {
+    IRContext Ctx;
+    SourceMgr SrcMgr;
+    DiagnosticEngine Diags(&SrcMgr);
+    auto Module =
+        loadIRDL(Ctx, Text, SrcMgr, Diags, corpusNativeOptions());
+    benchmark::DoNotOptimize(Module);
+  }
+  State.SetBytesProcessed(State.iterations() * Text.size());
+}
+BENCHMARK(BM_LoadCorpus_28Dialects_942Ops)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeCorpus(benchmark::State &State) {
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags(&SrcMgr);
+  CorpusLoadResult Corpus = loadSyntheticCorpus(Ctx, SrcMgr, Diags);
+  for (auto _ : State) {
+    CorpusStatistics Stats =
+        CorpusStatistics::compute(Corpus.AnalysisDialects);
+    benchmark::DoNotOptimize(Stats.totalOps());
+  }
+}
+BENCHMARK(BM_AnalyzeCorpus);
+
+} // namespace
+
+BENCHMARK_MAIN();

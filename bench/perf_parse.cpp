@@ -1,0 +1,116 @@
+//===- perf_parse.cpp - Textual IR parse/print microbenchmarks ----------===//
+///
+/// Ablation (DESIGN.md): declarative-format parsing (with type inference
+/// through constraint variables) vs the generic syntax, plus printing.
+
+#include "ir/IRParser.h"
+#include "ir/Printer.h"
+#include "irdl/IRDL.h"
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+using namespace irdl;
+
+namespace {
+
+struct Fixture {
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags{&SrcMgr};
+  std::unique_ptr<IRDLModule> Module;
+  std::string CustomText;
+  std::string GenericText;
+
+  Fixture() {
+    Module = loadIRDLFile(Ctx, std::string(IRDL_DIALECTS_DIR) +
+                                   "/cmath.irdl",
+                          SrcMgr, Diags);
+    // A chain of cmath.mul ops in both syntaxes.
+    std::ostringstream Custom, Generic;
+    Custom << "std.func @f(%x: !cmath.complex<f32>) -> "
+              "!cmath.complex<f32> {\n";
+    Generic << "std.func @f(%x: !cmath.complex<f32>) -> "
+               "!cmath.complex<f32> {\n";
+    std::string Prev = "%x";
+    for (int I = 0; I < 50; ++I) {
+      std::string Cur = "%v" + std::to_string(I);
+      Custom << "  " << Cur << " = cmath.mul " << Prev << ", " << Prev
+             << " : f32\n";
+      Generic << "  " << Cur << " = \"cmath.mul\"(" << Prev << ", "
+              << Prev << ") : (!cmath.complex<f32>, !cmath.complex<f32>) "
+              << "-> (!cmath.complex<f32>)\n";
+      Prev = Cur;
+    }
+    Custom << "  std.return " << Prev << " : !cmath.complex<f32>\n}\n";
+    Generic << "  std.return " << Prev << " : !cmath.complex<f32>\n}\n";
+    CustomText = Custom.str();
+    GenericText = Generic.str();
+  }
+};
+
+void BM_ParseIR_CustomFormat_50Ops(benchmark::State &State) {
+  Fixture F;
+  for (auto _ : State) {
+    SourceMgr SM;
+    DiagnosticEngine Diags(&SM);
+    OwningOpRef M = parseSourceString(F.Ctx, F.CustomText, SM, Diags);
+    benchmark::DoNotOptimize(M.get());
+  }
+  State.SetBytesProcessed(State.iterations() * F.CustomText.size());
+}
+BENCHMARK(BM_ParseIR_CustomFormat_50Ops);
+
+void BM_ParseIR_GenericFormat_50Ops(benchmark::State &State) {
+  Fixture F;
+  for (auto _ : State) {
+    SourceMgr SM;
+    DiagnosticEngine Diags(&SM);
+    OwningOpRef M = parseSourceString(F.Ctx, F.GenericText, SM, Diags);
+    benchmark::DoNotOptimize(M.get());
+  }
+  State.SetBytesProcessed(State.iterations() * F.GenericText.size());
+}
+BENCHMARK(BM_ParseIR_GenericFormat_50Ops);
+
+void BM_PrintIR_CustomFormat(benchmark::State &State) {
+  Fixture F;
+  SourceMgr SM;
+  DiagnosticEngine Diags(&SM);
+  OwningOpRef M = parseSourceString(F.Ctx, F.CustomText, SM, Diags);
+  for (auto _ : State) {
+    std::string Text = printOpToString(M.get());
+    benchmark::DoNotOptimize(Text);
+  }
+}
+BENCHMARK(BM_PrintIR_CustomFormat);
+
+void BM_PrintIR_GenericFormat(benchmark::State &State) {
+  Fixture F;
+  SourceMgr SM;
+  DiagnosticEngine Diags(&SM);
+  OwningOpRef M = parseSourceString(F.Ctx, F.CustomText, SM, Diags);
+  PrintOptions Generic;
+  Generic.GenericForm = true;
+  for (auto _ : State) {
+    std::string Text = printOpToString(M.get(), Generic);
+    benchmark::DoNotOptimize(Text);
+  }
+}
+BENCHMARK(BM_PrintIR_GenericFormat);
+
+void BM_ParseType_Nested(benchmark::State &State) {
+  Fixture F;
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    Type T =
+        parseTypeString(F.Ctx, "!cmath.complex<f32>", Diags);
+    benchmark::DoNotOptimize(T);
+  }
+}
+BENCHMARK(BM_ParseType_Nested);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,9 @@
+//===- table1_dialects.cpp - regenerates one piece of the paper's evaluation -----===//
+
+#include "FigureHelpers.h"
+
+int main() {
+  irdl::bench::CorpusFixture Fixture;
+  irdl::bench::printTable1(std::cout, Fixture);
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- irdl_lint.cpp - An IRDL linter / pretty-printer --------------------===//
+///
+/// Tooling of the kind Figure 1 envisions: checks .irdl files (parse +
+/// semantic analysis + registration, reporting rich diagnostics with
+/// source carets) and optionally re-emits them through the IRDL
+/// pretty-printer with aliases expanded and constraints normalized.
+///
+/// Run: build/examples/irdl_lint [--print] file.irdl ...
+
+#include "irdl/IRDL.h"
+
+#include <iostream>
+
+using namespace irdl;
+
+int main(int argc, char **argv) {
+  bool Print = false;
+  std::vector<std::string> Paths;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--print")
+      Print = true;
+    else
+      Paths.push_back(Arg);
+  }
+  if (Paths.empty())
+    Paths.push_back(std::string(IRDL_DIALECTS_DIR) + "/cmath.irdl");
+
+  int Failures = 0;
+  for (const std::string &Path : Paths) {
+    // Each file gets a fresh context so lints are independent.
+    IRContext Ctx;
+    SourceMgr SrcMgr;
+    DiagnosticEngine Diags(&SrcMgr);
+    auto Module = loadIRDLFile(Ctx, Path, SrcMgr, Diags);
+    if (!Module) {
+      std::cout << Path << ": FAILED\n" << Diags.renderAll() << "\n";
+      ++Failures;
+      continue;
+    }
+    size_t Ops = Module->getNumOps();
+    std::cout << Path << ": OK (" << Module->getDialects().size()
+              << " dialect(s), " << Ops << " ops, "
+              << Module->getNumTypes() << " types, "
+              << Module->getNumAttrs() << " attrs)\n";
+
+    // Style lints.
+    for (const auto &D : Module->getDialects()) {
+      for (const OpSpec &Op : D->Ops)
+        if (Op.Summary.empty())
+          std::cout << "  note: operation '" << D->Name << "." << Op.Name
+                    << "' has no Summary\n";
+      for (const TypeOrAttrSpec &T : D->Types)
+        if (T.Summary.empty())
+          std::cout << "  note: type '" << D->Name << "." << T.Name
+                    << "' has no Summary\n";
+    }
+
+    if (Print)
+      for (const auto &D : Module->getDialects())
+        std::cout << "\n" << printDialectSpec(*D);
+  }
+  return Failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,161 @@
+//===- irdl_opt.cpp - An mlir-opt-style driver over dynamic dialects ------===//
+///
+/// The full Section 3 story as a command-line tool: dialects come from
+/// .irdl files given on the command line (no recompilation), the IR comes
+/// from a file or stdin, and a pass pipeline (verification, DCE, the
+/// cmath conorm peephole) runs over it.
+///
+/// Usage:
+///   irdl_opt [--dialect file.irdl]... [--pass dce|conorm]...
+///            [--generic] [input.mlir]
+///
+/// With no --dialect, loads dialects/cmath.irdl. With no input, reads
+/// stdin. Examples:
+///
+///   echo '%c = std.constant 1.5 : f32' | build/examples/irdl_opt
+///   build/examples/irdl_opt --pass conorm --pass dce test.mlir
+
+#include "ir/Block.h"
+#include "ir/IRParser.h"
+#include "ir/Pass.h"
+#include "ir/Printer.h"
+#include "ir/Region.h"
+#include "irdl/IRDL.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace irdl;
+
+namespace {
+
+/// The Listing 1 peephole, as in cmath_opt.cpp.
+struct ConormPattern : RewritePattern {
+  ConormPattern() : RewritePattern("std.mulf") {}
+
+  LogicalResult matchAndRewrite(Operation *Op,
+                                PatternRewriter &Rewriter) const override {
+    Operation *L = Op->getOperand(0).getDefiningOp();
+    Operation *R = Op->getOperand(1).getDefiningOp();
+    auto IsNorm = [](Operation *N) {
+      return N && N->getName().str() == "cmath.norm";
+    };
+    if (!IsNorm(L) || !IsNorm(R) ||
+        L->getOperand(0).getType() != R->getOperand(0).getType())
+      return failure();
+    IRContext *Ctx = Rewriter.getContext();
+    OperationState MulState(Ctx->resolveOpDef("cmath.mul"), Op->getLoc());
+    MulState.Operands = {L->getOperand(0), R->getOperand(0)};
+    MulState.ResultTypes = {L->getOperand(0).getType()};
+    Operation *Mul = Rewriter.createOp(MulState);
+    OperationState NormState(Ctx->resolveOpDef("cmath.norm"),
+                             Op->getLoc());
+    NormState.Operands = {Mul->getResult(0)};
+    NormState.ResultTypes = {Op->getResult(0).getType()};
+    Operation *Norm = Rewriter.createOp(NormState);
+    Rewriter.replaceOp(Op, {Norm->getResult(0)});
+    return success();
+  }
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> DialectFiles;
+  std::vector<std::string> PassNames;
+  std::string InputFile;
+  bool Generic = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextValue = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::cerr << "missing value after " << Arg << "\n";
+        std::exit(1);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--dialect")
+      DialectFiles.push_back(NextValue());
+    else if (Arg == "--pass")
+      PassNames.push_back(NextValue());
+    else if (Arg == "--generic")
+      Generic = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      std::cout << "usage: irdl_opt [--dialect f.irdl]... "
+                   "[--pass dce|conorm]... [--generic] [input]\n";
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "unknown option " << Arg << "\n";
+      return 1;
+    } else {
+      InputFile = Arg;
+    }
+  }
+  if (DialectFiles.empty())
+    DialectFiles.push_back(std::string(IRDL_DIALECTS_DIR) +
+                           "/cmath.irdl");
+
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags(&SrcMgr);
+
+  for (const std::string &Path : DialectFiles) {
+    if (!loadIRDLFile(Ctx, Path, SrcMgr, Diags)) {
+      std::cerr << Diags.renderAll();
+      return 1;
+    }
+  }
+
+  std::string Input;
+  if (InputFile.empty()) {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Input = SS.str();
+  } else {
+    std::ifstream In(InputFile);
+    if (!In) {
+      std::cerr << "cannot open " << InputFile << "\n";
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Input = SS.str();
+  }
+
+  OwningOpRef M = parseSourceString(Ctx, Input, SrcMgr, Diags,
+                                    InputFile.empty() ? "<stdin>"
+                                                      : InputFile);
+  if (!M) {
+    std::cerr << Diags.renderAll();
+    return 1;
+  }
+
+  PassManager PM(&Ctx);
+  for (const std::string &Name : PassNames) {
+    if (Name == "dce") {
+      PM.addPass<DeadCodeEliminationPass>(
+          std::vector<std::string>{},
+          /*AssumeRegisteredOpsPure=*/true);
+    } else if (Name == "conorm") {
+      auto Patterns = std::make_shared<RewritePatternSet>(&Ctx);
+      Patterns->add<ConormPattern>();
+      PM.addPass<GreedyRewritePass>("conorm", Patterns);
+    } else {
+      std::cerr << "unknown pass '" << Name << "' (have: dce, conorm)\n";
+      return 1;
+    }
+  }
+
+  DiagnosticEngine PipelineDiags(&SrcMgr);
+  if (failed(PM.run(M.get(), PipelineDiags))) {
+    std::cerr << PipelineDiags.renderAll();
+    return 1;
+  }
+
+  PrintOptions Opts;
+  Opts.GenericForm = Generic;
+  std::cout << printOpToString(M.get(), Opts) << "\n";
+  return 0;
+}

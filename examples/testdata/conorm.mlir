@@ -1,0 +1,7 @@
+// Listing 1a of the paper: the unoptimized conorm function.
+std.func @conorm(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>) -> f32 {
+  %norm_p = cmath.norm %p : f32
+  %norm_q = cmath.norm %q : f32
+  %pq = std.mulf %norm_p, %norm_q : f32
+  std.return %pq : f32
+}

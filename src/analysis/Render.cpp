@@ -1,0 +1,113 @@
+//===- Render.cpp ------------------------------------------------------===//
+
+#include "analysis/Render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+using namespace irdl;
+
+std::string irdl::formatPercent(double Fraction, unsigned Decimals) {
+  std::ostringstream OS;
+  OS << std::fixed << std::setprecision(Decimals) << Fraction * 100.0
+     << "%";
+  return OS.str();
+}
+
+void TextTable::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  auto Update = [&Widths](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size() && I < Widths.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Update(Header);
+  for (const auto &Row : Rows)
+    Update(Row);
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      OS << "| " << std::left << std::setw(static_cast<int>(Widths[I]))
+         << (I < Row.size() ? Row[I] : "") << " ";
+    }
+    OS << "|\n";
+  };
+  auto PrintSep = [&] {
+    for (size_t I = 0; I < Widths.size(); ++I)
+      OS << "+" << std::string(Widths[I] + 2, '-');
+    OS << "+\n";
+  };
+
+  PrintSep();
+  PrintRow(Header);
+  PrintSep();
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+  PrintSep();
+}
+
+std::string irdl::stackedBar(const std::vector<double> &Fractions,
+                             unsigned Width) {
+  static const char Glyphs[] = {'#', '=', '-', '.', '~', '+'};
+  std::string Bar;
+  Bar.reserve(Width);
+  unsigned Used = 0;
+  for (size_t I = 0; I < Fractions.size(); ++I) {
+    unsigned Len = static_cast<unsigned>(
+        std::lround(Fractions[I] * Width));
+    if (I + 1 == Fractions.size())
+      Len = Width > Used ? Width - Used : 0;
+    Len = std::min(Len, Width - Used);
+    Bar.append(Len, Glyphs[I % sizeof(Glyphs)]);
+    Used += Len;
+  }
+  if (Used < Width)
+    Bar.append(Width - Used, ' ');
+  return Bar;
+}
+
+std::string irdl::countBar(double Value, double MaxValue, unsigned Width,
+                           bool LogScale) {
+  if (MaxValue <= 0 || Value <= 0)
+    return std::string();
+  double Frac;
+  if (LogScale)
+    Frac = std::log(1.0 + Value) / std::log(1.0 + MaxValue);
+  else
+    Frac = Value / MaxValue;
+  unsigned Len = std::max<unsigned>(
+      1, static_cast<unsigned>(std::lround(Frac * Width)));
+  return std::string(std::min(Len, Width), '#');
+}
+
+void irdl::printStackedFigure(
+    std::ostream &OS, const std::string &Title,
+    const std::vector<std::string> &BucketLabels,
+    const std::vector<std::pair<std::string, std::vector<double>>> &Rows,
+    const std::vector<double> &Overall) {
+  OS << Title << "\n";
+  OS << "  legend:";
+  static const char Glyphs[] = {'#', '=', '-', '.', '~', '+'};
+  for (size_t I = 0; I < BucketLabels.size(); ++I)
+    OS << " [" << Glyphs[I % sizeof(Glyphs)] << "] " << BucketLabels[I];
+  OS << "\n";
+
+  size_t NameWidth = 7; // "overall"
+  for (const auto &[Name, Fracs] : Rows)
+    NameWidth = std::max(NameWidth, Name.size());
+
+  auto PrintRow = [&](const std::string &Name,
+                      const std::vector<double> &Fracs) {
+    OS << "  " << std::left << std::setw(static_cast<int>(NameWidth))
+       << Name << " |" << stackedBar(Fracs) << "|";
+    for (size_t I = 0; I < Fracs.size(); ++I)
+      OS << " " << formatPercent(Fracs[I]);
+    OS << "\n";
+  };
+
+  for (const auto &[Name, Fracs] : Rows)
+    PrintRow(Name, Fracs);
+  OS << "  " << std::string(NameWidth + 44, '-') << "\n";
+  PrintRow("overall", Overall);
+}

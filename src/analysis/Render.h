@@ -1,0 +1,65 @@
+//===- Render.h - ASCII rendering of evaluation figures -----------*- C++ -*-===//
+///
+/// \file
+/// Text rendering used by the bench harnesses to regenerate the paper's
+/// tables and figures: aligned tables, stacked percentage bars (Figures
+/// 5–7, 11), log-scale count bars (Figure 4), and simple count bars
+/// (Figures 8–10, 12).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_ANALYSIS_RENDER_H
+#define IRDL_ANALYSIS_RENDER_H
+
+#include "analysis/DialectStatistics.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace irdl {
+
+/// Prints "12.3%" style.
+std::string formatPercent(double Fraction, unsigned Decimals = 0);
+
+/// A two-dimensional text table with a header row; columns auto-size.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header)
+      : Header(std::move(Header)) {}
+
+  void addRow(std::vector<std::string> Row) {
+    Rows.push_back(std::move(Row));
+  }
+
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Renders a stacked percentage bar of \p Width characters; \p Fractions
+/// must (approximately) sum to one. Segment glyphs cycle through
+/// '#', '=', '-', '.'.
+std::string stackedBar(const std::vector<double> &Fractions,
+                       unsigned Width = 40);
+
+/// Renders a horizontal count bar scaled so that \p MaxValue fills
+/// \p Width characters. When \p LogScale, lengths are log-proportional
+/// (Figure 4's axis).
+std::string countBar(double Value, double MaxValue, unsigned Width = 40,
+                     bool LogScale = false);
+
+/// Prints a per-dialect stacked-percentage figure: one row per dialect
+/// (sorted by the first bucket's descending fraction, like the paper's
+/// panels), plus an "overall" row.
+void printStackedFigure(
+    std::ostream &OS, const std::string &Title,
+    const std::vector<std::string> &BucketLabels,
+    const std::vector<std::pair<std::string, std::vector<double>>> &Rows,
+    const std::vector<double> &Overall);
+
+} // namespace irdl
+
+#endif // IRDL_ANALYSIS_RENDER_H

@@ -1,0 +1,42 @@
+//===- Corpus.cpp --------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace irdl;
+
+IRDLLoadOptions irdl::corpusNativeOptions() {
+  IRDLLoadOptions Opts;
+  // "memory accesses must be strided": the buffer type's strides array
+  // must be non-empty with strictly positive entries.
+  Opts.NativeConstraints["stride_check"] = [](const ParamValue &V) {
+    if (!V.isType())
+      return false;
+    const ParamValue &Strides = V.getType().getParam("strides");
+    if (!Strides.isArray() || Strides.getArray().empty())
+      return false;
+    for (const ParamValue &S : Strides.getArray())
+      if (!S.isInt() || S.getInt().Value <= 0)
+        return false;
+    return true;
+  };
+  // "the LLVM struct must be opaque": the opacity tag must say so.
+  Opts.NativeConstraints["struct_opacity"] = [](const ParamValue &V) {
+    return V.isType() &&
+           V.getType().getParam("opacity").getString() == "opaque";
+  };
+  return Opts;
+}
+
+CorpusLoadResult irdl::loadSyntheticCorpus(IRContext &Ctx,
+                                           SourceMgr &SrcMgr,
+                                           DiagnosticEngine &Diags) {
+  CorpusLoadResult Result;
+  Result.Module = loadIRDL(Ctx, synthesizeCorpusIRDL(), SrcMgr, Diags,
+                           corpusNativeOptions(), "<synthetic-corpus>");
+  if (!Result.Module)
+    return Result;
+  for (const auto &D : Result.Module->getDialects())
+    if (D->Name != CorpusSupportDialectName)
+      Result.AnalysisDialects.push_back(D);
+  return Result;
+}

@@ -1,0 +1,39 @@
+//===- Corpus.h - Loading the synthetic evaluation corpus ---------*- C++ -*-===//
+///
+/// \file
+/// End-to-end corpus loading: synthesize IRDL text from the profiles,
+/// register the native callbacks the Figure 12 categories reference, and
+/// run the real frontend over all 28 dialects. The benches then compute
+/// CorpusStatistics from the resulting specs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_CORPUS_CORPUS_H
+#define IRDL_CORPUS_CORPUS_H
+
+#include "corpus/CorpusData.h"
+#include "corpus/Synthesizer.h"
+#include "irdl/IRDL.h"
+
+namespace irdl {
+
+/// The native callbacks referenced by synthesized dialects
+/// (`native:stride_check`, `native:struct_opacity`).
+IRDLLoadOptions corpusNativeOptions();
+
+struct CorpusLoadResult {
+  /// The loaded module (28 dialects + the corpus_support dialect).
+  std::unique_ptr<IRDLModule> Module;
+  /// The 28 analyzed dialects, excluding corpus_support.
+  std::vector<std::shared_ptr<DialectSpec>> AnalysisDialects;
+
+  explicit operator bool() const { return Module != nullptr; }
+};
+
+/// Synthesizes and loads the full corpus into \p Ctx.
+CorpusLoadResult loadSyntheticCorpus(IRContext &Ctx, SourceMgr &SrcMgr,
+                                     DiagnosticEngine &Diags);
+
+} // namespace irdl
+
+#endif // IRDL_CORPUS_CORPUS_H

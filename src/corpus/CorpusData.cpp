@@ -1,0 +1,29 @@
+//===- CorpusData.cpp ---------------------------------------------------===//
+
+#include "corpus/CorpusData.h"
+
+using namespace irdl;
+
+namespace {
+
+const DialectProfile ProfileTable[] = {
+#include "corpus/CorpusDataProfiles.inc"
+};
+
+const GrowthPoint GrowthTable[] = {
+#include "corpus/CorpusDataGrowth.inc"
+};
+
+} // namespace
+
+const std::vector<DialectProfile> &irdl::getDialectProfiles() {
+  static const std::vector<DialectProfile> Profiles(
+      std::begin(ProfileTable), std::end(ProfileTable));
+  return Profiles;
+}
+
+const std::vector<GrowthPoint> &irdl::getGrowthTimeline() {
+  static const std::vector<GrowthPoint> Timeline(std::begin(GrowthTable),
+                                                 std::end(GrowthTable));
+  return Timeline;
+}

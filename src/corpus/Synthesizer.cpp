@@ -1,0 +1,394 @@
+//===- Synthesizer.cpp --------------------------------------------------===//
+
+#include "corpus/Synthesizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+using namespace irdl;
+
+const char *irdl::CorpusSupportDialectName = "corpus_support";
+
+std::string irdl::synthesizeSupportDialectIRDL() {
+  return R"(
+Dialect corpus_support {
+  Type buffer {
+    Parameters (elem: !AnyType, width: uint32_t,
+                strides: array<int64_t>, opacity: string)
+    Summary "Carrier type for the Figure 12 constraint categories"
+  }
+}
+)";
+}
+
+namespace {
+
+/// Per-op feature plan derived from the profile's histograms.
+struct OpPlan {
+  unsigned Operands = 0;
+  unsigned VariadicOperands = 0;
+  unsigned Results = 0;
+  bool VariadicResult = false;
+  unsigned Attrs = 0;
+  unsigned Regions = 0;
+  bool CppVerifier = false;
+  int LocalCpp = -1; // 0 inequality / 1 stride / 2 opacity
+};
+
+/// Expands a bucket histogram into one value per op. The last bucket
+/// ("N+") cycles through N, N+1, N+2 to give some spread.
+std::vector<unsigned> expandBuckets(const unsigned *Counts,
+                                    unsigned NumBuckets, bool LastIsPlus) {
+  std::vector<unsigned> Values;
+  for (unsigned B = 0; B != NumBuckets; ++B) {
+    for (unsigned K = 0; K != Counts[B]; ++K) {
+      unsigned V = B;
+      if (LastIsPlus && B + 1 == NumBuckets)
+        V = B + (K % 3);
+      Values.push_back(V);
+    }
+  }
+  return Values;
+}
+
+const char *operandConstraint(unsigned I) {
+  static const char *Pool[] = {"!f32", "!i64",  "!i32",     "!f64",
+                               "!index", "!i1", "!AnyType", "!i8",
+                               "!ui32", "!si64"};
+  return Pool[I % (sizeof(Pool) / sizeof(Pool[0]))];
+}
+
+const char *attrConstraint(unsigned I) {
+  static const char *Pool[] = {"#builtin.int", "#f32_attr",
+                               "#builtin.string", "#builtin.array",
+                               "#AnyAttr"};
+  return Pool[I % (sizeof(Pool) / sizeof(Pool[0]))];
+}
+
+const char *LocalCppConstraintNames[3] = {"BoundedWidth", "StridedBuffer",
+                                          "OpaqueStruct"};
+
+/// Emits a type or attribute definition with parameters drawn from
+/// \p Kinds (indices into ParamKind order).
+void emitTypeOrAttr(std::ostringstream &OS, bool IsAttr, unsigned Index,
+                    const std::vector<unsigned> &Kinds, bool CppVerifier,
+                    bool HasEnum) {
+  OS << "  " << (IsAttr ? "Attribute " : "Type ")
+     << (IsAttr ? "a" : "t") << Index << " {\n";
+  if (!Kinds.empty()) {
+    OS << "    Parameters (";
+    for (size_t I = 0; I != Kinds.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << "p" << I << ": ";
+      switch (Kinds[I]) {
+      case 0:
+        OS << (I % 2 ? "#AnyAttr" : "!AnyType");
+        break;
+      case 1:
+        OS << "uint32_t";
+        break;
+      case 2:
+        OS << "string";
+        break;
+      case 3:
+        OS << "float32_t";
+        break;
+      case 4:
+        OS << (HasEnum ? "mode" : "string");
+        break;
+      case 5:
+        OS << "location";
+        break;
+      case 6:
+        OS << "type_id";
+        break;
+      default:
+        OS << "NativeParam";
+        break;
+      }
+    }
+    OS << ")\n";
+  }
+  if (CppVerifier)
+    OS << "    CppConstraint \"$_self.name.size() > 0\"\n";
+  OS << "  }\n";
+}
+
+} // namespace
+
+std::string irdl::synthesizeDialectIRDL(const DialectProfile &P) {
+  std::ostringstream OS;
+  OS << "Dialect " << P.Name << " {\n";
+
+  //===------------------------------------------------------------------===//
+  // Support declarations
+  //===------------------------------------------------------------------===//
+
+  bool NeedsEnum =
+      P.TypeParamKinds[4] != 0 || P.AttrParamKinds[4] != 0;
+  if (NeedsEnum)
+    OS << "  Enum mode { A, B, C }\n";
+
+  bool NeedsNativeParam =
+      P.TypeParamKinds[7] != 0 || P.AttrParamKinds[7] != 0;
+  if (NeedsNativeParam) {
+    OS << "  TypeOrAttrParam NativeParam {\n"
+       << "    Summary \"A dialect-specific C++ parameter\"\n"
+       << "    CppClassName \"" << P.Name << "::NativeParam\"\n"
+       << "    CppParser \"parseNativeParam($self)\"\n"
+       << "    CppPrinter \"printNativeParam($self)\"\n"
+       << "  }\n";
+  }
+
+  // Named constraints for the Figure 12 categories.
+  if (P.OpsLocalIntInequality)
+    OS << "  Constraint BoundedWidth : !corpus_support.buffer {\n"
+       << "    Summary \"integer inequality on a type parameter\"\n"
+       << "    CppConstraint \"$_self.width <= 64\"\n"
+       << "  }\n";
+  if (P.OpsLocalStrideCheck)
+    OS << "  Constraint StridedBuffer : !corpus_support.buffer {\n"
+       << "    Summary \"memory accesses must be strided\"\n"
+       << "    CppConstraint \"native:stride_check\"\n"
+       << "  }\n";
+  if (P.OpsLocalStructOpacity)
+    OS << "  Constraint OpaqueStruct : !corpus_support.buffer {\n"
+       << "    Summary \"struct must be opaque\"\n"
+       << "    CppConstraint \"native:struct_opacity\"\n"
+       << "  }\n";
+
+  //===------------------------------------------------------------------===//
+  // Types and attributes
+  //===------------------------------------------------------------------===//
+
+  auto EmitDefs = [&](bool IsAttr, unsigned NumDefs,
+                      const std::array<unsigned, 8> &KindPool,
+                      unsigned CppParams, unsigned CppVerifiers) {
+    if (!NumDefs)
+      return;
+    // Flatten the kind pool; domain-specific params go first so the
+    // cpp-param definitions (the leading ones) receive them.
+    std::vector<unsigned> Kinds;
+    for (unsigned K = 0; K != KindPool[7]; ++K)
+      Kinds.push_back(7);
+    for (unsigned KindIdx = 0; KindIdx != 7; ++KindIdx)
+      for (unsigned K = 0; K != KindPool[KindIdx]; ++K)
+        Kinds.push_back(KindIdx);
+
+    // Distribute parameters over definitions: the first CppParams defs
+    // take one domain param each; the rest round-robin.
+    std::vector<std::vector<unsigned>> PerDef(NumDefs);
+    size_t Next = 0;
+    for (unsigned D = 0; D != CppParams && Next < Kinds.size(); ++D)
+      PerDef[D].push_back(Kinds[Next++]);
+    unsigned Cursor = 0;
+    while (Next < Kinds.size()) {
+      PerDef[Cursor % NumDefs].push_back(Kinds[Next++]);
+      ++Cursor;
+    }
+    for (unsigned D = 0; D != NumDefs; ++D) {
+      bool Verify = D + CppVerifiers >= NumDefs; // last CppVerifiers defs
+      emitTypeOrAttr(OS, IsAttr, D, PerDef[D], Verify, NeedsEnum);
+    }
+  };
+
+  EmitDefs(false, P.NumTypes, P.TypeParamKinds, P.TypesNeedingCppParams,
+           P.TypesNeedingCppVerifier);
+  EmitDefs(true, P.NumAttrs, P.AttrParamKinds, P.AttrsNeedingCppParams,
+           P.AttrsNeedingCppVerifier);
+
+  //===------------------------------------------------------------------===//
+  // Operation plans
+  //===------------------------------------------------------------------===//
+
+  unsigned N = P.NumOps;
+  std::vector<OpPlan> Plans(N);
+
+  // Operand counts, most-operand ops first.
+  std::vector<unsigned> OperandVals =
+      expandBuckets(P.OperandCounts.data(), 4, /*LastIsPlus=*/true);
+  assert(OperandVals.size() == N && "operand histogram mismatch");
+  std::sort(OperandVals.rbegin(), OperandVals.rend());
+  for (unsigned I = 0; I != N; ++I)
+    Plans[I].Operands = OperandVals[I];
+
+  // Variadic operands: two-variadic ops first (they have the most
+  // operands), then one-variadic.
+  unsigned Two = P.VariadicOperandCounts[2];
+  unsigned One = P.VariadicOperandCounts[1];
+  for (unsigned I = 0; I != N && Two; ++I, --Two)
+    Plans[I].VariadicOperands = std::min(2u, Plans[I].Operands);
+  for (unsigned I = P.VariadicOperandCounts[2]; I != N && One; ++I, --One)
+    Plans[I].VariadicOperands = std::min(1u, Plans[I].Operands);
+
+  // Local C++ constraints: ops with at least one operand, scanning from
+  // the front but past the variadic block to spread features.
+  {
+    unsigned Start =
+        P.VariadicOperandCounts[2] + P.VariadicOperandCounts[1];
+    unsigned Remaining[3] = {P.OpsLocalIntInequality,
+                             P.OpsLocalStrideCheck,
+                             P.OpsLocalStructOpacity};
+    unsigned Cat = 0;
+    for (unsigned Step = 0; Step != N; ++Step) {
+      unsigned I = (Start + Step) % N;
+      while (Cat < 3 && Remaining[Cat] == 0)
+        ++Cat;
+      if (Cat == 3)
+        break;
+      if (Plans[I].LocalCpp < 0) {
+        Plans[I].LocalCpp = static_cast<int>(Cat);
+        --Remaining[Cat];
+      }
+    }
+  }
+
+  // Results: two-result ops at the tail (ops with fewer operands).
+  {
+    std::vector<unsigned> ResultVals =
+        expandBuckets(P.ResultCounts.data(), 3, /*LastIsPlus=*/false);
+    assert(ResultVals.size() == N && "result histogram mismatch");
+    std::sort(ResultVals.begin(), ResultVals.end()); // 0s first
+    for (unsigned I = 0; I != N; ++I)
+      Plans[N - 1 - I].Results = ResultVals[I]; // 2s at the front-reverse
+  }
+
+  // Variadic results: ops with at least one result def.
+  {
+    unsigned Left = P.VariadicResultCounts[1];
+    for (unsigned I = 0; I != N && Left; ++I) {
+      if (Plans[I].Results >= 1 && Plans[I].VariadicOperands == 0) {
+        Plans[I].VariadicResult = true;
+        --Left;
+      }
+    }
+    for (unsigned I = 0; I != N && Left; ++I) {
+      if (Plans[I].Results >= 1 && !Plans[I].VariadicResult) {
+        Plans[I].VariadicResult = true;
+        --Left;
+      }
+    }
+  }
+
+  // Attributes: rotate by a third to decorrelate from operand ordering.
+  {
+    std::vector<unsigned> AttrVals;
+    for (unsigned K = 0; K != P.AttrCounts[0]; ++K)
+      AttrVals.push_back(0);
+    for (unsigned K = 0; K != P.AttrCounts[1]; ++K)
+      AttrVals.push_back(1);
+    for (unsigned K = 0; K != P.AttrCounts[2]; ++K)
+      AttrVals.push_back(2 + (K % 2));
+    assert(AttrVals.size() == N && "attr histogram mismatch");
+    unsigned Rot = N / 3;
+    for (unsigned I = 0; I != N; ++I)
+      Plans[(I + Rot) % N].Attrs = AttrVals[I];
+  }
+
+  // Regions: rotate by two thirds.
+  {
+    std::vector<unsigned> RegionVals =
+        expandBuckets(P.RegionCounts.data(), 3, /*LastIsPlus=*/false);
+    assert(RegionVals.size() == N && "region histogram mismatch");
+    std::sort(RegionVals.rbegin(), RegionVals.rend());
+    unsigned Rot = (2 * N) / 3;
+    for (unsigned I = 0; I != N; ++I)
+      Plans[(I + Rot) % N].Regions = RegionVals[I];
+  }
+
+  // C++ verifiers: the last K ops.
+  for (unsigned K = 0; K != P.OpsNeedingCppVerifier && K != N; ++K)
+    Plans[N - 1 - K].CppVerifier = true;
+
+  //===------------------------------------------------------------------===//
+  // Emit operations
+  //===------------------------------------------------------------------===//
+
+  for (unsigned I = 0; I != N; ++I) {
+    const OpPlan &Plan = Plans[I];
+    OS << "  Operation op" << I << " {\n";
+
+    if (Plan.Operands) {
+      OS << "    Operands (";
+      for (unsigned J = 0; J != Plan.Operands; ++J) {
+        if (J)
+          OS << ", ";
+        OS << "o" << J << ": ";
+        bool IsVariadic =
+            J + Plan.VariadicOperands >= Plan.Operands; // last ones
+        std::string Body = operandConstraint(I + J);
+        if (J == 0 && Plan.LocalCpp >= 0)
+          Body = LocalCppConstraintNames[Plan.LocalCpp];
+        if (IsVariadic)
+          OS << (J + 1 == Plan.Operands && Plan.VariadicOperands == 1 &&
+                         (I % 4 == 0)
+                     ? "Optional<"
+                     : "Variadic<")
+             << Body << ">";
+        else
+          OS << Body;
+      }
+      OS << ")\n";
+    } else if (Plan.LocalCpp >= 0 && Plan.Results) {
+      // No operands: hang the local C++ constraint on a result below.
+    }
+
+    if (Plan.Results) {
+      OS << "    Results (";
+      for (unsigned J = 0; J != Plan.Results; ++J) {
+        if (J)
+          OS << ", ";
+        OS << "r" << J << ": ";
+        std::string Body = operandConstraint(I + J + 1);
+        if (J == 0 && Plan.LocalCpp >= 0 && Plan.Operands == 0)
+          Body = LocalCppConstraintNames[Plan.LocalCpp];
+        if (J == 0 && Plan.VariadicResult)
+          OS << "Variadic<" << Body << ">";
+        else
+          OS << Body;
+      }
+      OS << ")\n";
+    }
+
+    if (Plan.Attrs || (Plan.LocalCpp >= 0 && !Plan.Operands &&
+                       !Plan.Results)) {
+      unsigned NumAttrs = std::max(
+          Plan.Attrs,
+          Plan.LocalCpp >= 0 && !Plan.Operands && !Plan.Results ? 1u : 0u);
+      OS << "    Attributes (";
+      for (unsigned J = 0; J != NumAttrs; ++J) {
+        if (J)
+          OS << ", ";
+        OS << "at" << J << ": ";
+        if (J == 0 && Plan.LocalCpp >= 0 && !Plan.Operands &&
+            !Plan.Results)
+          OS << LocalCppConstraintNames[Plan.LocalCpp];
+        else
+          OS << attrConstraint(I + J);
+      }
+      OS << ")\n";
+    }
+
+    for (unsigned J = 0; J != Plan.Regions; ++J)
+      OS << "    Region body" << J << " { }\n";
+
+    if (Plan.CppVerifier)
+      OS << "    CppConstraint \"$_self.numResults <= 8\"\n";
+
+    OS << "  }\n";
+  }
+
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string irdl::synthesizeCorpusIRDL() {
+  std::ostringstream OS;
+  OS << synthesizeSupportDialectIRDL();
+  for (const DialectProfile &P : getDialectProfiles())
+    OS << synthesizeDialectIRDL(P);
+  return OS.str();
+}

@@ -1,0 +1,40 @@
+//===- Synthesizer.h - Profile -> IRDL text ------------------------*- C++ -*-===//
+///
+/// \file
+/// Deterministically synthesizes IRDL source text from a DialectProfile:
+/// operations whose operand/result/attribute/region/variadic shape
+/// histograms equal the profile's, types/attributes with the profile's
+/// parameter-kind pools, and IRDL-C++ markers (interpreted constraints and
+/// native references) exactly where the profile requires them. The output
+/// is parsed and re-analyzed by the real IRDL frontend, so all reported
+/// statistics are *measured*, not echoed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_CORPUS_SYNTHESIZER_H
+#define IRDL_CORPUS_SYNTHESIZER_H
+
+#include "corpus/CorpusData.h"
+
+#include <string>
+
+namespace irdl {
+
+/// The auxiliary dialect every synthesized dialect references: a buffer
+/// type whose parameters carry the width/strides/opacity payloads that
+/// the Figure 12 constraint categories inspect. Load this first.
+std::string synthesizeSupportDialectIRDL();
+
+/// The name of the auxiliary dialect ("corpus_support").
+extern const char *CorpusSupportDialectName;
+
+/// Synthesizes the IRDL text of one dialect.
+std::string synthesizeDialectIRDL(const DialectProfile &Profile);
+
+/// Synthesizes the whole corpus: the support dialect followed by every
+/// profile of getDialectProfiles().
+std::string synthesizeCorpusIRDL();
+
+} // namespace irdl
+
+#endif // IRDL_CORPUS_SYNTHESIZER_H

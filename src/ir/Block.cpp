@@ -1,0 +1,103 @@
+//===- Block.cpp ----------------------------------------------------===//
+
+#include "ir/Block.h"
+
+#include "ir/Region.h"
+
+using namespace irdl;
+
+Block::~Block() { clear(); }
+
+Operation *Block::getParentOp() const {
+  return ParentRegion ? ParentRegion->getParentOp() : nullptr;
+}
+
+std::vector<Value> Block::getArguments() const {
+  std::vector<Value> Result;
+  Result.reserve(Args.size());
+  for (const auto &Arg : Args)
+    Result.push_back(Value(Arg.get()));
+  return Result;
+}
+
+std::vector<Type> Block::getArgumentTypes() const {
+  std::vector<Type> Result;
+  Result.reserve(Args.size());
+  for (const auto &Arg : Args)
+    Result.push_back(Arg->getType());
+  return Result;
+}
+
+Value Block::addArgument(Type Ty) {
+  Args.push_back(std::make_unique<detail::BlockArgumentImpl>(
+      Ty, this, static_cast<unsigned>(Args.size())));
+  return Value(Args.back().get());
+}
+
+void Block::eraseArgument(unsigned Index) {
+  assert(Index < Args.size() && "argument index out of range");
+  assert(Value(Args[Index].get()).use_empty() &&
+         "erasing a block argument that still has uses");
+  Args.erase(Args.begin() + Index);
+  for (unsigned I = Index, E = Args.size(); I != E; ++I)
+    Args[I]->Index = I;
+}
+
+Block::iterator Block::insert(iterator Pos, Operation *Op) {
+  assert(!Op->getBlock() && "operation is already in a block");
+  Op->setBlockInternal(this);
+  return Ops.insert(Pos, Op);
+}
+
+void Block::push_back(Operation *Op) { insert(end(), Op); }
+
+void Block::push_front(Operation *Op) { insert(begin(), Op); }
+
+void Block::remove(Operation *Op) {
+  assert(Op->getBlock() == this && "operation is not in this block");
+  Op->setBlockInternal(nullptr);
+  Ops.remove(Op);
+}
+
+Operation *Block::getTerminator() {
+  if (Ops.empty())
+    return nullptr;
+  Operation &Last = Ops.back();
+  return Last.isTerminator() ? &Last : nullptr;
+}
+
+std::vector<Block *> Block::getSuccessors() {
+  if (Operation *Term = getTerminator())
+    return Term->getSuccessors();
+  return {};
+}
+
+Block *Block::splitBefore(iterator Pos) {
+  assert(ParentRegion && "splitting a detached block");
+  Block *NewBlock = new Block();
+  Region::iterator InsertPos(this);
+  ++InsertPos;
+  ParentRegion->insert(InsertPos, NewBlock);
+  // Relink the tail [Pos, end) into the new block.
+  while (Pos != end()) {
+    Operation *Op = &*Pos;
+    ++Pos;
+    remove(Op);
+    NewBlock->push_back(Op);
+  }
+  return NewBlock;
+}
+
+void Block::clear() {
+  // Drop all operand references first so that ops may be deleted in any
+  // order even with intra-block forward references or cycles.
+  for (Operation &Op : Ops) {
+    Op.setOperands({});
+    Op.walk([](Operation *Nested) { Nested->setOperands({}); });
+  }
+  while (!Ops.empty()) {
+    Operation *Op = &Ops.back();
+    remove(Op);
+    delete Op;
+  }
+}

@@ -1,0 +1,92 @@
+//===- Block.h - Basic blocks ------------------------------------*- C++ -*-===//
+///
+/// \file
+/// Basic blocks: a list of operations ending in a terminator, with block
+/// arguments standing in for phi nodes (Section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IR_BLOCK_H
+#define IRDL_IR_BLOCK_H
+
+#include "ir/Operation.h"
+
+namespace irdl {
+
+class Region;
+
+class Block : public IntrusiveListNode<Block> {
+public:
+  Block() = default;
+  ~Block();
+
+  Region *getParent() const { return ParentRegion; }
+  void setParentInternal(Region *R) { ParentRegion = R; }
+
+  /// Returns the operation owning the parent region, or null.
+  Operation *getParentOp() const;
+
+  //===------------------------------------------------------------------===//
+  // Arguments
+  //===------------------------------------------------------------------===//
+
+  unsigned getNumArguments() const { return Args.size(); }
+  Value getArgument(unsigned Index) const {
+    assert(Index < Args.size() && "argument index out of range");
+    return Value(Args[Index].get());
+  }
+  std::vector<Value> getArguments() const;
+  std::vector<Type> getArgumentTypes() const;
+
+  /// Appends a new block argument of type \p Ty.
+  Value addArgument(Type Ty);
+
+  /// Removes the argument at \p Index, which must be unused.
+  void eraseArgument(unsigned Index);
+
+  //===------------------------------------------------------------------===//
+  // Operations
+  //===------------------------------------------------------------------===//
+
+  using iterator = IntrusiveList<Operation>::iterator;
+
+  iterator begin() { return Ops.begin(); }
+  iterator end() { return Ops.end(); }
+  bool empty() const { return Ops.empty(); }
+  size_t getNumOps() const { return Ops.size(); }
+  Operation &front() { return Ops.front(); }
+  Operation &back() { return Ops.back(); }
+
+  /// Inserts \p Op (which must be detached) before \p Pos.
+  iterator insert(iterator Pos, Operation *Op);
+  void push_back(Operation *Op);
+  void push_front(Operation *Op);
+
+  /// Unlinks \p Op without deleting it.
+  void remove(Operation *Op);
+
+  /// Returns the terminator, or null when the block is empty or its last
+  /// op is not a terminator.
+  Operation *getTerminator();
+
+  /// Returns the blocks this block's terminator may branch to.
+  std::vector<Block *> getSuccessors();
+
+  /// Splits this block before \p Pos: every op from \p Pos onward moves to
+  /// a new block inserted after this one in the parent region. Returns the
+  /// new block.
+  Block *splitBefore(iterator Pos);
+
+  /// Unlinks and deletes every op, releasing operand uses first (tolerates
+  /// forward intra-block references during teardown).
+  void clear();
+
+private:
+  Region *ParentRegion = nullptr;
+  std::vector<std::unique_ptr<detail::BlockArgumentImpl>> Args;
+  IntrusiveList<Operation> Ops;
+};
+
+} // namespace irdl
+
+#endif // IRDL_IR_BLOCK_H

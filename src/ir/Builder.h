@@ -1,0 +1,103 @@
+//===- Builder.h - Operation builder -----------------------------*- C++ -*-===//
+///
+/// \file
+/// OpBuilder: creates operations at an insertion point, mirroring
+/// mlir::OpBuilder. Used by examples, tests, and the pattern rewriter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IR_BUILDER_H
+#define IRDL_IR_BUILDER_H
+
+#include "ir/Block.h"
+#include "ir/Context.h"
+#include "ir/Region.h"
+
+namespace irdl {
+
+class OpBuilder {
+public:
+  explicit OpBuilder(IRContext *Ctx) : Ctx(Ctx) {}
+
+  IRContext *getContext() const { return Ctx; }
+
+  //===------------------------------------------------------------------===//
+  // Insertion point
+  //===------------------------------------------------------------------===//
+
+  /// Sets the insertion point to before \p Pos in \p B.
+  void setInsertionPoint(Block *B, Block::iterator Pos) {
+    InsertBlock = B;
+    InsertPos = Pos;
+  }
+
+  /// Inserts right before \p Op.
+  void setInsertionPoint(Operation *Op) {
+    assert(Op->getBlock() && "op is not in a block");
+    setInsertionPoint(Op->getBlock(), Block::iterator(Op));
+  }
+
+  /// Inserts right after \p Op.
+  void setInsertionPointAfter(Operation *Op) {
+    assert(Op->getBlock() && "op is not in a block");
+    Block::iterator Pos(Op);
+    ++Pos;
+    setInsertionPoint(Op->getBlock(), Pos);
+  }
+
+  /// Inserts at the end of \p B.
+  void setInsertionPointToEnd(Block *B) { setInsertionPoint(B, B->end()); }
+
+  /// Inserts at the start of \p B.
+  void setInsertionPointToStart(Block *B) {
+    setInsertionPoint(B, B->begin());
+  }
+
+  void clearInsertionPoint() { InsertBlock = nullptr; }
+  Block *getInsertionBlock() const { return InsertBlock; }
+  Block::iterator getInsertionPoint() const { return InsertPos; }
+
+  //===------------------------------------------------------------------===//
+  // Creation
+  //===------------------------------------------------------------------===//
+
+  /// Creates an operation from \p State and inserts it (if an insertion
+  /// point is set). Regions in the state are moved into the operation.
+  Operation *create(OperationState &State) {
+    Operation *Op = Operation::create(State);
+    if (InsertBlock)
+      InsertPos = ++InsertBlock->insert(InsertPos, Op);
+    return Op;
+  }
+
+  /// Convenience overload resolving the op name in the context. The name
+  /// must be registered unless the context allows unregistered ops.
+  Operation *create(std::string_view OpName, std::vector<Value> Operands,
+                    std::vector<Type> ResultTypes,
+                    NamedAttrList Attrs = {}) {
+    OperationName Name = resolveName(OpName);
+    OperationState State(Name);
+    State.Operands = std::move(Operands);
+    State.ResultTypes = std::move(ResultTypes);
+    State.Attributes = std::move(Attrs);
+    return create(State);
+  }
+
+  /// Resolves \p OpName against the context's registered definitions.
+  OperationName resolveName(std::string_view OpName) const {
+    if (const OpDefinition *Def = Ctx->resolveOpDef(OpName))
+      return OperationName(Def);
+    assert(Ctx->allowsUnregisteredOps() &&
+           "creating an unregistered operation");
+    return OperationName(std::string(OpName));
+  }
+
+private:
+  IRContext *Ctx;
+  Block *InsertBlock = nullptr;
+  Block::iterator InsertPos;
+};
+
+} // namespace irdl
+
+#endif // IRDL_IR_BUILDER_H

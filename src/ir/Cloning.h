@@ -1,0 +1,62 @@
+//===- Cloning.h - Deep-cloning operations ------------------------*- C++ -*-===//
+///
+/// \file
+/// Deep cloning of operations (with nested regions) through a value/block
+/// remapping table — the standard tool for pattern expansions, inlining,
+/// and loop transformations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IR_CLONING_H
+#define IRDL_IR_CLONING_H
+
+#include "ir/Operation.h"
+
+#include <unordered_map>
+
+namespace irdl {
+
+class Block;
+class Region;
+
+/// Maps original values/blocks to their clones during a cloning session.
+class IRMapping {
+public:
+  void map(Value From, Value To) { Values[From.getImpl()] = To; }
+  void map(Block *From, Block *To) { Blocks[From] = To; }
+
+  /// Returns the mapped value, or \p From itself when unmapped (references
+  /// to values defined outside the cloned region stay intact).
+  Value lookupOrDefault(Value From) const {
+    auto It = Values.find(From.getImpl());
+    return It == Values.end() ? From : It->second;
+  }
+
+  Block *lookupOrDefault(Block *From) const {
+    auto It = Blocks.find(From);
+    return It == Blocks.end() ? From : It->second;
+  }
+
+  bool contains(Value From) const { return Values.count(From.getImpl()); }
+
+private:
+  std::unordered_map<detail::ValueImpl *, Value> Values;
+  std::unordered_map<Block *, Block *> Blocks;
+};
+
+/// Deep-clones \p Op (detached). Operands are remapped through \p Mapper;
+/// the clone's results are registered in it. Nested regions, blocks, and
+/// block arguments are cloned recursively; successor references are
+/// remapped where known.
+Operation *cloneOp(Operation *Op, IRMapping &Mapper);
+
+/// Convenience overload with a throwaway mapping.
+Operation *cloneOp(Operation *Op);
+
+/// Clones all blocks of \p From into \p To (appending), remapping values
+/// and blocks through \p Mapper.
+void cloneRegionInto(Region &From, Region &To, IRMapping &Mapper);
+
+} // namespace irdl
+
+#endif // IRDL_IR_CLONING_H

@@ -1,0 +1,109 @@
+//===- Dialect.cpp --------------------------------------------------===//
+
+#include "ir/Dialect.h"
+
+#include "ir/Context.h"
+
+using namespace irdl;
+
+std::string EnumDef::getFullName() const {
+  return Owner->getNamespace() + "." + Name;
+}
+
+std::optional<unsigned> EnumDef::lookupCase(std::string_view Case) const {
+  for (unsigned I = 0, E = Cases.size(); I != E; ++I)
+    if (Cases[I] == Case)
+      return I;
+  return std::nullopt;
+}
+
+std::string TypeOrAttrDefinitionBase::getFullName() const {
+  return Owner->getNamespace() + "." + Name;
+}
+
+std::optional<unsigned>
+TypeOrAttrDefinitionBase::lookupParam(std::string_view ParamName) const {
+  for (unsigned I = 0, E = ParamNames.size(); I != E; ++I)
+    if (ParamNames[I] == ParamName)
+      return I;
+  return std::nullopt;
+}
+
+std::string OpDefinition::getFullName() const {
+  return Owner->getNamespace() + "." + Name;
+}
+
+TypeDefinition *Dialect::addType(std::string Name) {
+  auto [It, Inserted] = Types.try_emplace(Name, nullptr);
+  if (!Inserted)
+    return nullptr;
+  It->second = std::make_unique<TypeDefinition>(this, std::move(Name));
+  return It->second.get();
+}
+
+AttrDefinition *Dialect::addAttr(std::string Name) {
+  auto [It, Inserted] = Attrs.try_emplace(Name, nullptr);
+  if (!Inserted)
+    return nullptr;
+  It->second = std::make_unique<AttrDefinition>(this, std::move(Name));
+  return It->second.get();
+}
+
+OpDefinition *Dialect::addOp(std::string Name) {
+  auto [It, Inserted] = Ops.try_emplace(Name, nullptr);
+  if (!Inserted)
+    return nullptr;
+  It->second = std::make_unique<OpDefinition>(this, std::move(Name));
+  return It->second.get();
+}
+
+EnumDef *Dialect::addEnum(std::string Name, std::vector<std::string> Cases) {
+  auto [It, Inserted] = Enums.try_emplace(Name, nullptr);
+  if (!Inserted)
+    return nullptr;
+  It->second =
+      std::make_unique<EnumDef>(this, std::move(Name), std::move(Cases));
+  return It->second.get();
+}
+
+TypeDefinition *Dialect::lookupType(std::string_view Name) const {
+  auto It = Types.find(Name);
+  return It == Types.end() ? nullptr : It->second.get();
+}
+
+AttrDefinition *Dialect::lookupAttr(std::string_view Name) const {
+  auto It = Attrs.find(Name);
+  return It == Attrs.end() ? nullptr : It->second.get();
+}
+
+OpDefinition *Dialect::lookupOp(std::string_view Name) const {
+  auto It = Ops.find(Name);
+  return It == Ops.end() ? nullptr : It->second.get();
+}
+
+EnumDef *Dialect::lookupEnum(std::string_view Name) const {
+  auto It = Enums.find(Name);
+  return It == Enums.end() ? nullptr : It->second.get();
+}
+
+template <typename MapT, typename T>
+static std::vector<T *> collectDefs(const MapT &Map) {
+  std::vector<T *> Result;
+  Result.reserve(Map.size());
+  for (const auto &[Name, Def] : Map)
+    Result.push_back(Def.get());
+  return Result;
+}
+
+std::vector<TypeDefinition *> Dialect::getTypeDefs() const {
+  return collectDefs<decltype(Types), TypeDefinition>(Types);
+}
+std::vector<AttrDefinition *> Dialect::getAttrDefs() const {
+  return collectDefs<decltype(Attrs), AttrDefinition>(Attrs);
+}
+std::vector<OpDefinition *> Dialect::getOpDefs() const {
+  return collectDefs<decltype(Ops), OpDefinition>(Ops);
+}
+std::vector<EnumDef *> Dialect::getEnumDefs() const {
+  return collectDefs<decltype(Enums), EnumDef>(Enums);
+}

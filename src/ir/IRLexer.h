@@ -1,0 +1,96 @@
+//===- IRLexer.h - Lexer for the textual IR format ---------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the MLIR-like textual IR syntax. Also reused by the
+/// declarative-format op parsers, which consume the same token stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IR_IRLEXER_H
+#define IRDL_IR_IRLEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceMgr.h"
+
+#include <string>
+#include <string_view>
+
+namespace irdl {
+
+struct IRToken {
+  enum class Kind {
+    Eof,
+    Error,
+    Identifier,   // foo, f32, i32
+    Integer,      // 123 (no sign; '-' is a separate token)
+    Float,        // 1.5, 2e10
+    String,       // "..." (Spelling excludes quotes, unescaped)
+    PercentId,    // %foo, %12, %12#3
+    CaretId,      // ^bb0
+    AtId,         // @symbol
+    Bang,         // !
+    Hash,         // #
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Less,
+    Greater,
+    LSquare,
+    RSquare,
+    Comma,
+    Colon,
+    Equal,
+    Arrow, // ->
+    Minus, // - (when not part of ->)
+    Plus,
+    Star,
+    Dot,
+    Question,
+  };
+
+  Kind K = Kind::Eof;
+  /// Token text. For String it is the unescaped body; for PercentId /
+  /// CaretId / AtId it excludes the sigil.
+  std::string Spelling;
+  SMLoc Loc;
+
+  bool is(Kind Other) const { return K == Other; }
+  bool isIdent(std::string_view Str) const {
+    return K == Kind::Identifier && Spelling == Str;
+  }
+};
+
+/// A single-token-lookahead lexer over a source buffer.
+class IRLexer {
+public:
+  IRLexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// The current token.
+  const IRToken &getToken() const { return Tok; }
+
+  /// Advances to the next token and returns it.
+  const IRToken &lex();
+
+  /// Location just past the current token.
+  SMLoc getCurrentLoc() const {
+    return SMLoc::getFromPointer(Cur);
+  }
+
+private:
+  IRToken lexImpl();
+  IRToken makeToken(IRToken::Kind K, const char *Start);
+  IRToken lexNumber(const char *Start);
+  IRToken lexString(const char *Start);
+  IRToken lexPrefixedIdent(const char *Start, IRToken::Kind K,
+                           bool AllowHashSuffix);
+
+  const char *Cur;
+  const char *End;
+  DiagnosticEngine &Diags;
+  IRToken Tok;
+};
+
+} // namespace irdl
+
+#endif // IRDL_IR_IRLEXER_H

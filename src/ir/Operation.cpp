@@ -1,0 +1,177 @@
+//===- Operation.cpp ------------------------------------------------===//
+
+#include "ir/Operation.h"
+
+#include "ir/Block.h"
+#include "ir/Printer.h"
+#include "ir/Region.h"
+
+#include <algorithm>
+
+using namespace irdl;
+
+//===----------------------------------------------------------------------===//
+// NamedAttrList
+//===----------------------------------------------------------------------===//
+
+Attribute NamedAttrList::get(std::string_view Name) const {
+  for (const NamedAttribute &NA : Entries)
+    if (NA.Name == Name)
+      return NA.Attr;
+  return Attribute();
+}
+
+void NamedAttrList::set(std::string_view Name, Attribute Attr) {
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), Name,
+      [](const NamedAttribute &NA, std::string_view N) { return NA.Name < N; });
+  if (It != Entries.end() && It->Name == Name) {
+    It->Attr = Attr;
+    return;
+  }
+  Entries.insert(It, NamedAttribute{std::string(Name), Attr});
+}
+
+bool NamedAttrList::erase(std::string_view Name) {
+  for (auto It = Entries.begin(), E = Entries.end(); It != E; ++It) {
+    if (It->Name == Name) {
+      Entries.erase(It);
+      return true;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Operation
+//===----------------------------------------------------------------------===//
+
+OperationState::OperationState(OperationName Name)
+    : Name(std::move(Name)) {}
+OperationState::OperationState(OperationName Name, SMLoc Loc)
+    : Loc(Loc), Name(std::move(Name)) {}
+OperationState::~OperationState() = default;
+
+Region *OperationState::addRegion() {
+  Regions.push_back(std::make_unique<Region>(/*Parent=*/nullptr));
+  return Regions.back().get();
+}
+
+Operation::Operation(OperationState &State)
+    : Name(State.Name), Loc(State.Loc), Attrs(State.Attributes),
+      Successors(State.Successors) {
+  Operands.reserve(State.Operands.size());
+  for (Value V : State.Operands)
+    Operands.push_back(std::make_unique<OpOperand>(this, V));
+
+  Results.reserve(State.ResultTypes.size());
+  for (unsigned I = 0, E = State.ResultTypes.size(); I != E; ++I)
+    Results.push_back(std::make_unique<detail::OpResultImpl>(
+        State.ResultTypes[I], this, I));
+
+  Regions.reserve(State.Regions.size());
+  for (auto &Parsed : State.Regions) {
+    Regions.push_back(std::make_unique<Region>(this));
+    Regions.back()->takeBody(*Parsed);
+  }
+}
+
+Operation *Operation::create(OperationState &State) {
+  return new Operation(State);
+}
+
+Operation::~Operation() {
+  assert(use_empty() && "destroying an operation whose results are in use");
+}
+
+std::vector<Value> Operation::getOperands() const {
+  std::vector<Value> Result;
+  Result.reserve(Operands.size());
+  for (const auto &Op : Operands)
+    Result.push_back(Op->get());
+  return Result;
+}
+
+void Operation::setOperands(const std::vector<Value> &NewOperands) {
+  // Reuse existing slots where possible; then shrink or grow.
+  size_t Common = std::min(Operands.size(), NewOperands.size());
+  for (size_t I = 0; I != Common; ++I)
+    Operands[I]->set(NewOperands[I]);
+  if (NewOperands.size() < Operands.size()) {
+    Operands.resize(NewOperands.size());
+    return;
+  }
+  for (size_t I = Common, E = NewOperands.size(); I != E; ++I)
+    Operands.push_back(std::make_unique<OpOperand>(this, NewOperands[I]));
+}
+
+void Operation::eraseOperand(unsigned Index) {
+  assert(Index < Operands.size() && "operand index out of range");
+  Operands.erase(Operands.begin() + Index);
+}
+
+void Operation::addOperand(Value V) {
+  Operands.push_back(std::make_unique<OpOperand>(this, V));
+}
+
+std::vector<Value> Operation::getResults() const {
+  std::vector<Value> Result;
+  Result.reserve(Results.size());
+  for (const auto &Res : Results)
+    Result.push_back(Value(Res.get()));
+  return Result;
+}
+
+std::vector<Type> Operation::getResultTypes() const {
+  std::vector<Type> Result;
+  Result.reserve(Results.size());
+  for (const auto &Res : Results)
+    Result.push_back(Res->getType());
+  return Result;
+}
+
+bool Operation::use_empty() const {
+  for (const auto &Res : Results)
+    if (Res->FirstUse)
+      return false;
+  return true;
+}
+
+void Operation::replaceAllUsesWith(const std::vector<Value> &NewValues) {
+  assert(NewValues.size() == Results.size() &&
+         "replacement arity must match result arity");
+  for (unsigned I = 0, E = Results.size(); I != E; ++I)
+    Value(Results[I].get()).replaceAllUsesWith(NewValues[I]);
+}
+
+Operation *Operation::getParentOp() const {
+  if (!ParentBlock)
+    return nullptr;
+  if (Region *R = ParentBlock->getParent())
+    return R->getParentOp();
+  return nullptr;
+}
+
+void Operation::removeFromBlock() {
+  assert(ParentBlock && "operation is not in a block");
+  ParentBlock->remove(this);
+}
+
+void Operation::erase() {
+  assert(use_empty() && "erasing an operation whose results are in use");
+  if (ParentBlock)
+    removeFromBlock();
+  delete this;
+}
+
+void Operation::walk(const std::function<void(Operation *)> &Callback) {
+  Callback(this);
+  for (auto &R : Regions)
+    for (Block &B : *R)
+      for (Operation &Op : B)
+        Op.walk(Callback);
+}
+
+std::string Operation::str() const {
+  return printOpToString(const_cast<Operation *>(this));
+}

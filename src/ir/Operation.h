@@ -1,0 +1,278 @@
+//===- Operation.h - Generic SSA operations ---------------------*- C++ -*-===//
+///
+/// \file
+/// The generic Operation: a named instruction with operands, results, named
+/// attributes, successor blocks, and nested regions — MLIR's extensible op
+/// model (Section 2 of the paper). Operations are allocated detached and
+/// inserted into blocks; the owning block's intrusive list manages their
+/// lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IR_OPERATION_H
+#define IRDL_IR_OPERATION_H
+
+#include "ir/Dialect.h"
+#include "ir/Value.h"
+#include "support/IntrusiveList.h"
+#include "support/SourceMgr.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace irdl {
+
+class Block;
+class Region;
+
+/// A named attribute entry on an operation.
+struct NamedAttribute {
+  std::string Name;
+  Attribute Attr;
+};
+
+/// A small sorted list of named attributes with map-like access.
+class NamedAttrList {
+public:
+  NamedAttrList() = default;
+  NamedAttrList(std::initializer_list<NamedAttribute> Init) {
+    for (const NamedAttribute &NA : Init)
+      set(NA.Name, NA.Attr);
+  }
+
+  /// Returns the attribute named \p Name or a null Attribute.
+  Attribute get(std::string_view Name) const;
+
+  /// Sets (inserting or replacing) \p Name to \p Attr.
+  void set(std::string_view Name, Attribute Attr);
+
+  /// Removes \p Name if present; returns true if it was removed.
+  bool erase(std::string_view Name);
+
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+  auto begin() const { return Entries.begin(); }
+  auto end() const { return Entries.end(); }
+
+  bool operator==(const NamedAttrList &RHS) const = default;
+
+private:
+  /// Kept sorted by name for deterministic printing.
+  std::vector<NamedAttribute> Entries;
+};
+
+/// The resolved name of an operation: its definition, plus the full name
+/// string for unregistered operations.
+class OperationName {
+public:
+  OperationName() = default;
+  /*implicit*/ OperationName(const OpDefinition *Def)
+      : Def(Def), FullName(Def->getFullName()) {}
+  OperationName(std::string UnregisteredName)
+      : FullName(std::move(UnregisteredName)) {}
+
+  const OpDefinition *getDef() const { return Def; }
+  bool isRegistered() const { return Def != nullptr; }
+  const std::string &str() const { return FullName; }
+
+  bool operator==(const OperationName &RHS) const {
+    return FullName == RHS.FullName;
+  }
+
+private:
+  const OpDefinition *Def = nullptr;
+  std::string FullName;
+};
+
+/// Aggregated construction parameters for an operation (mirrors
+/// mlir::OperationState). Regions added here are *moved into* the created
+/// operation.
+struct OperationState {
+  SMLoc Loc;
+  OperationName Name;
+  std::vector<Value> Operands;
+  std::vector<Type> ResultTypes;
+  NamedAttrList Attributes;
+  std::vector<Block *> Successors;
+  std::vector<std::unique_ptr<Region>> Regions;
+
+  // Constructors/destructor out of line: Region is incomplete here.
+  OperationState(OperationName Name);
+  OperationState(OperationName Name, SMLoc Loc);
+  ~OperationState();
+
+  void addOperands(std::initializer_list<Value> Vals) {
+    Operands.insert(Operands.end(), Vals);
+  }
+  void addTypes(std::initializer_list<Type> Tys) {
+    ResultTypes.insert(ResultTypes.end(), Tys);
+  }
+  void addAttribute(std::string_view AttrName, Attribute Attr) {
+    Attributes.set(AttrName, Attr);
+  }
+  void addSuccessor(Block *B) { Successors.push_back(B); }
+  /// Adds a (possibly empty) region; its blocks will be transferred to the
+  /// operation on creation.
+  Region *addRegion();
+};
+
+/// A generic SSA operation.
+class Operation : public IntrusiveListNode<Operation> {
+public:
+  /// Creates a detached operation, taking the bodies of any regions added
+  /// to \p State. The caller (usually a Block insertion or OpBuilder) is
+  /// responsible for its eventual ownership.
+  static Operation *create(OperationState &State);
+
+  ~Operation();
+
+  //===------------------------------------------------------------------===//
+  // Identity
+  //===------------------------------------------------------------------===//
+
+  const OperationName &getName() const { return Name; }
+  const OpDefinition *getDef() const { return Name.getDef(); }
+  bool isRegistered() const { return Name.isRegistered(); }
+  SMLoc getLoc() const { return Loc; }
+  void setLoc(SMLoc L) { Loc = L; }
+
+  /// Returns true if this op may only terminate a block.
+  bool isTerminator() const {
+    return Name.getDef() && Name.getDef()->isTerminator();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Operands
+  //===------------------------------------------------------------------===//
+
+  unsigned getNumOperands() const { return Operands.size(); }
+  Value getOperand(unsigned Index) const {
+    assert(Index < Operands.size() && "operand index out of range");
+    return Operands[Index]->get();
+  }
+  void setOperand(unsigned Index, Value V) {
+    assert(Index < Operands.size() && "operand index out of range");
+    Operands[Index]->set(V);
+  }
+  OpOperand &getOpOperand(unsigned Index) {
+    assert(Index < Operands.size() && "operand index out of range");
+    return *Operands[Index];
+  }
+  std::vector<Value> getOperands() const;
+
+  /// Replaces the full operand list.
+  void setOperands(const std::vector<Value> &NewOperands);
+
+  /// Removes the operand at \p Index.
+  void eraseOperand(unsigned Index);
+
+  /// Appends an operand.
+  void addOperand(Value V);
+
+  //===------------------------------------------------------------------===//
+  // Results
+  //===------------------------------------------------------------------===//
+
+  unsigned getNumResults() const { return Results.size(); }
+  Value getResult(unsigned Index) const {
+    assert(Index < Results.size() && "result index out of range");
+    return Value(Results[Index].get());
+  }
+  std::vector<Value> getResults() const;
+  std::vector<Type> getResultTypes() const;
+
+  /// True if no result has any use.
+  bool use_empty() const;
+
+  /// Replaces all uses of this op's results with \p NewValues (same arity).
+  void replaceAllUsesWith(const std::vector<Value> &NewValues);
+
+  //===------------------------------------------------------------------===//
+  // Attributes
+  //===------------------------------------------------------------------===//
+
+  const NamedAttrList &getAttrs() const { return Attrs; }
+  Attribute getAttr(std::string_view AttrName) const {
+    return Attrs.get(AttrName);
+  }
+  void setAttr(std::string_view AttrName, Attribute Attr) {
+    Attrs.set(AttrName, Attr);
+  }
+  bool removeAttr(std::string_view AttrName) { return Attrs.erase(AttrName); }
+
+  //===------------------------------------------------------------------===//
+  // Successors
+  //===------------------------------------------------------------------===//
+
+  unsigned getNumSuccessors() const { return Successors.size(); }
+  Block *getSuccessor(unsigned Index) const {
+    assert(Index < Successors.size() && "successor index out of range");
+    return Successors[Index];
+  }
+  void setSuccessor(unsigned Index, Block *B) {
+    assert(Index < Successors.size() && "successor index out of range");
+    Successors[Index] = B;
+  }
+  const std::vector<Block *> &getSuccessors() const { return Successors; }
+
+  //===------------------------------------------------------------------===//
+  // Regions
+  //===------------------------------------------------------------------===//
+
+  unsigned getNumRegions() const { return Regions.size(); }
+  Region &getRegion(unsigned Index) {
+    assert(Index < Regions.size() && "region index out of range");
+    return *Regions[Index];
+  }
+  const std::vector<std::unique_ptr<Region>> &getRegions() const {
+    return Regions;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Position
+  //===------------------------------------------------------------------===//
+
+  Block *getBlock() const { return ParentBlock; }
+  void setBlockInternal(Block *B) { ParentBlock = B; }
+
+  /// Returns the op owning the region this op lives in, or null.
+  Operation *getParentOp() const;
+
+  /// Unlinks this op from its block (ownership passes to the caller).
+  void removeFromBlock();
+
+  /// Unlinks and deletes this op. All results must be unused.
+  void erase();
+
+  //===------------------------------------------------------------------===//
+  // Traversal & verification
+  //===------------------------------------------------------------------===//
+
+  /// Visits this op and all nested ops, pre-order.
+  void walk(const std::function<void(Operation *)> &Callback);
+
+  /// Runs structural verification and all registered verifiers on this op
+  /// and everything nested in it.
+  LogicalResult verify(DiagnosticEngine &Diags);
+
+  /// Prints in textual form (convenience; see Printer.h for options).
+  std::string str() const;
+
+private:
+  Operation(OperationState &State);
+
+  OperationName Name;
+  SMLoc Loc;
+  std::vector<std::unique_ptr<OpOperand>> Operands;
+  std::vector<std::unique_ptr<detail::OpResultImpl>> Results;
+  NamedAttrList Attrs;
+  std::vector<Block *> Successors;
+  std::vector<std::unique_ptr<Region>> Regions;
+  Block *ParentBlock = nullptr;
+};
+
+} // namespace irdl
+
+#endif // IRDL_IR_OPERATION_H

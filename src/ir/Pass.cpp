@@ -1,0 +1,94 @@
+//===- Pass.cpp -----------------------------------------------------===//
+
+#include "ir/Pass.h"
+
+#include "ir/Block.h"
+#include "ir/Region.h"
+#include "ir/Verifier.h"
+
+#include <algorithm>
+
+using namespace irdl;
+
+Pass::~Pass() = default;
+
+LogicalResult PassManager::run(Operation *Root, DiagnosticEngine &Diags,
+                               PassPipelineStatistics *Stats) {
+  auto Verify = [&](const std::string &After) -> LogicalResult {
+    if (!VerifyEach)
+      return success();
+    if (succeeded(verifyOp(Root, Diags)))
+      return success();
+    if (Stats) {
+      Stats->VerificationFailed = true;
+      Stats->FailedPass = After;
+    }
+    Diags.emitError(Root->getLoc(),
+                    After.empty()
+                        ? "IR failed to verify before the pipeline"
+                        : "IR failed to verify after pass '" + After +
+                              "'");
+    return failure();
+  };
+
+  if (failed(Verify("")))
+    return failure();
+
+  for (const auto &P : Passes) {
+    if (failed(P->run(Root, Diags))) {
+      if (Stats)
+        Stats->FailedPass = std::string(P->getName());
+      return failure();
+    }
+    if (Stats)
+      ++Stats->PassesRun;
+    if (failed(Verify(std::string(P->getName()))))
+      return failure();
+  }
+  return success();
+}
+
+LogicalResult DeadCodeEliminationPass::run(Operation *Root,
+                                           DiagnosticEngine &Diags) {
+  (void)Diags;
+  NumErased = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<Operation *> Dead;
+    Root->walk([&](Operation *Op) {
+      if (Op == Root || !Op->use_empty() || Op->getNumResults() == 0)
+        return;
+      if (Op->getNumRegions() != 0 || Op->getNumSuccessors() != 0 ||
+          Op->isTerminator())
+        return;
+      bool Pure =
+          std::find(PureOps.begin(), PureOps.end(),
+                    Op->getName().str()) != PureOps.end() ||
+          (AssumeRegisteredOpsPure && Op->isRegistered());
+      if (!Pure)
+        return;
+      Dead.push_back(Op);
+    });
+    for (Operation *Op : Dead) {
+      if (!Op->use_empty())
+        continue;
+      Op->erase();
+      ++NumErased;
+      Changed = true;
+    }
+  }
+  return success();
+}
+
+LogicalResult GreedyRewritePass::run(Operation *Root,
+                                     DiagnosticEngine &Diags) {
+  LastStats = applyPatternsGreedily(Root, *Patterns);
+  if (!LastStats.Converged) {
+    Diags.emitError(Root->getLoc(),
+                    "pattern application did not converge in pass '" +
+                        PassName + "'");
+    return failure();
+  }
+  return success();
+}

@@ -1,0 +1,125 @@
+//===- Printer.h - Textual IR printing ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Printing of types, attributes, parameter values, and operations in the
+/// MLIR-like textual syntax. Operations print in the generic form
+/// (`%r = "d.op"(%a) : (T) -> T`) unless their definition installs a custom
+/// print hook — which is what IRDL `Format` directives compile into.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IR_PRINTER_H
+#define IRDL_IR_PRINTER_H
+
+#include "ir/Operation.h"
+
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+namespace irdl {
+
+class Block;
+class Region;
+
+/// Prints \p T in type syntax (`f32`, `i32`, `!cmath.complex<f32>`, ...).
+void printType(Type T, std::ostream &OS);
+std::string printTypeToString(Type T);
+
+/// Prints \p A in attribute syntax. With \p Sugar, builtin attributes use
+/// their short forms (`3 : i32`, `"s"`, `unit`, `[..]`, a bare type);
+/// without it, the canonical `#dialect.name<...>` form is used — which is
+/// the form embedded inside type/attribute parameter lists.
+void printAttr(Attribute A, std::ostream &OS, bool Sugar = true);
+std::string printAttrToString(Attribute A);
+
+/// Prints \p P in parameter syntax.
+void printParam(const ParamValue &P, std::ostream &OS);
+std::string printParamToString(const ParamValue &P);
+
+/// Prints a float in a form that round-trips through parsing.
+void printFloatLiteral(double Value, std::ostream &OS);
+
+/// Options controlling operation printing.
+struct PrintOptions {
+  /// Forces the generic form even when a custom print hook exists.
+  bool GenericForm = false;
+};
+
+/// Stateful printer for operations: assigns SSA value names (%0, %arg0 via
+/// a single counter; multi-result ops use `%n:k` / `%n#i`) and block labels
+/// (^bb0) scoped to the top-level print.
+class IRPrinter {
+public:
+  IRPrinter(std::ostream &OS, PrintOptions Opts = {}) : OS(OS), Opts(Opts) {}
+
+  /// Prints \p Op (with nested regions), indented at the current level.
+  void printOp(Operation *Op);
+
+  /// Prints only the right-hand side of \p Op (no result list, no
+  /// trailing newline); used when embedding ops.
+  void printOpRHS(Operation *Op);
+
+  void printValueName(Value V);
+  void printBlockName(Block *B);
+  void printRegion(Region &R, bool PrintEntryArgs = false);
+  void printAttrDict(const NamedAttrList &Attrs,
+                     const std::vector<std::string> &Elided = {});
+
+  std::ostream &getStream() { return OS; }
+  PrintOptions &getOptions() { return Opts; }
+  void indent();
+
+private:
+  void printGenericOp(Operation *Op);
+  void printBlock(Block &B, bool PrintHeader);
+  std::string &nameValue(Value V);
+
+  std::ostream &OS;
+  PrintOptions Opts;
+  unsigned Indent = 0;
+  unsigned NextValueId = 0;
+  unsigned NextBlockId = 0;
+  std::unordered_map<const detail::ValueImpl *, std::string> ValueNames;
+  std::unordered_map<const Block *, std::string> BlockNames;
+
+  friend class CustomOpPrinter;
+};
+
+/// The restricted printer interface handed to custom print hooks (native
+/// ones for builtin ops, generated ones for IRDL `Format` directives).
+class CustomOpPrinter {
+public:
+  explicit CustomOpPrinter(IRPrinter &P) : P(P) {}
+
+  std::ostream &getStream() { return P.getStream(); }
+  CustomOpPrinter &operator<<(std::string_view Str) {
+    P.getStream() << Str;
+    return *this;
+  }
+
+  void printOperand(Value V) { P.printValueName(V); }
+  void printType(Type T) { irdl::printType(T, P.getStream()); }
+  void printAttribute(Attribute A) { irdl::printAttr(A, P.getStream()); }
+  void printParam(const ParamValue &PV) {
+    irdl::printParam(PV, P.getStream());
+  }
+  void printBlockName(Block *B) { P.printBlockName(B); }
+  void printRegion(Region &R, bool PrintEntryArgs = false) {
+    P.printRegion(R, PrintEntryArgs);
+  }
+  void printOptionalAttrDict(const NamedAttrList &Attrs,
+                             const std::vector<std::string> &Elided = {}) {
+    P.printAttrDict(Attrs, Elided);
+  }
+
+private:
+  IRPrinter &P;
+};
+
+/// Convenience: prints \p Op to a string (custom form where available).
+std::string printOpToString(Operation *Op, PrintOptions Opts = {});
+
+} // namespace irdl
+
+#endif // IRDL_IR_PRINTER_H

@@ -1,0 +1,44 @@
+//===- Region.cpp ---------------------------------------------------===//
+
+#include "ir/Region.h"
+
+using namespace irdl;
+
+Block &Region::emplaceBlock() {
+  Block *B = new Block();
+  push_back(B);
+  return *B;
+}
+
+Region::iterator Region::insert(iterator Pos, Block *B) {
+  assert(!B->getParent() && "block is already in a region");
+  B->setParentInternal(this);
+  return Blocks.insert(Pos, B);
+}
+
+void Region::push_back(Block *B) { insert(end(), B); }
+
+void Region::remove(Block *B) {
+  assert(B->getParent() == this && "block is not in this region");
+  B->setParentInternal(nullptr);
+  Blocks.remove(B);
+}
+
+void Region::erase(Block *B) {
+  remove(B);
+  delete B;
+}
+
+Region::~Region() { dropAllReferences(); }
+
+void Region::dropAllReferences() {
+  for (Block &B : Blocks)
+    for (Operation &Op : B)
+      Op.walk([](Operation *Nested) { Nested->setOperands({}); });
+}
+
+void Region::takeBody(Region &Other) {
+  for (Block &B : Other)
+    B.setParentInternal(this);
+  Blocks.splice(end(), Other.Blocks);
+}

@@ -1,0 +1,64 @@
+//===- Region.h - Nested control-flow regions --------------------*- C++ -*-===//
+///
+/// \file
+/// Regions hold a control-flow graph of blocks and attach to operations,
+/// enabling hierarchical control flow (Section 2: "some extensions of SSA
+/// allow operations to contain nested regions").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IR_REGION_H
+#define IRDL_IR_REGION_H
+
+#include "ir/Block.h"
+
+namespace irdl {
+
+class Region {
+public:
+  explicit Region(Operation *Parent) : ParentOp(Parent) {}
+
+  /// Drops every operand reference held by ops in this region (recursively)
+  /// before the blocks are destroyed, so that deletion order does not
+  /// matter even with cross-block references.
+  ~Region();
+
+  Operation *getParentOp() const { return ParentOp; }
+
+  using iterator = IntrusiveList<Block>::iterator;
+
+  iterator begin() { return Blocks.begin(); }
+  iterator end() { return Blocks.end(); }
+  bool empty() const { return Blocks.empty(); }
+  size_t getNumBlocks() const { return Blocks.size(); }
+
+  Block &front() { return Blocks.front(); }
+  Block &back() { return Blocks.back(); }
+
+  /// Appends a fresh block and returns it.
+  Block &emplaceBlock();
+
+  /// Inserts \p B (which must be detached) before \p Pos.
+  iterator insert(iterator Pos, Block *B);
+  void push_back(Block *B);
+
+  /// Unlinks \p B without deleting it.
+  void remove(Block *B);
+
+  /// Unlinks and deletes \p B.
+  void erase(Block *B);
+
+  /// Moves all blocks of \p Other to the end of this region.
+  void takeBody(Region &Other);
+
+  /// Recursively clears the operand lists of every nested operation.
+  void dropAllReferences();
+
+private:
+  Operation *ParentOp;
+  IntrusiveList<Block> Blocks;
+};
+
+} // namespace irdl
+
+#endif // IRDL_IR_REGION_H

@@ -1,0 +1,123 @@
+//===- Rewrite.h - Pattern rewriting -----------------------------*- C++ -*-===//
+///
+/// \file
+/// A pattern-rewriting framework in the spirit of MLIR's: RewritePattern
+/// subclasses match an operation and rewrite it through a PatternRewriter;
+/// applyPatternsGreedily drives a worklist to a fixed point. Together with
+/// IRDL's dynamic dialect registration this supports the paper's Section 3
+/// flow: a pattern-based compilation pipeline over dialects that were never
+/// compiled into the binary (the Listing 1 `conorm` optimization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IR_REWRITE_H
+#define IRDL_IR_REWRITE_H
+
+#include "ir/Builder.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace irdl {
+
+/// Mutation interface handed to patterns. All IR changes made during
+/// matchAndRewrite must go through this class so the driver can keep its
+/// worklist in sync.
+class PatternRewriter : public OpBuilder {
+public:
+  explicit PatternRewriter(IRContext *Ctx) : OpBuilder(Ctx) {}
+  virtual ~PatternRewriter();
+
+  /// Replaces \p Op's results with \p NewValues and erases it.
+  void replaceOp(Operation *Op, const std::vector<Value> &NewValues);
+
+  /// Erases \p Op, which must have no uses.
+  void eraseOp(Operation *Op);
+
+  /// Creates and inserts an op, notifying the driver.
+  Operation *createOp(OperationState &State);
+
+  /// Notifies that \p Op was modified in place.
+  virtual void notifyOpModified(Operation *Op) { (void)Op; }
+
+protected:
+  virtual void notifyOpInserted(Operation *Op) { (void)Op; }
+  virtual void notifyOpErased(Operation *Op) { (void)Op; }
+  virtual void notifyOpReplaced(Operation *Op,
+                                const std::vector<Value> &NewValues) {
+    (void)Op;
+    (void)NewValues;
+  }
+};
+
+/// A rewrite pattern rooted at operations named \p RootName (empty matches
+/// any operation).
+class RewritePattern {
+public:
+  RewritePattern(std::string RootName, unsigned Benefit = 1)
+      : RootName(std::move(RootName)), Benefit(Benefit) {}
+  virtual ~RewritePattern();
+
+  const std::string &getRootName() const { return RootName; }
+  unsigned getBenefit() const { return Benefit; }
+
+  /// Attempts to match \p Op and rewrite it. Returns success if the IR was
+  /// changed.
+  virtual LogicalResult matchAndRewrite(Operation *Op,
+                                        PatternRewriter &Rewriter) const = 0;
+
+private:
+  std::string RootName;
+  unsigned Benefit;
+};
+
+/// An owning set of patterns, indexed by root op name.
+class RewritePatternSet {
+public:
+  explicit RewritePatternSet(IRContext *Ctx) : Ctx(Ctx) {}
+
+  IRContext *getContext() const { return Ctx; }
+
+  void add(std::unique_ptr<RewritePattern> Pattern) {
+    Patterns.push_back(std::move(Pattern));
+  }
+
+  /// Convenience: constructs a pattern of type \p PatternT in place.
+  template <typename PatternT, typename... Args>
+  void add(Args &&...CtorArgs) {
+    Patterns.push_back(
+        std::make_unique<PatternT>(std::forward<Args>(CtorArgs)...));
+  }
+
+  const std::vector<std::unique_ptr<RewritePattern>> &getPatterns() const {
+    return Patterns;
+  }
+
+private:
+  IRContext *Ctx;
+  std::vector<std::unique_ptr<RewritePattern>> Patterns;
+};
+
+/// Statistics of one greedy rewrite run.
+struct RewriteStatistics {
+  unsigned NumRewrites = 0;
+  unsigned NumIterations = 0;
+  bool Converged = true;
+};
+
+/// Applies \p Patterns to \p Root's regions repeatedly (worklist-driven,
+/// highest benefit first) until a fixed point or \p MaxIterations sweeps.
+RewriteStatistics applyPatternsGreedily(Operation *Root,
+                                        const RewritePatternSet &Patterns,
+                                        unsigned MaxIterations = 10);
+
+/// Erases ops whose results are unused and whose definitions mark no
+/// side effects... conservatively: only ops explicitly named in
+/// \p PureOpNames. Returns the number of erased ops.
+unsigned eraseDeadOps(Operation *Root,
+                      const std::vector<std::string> &PureOpNames);
+
+} // namespace irdl
+
+#endif // IRDL_IR_REWRITE_H

@@ -1,0 +1,82 @@
+//===- Value.cpp ----------------------------------------------------===//
+
+#include "ir/Value.h"
+
+#include "ir/Block.h"
+#include "ir/Operation.h"
+
+using namespace irdl;
+
+OpOperand::OpOperand(Operation *Owner, Value Val) : Owner(Owner) {
+  linkTo(Val.getImpl());
+}
+
+Value OpOperand::get() const { return Value(Val); }
+
+void OpOperand::set(Value NewValue) {
+  if (NewValue.getImpl() == Val)
+    return;
+  unlink();
+  linkTo(NewValue.getImpl());
+}
+
+void OpOperand::linkTo(detail::ValueImpl *Impl) {
+  Val = Impl;
+  if (!Impl)
+    return;
+  NextUse = Impl->FirstUse;
+  if (NextUse)
+    NextUse->Back = &NextUse;
+  Impl->FirstUse = this;
+  Back = &Impl->FirstUse;
+}
+
+void OpOperand::unlink() {
+  if (!Val)
+    return;
+  *Back = NextUse;
+  if (NextUse)
+    NextUse->Back = Back;
+  Val = nullptr;
+  NextUse = nullptr;
+  Back = nullptr;
+}
+
+Operation *Value::getDefiningOp() const {
+  if (auto *Res = dyn_cast_if_present<detail::OpResultImpl>(Impl))
+    return Res->Owner;
+  return nullptr;
+}
+
+unsigned Value::getIndex() const {
+  assert(Impl && "null value");
+  if (auto *Res = dyn_cast<detail::OpResultImpl>(Impl))
+    return Res->Index;
+  return cast<detail::BlockArgumentImpl>(Impl)->Index;
+}
+
+Block *Value::getOwnerBlock() const {
+  if (auto *Arg = dyn_cast_if_present<detail::BlockArgumentImpl>(Impl))
+    return Arg->Owner;
+  return nullptr;
+}
+
+Block *Value::getParentBlock() const {
+  if (Operation *Op = getDefiningOp())
+    return Op->getBlock();
+  return getOwnerBlock();
+}
+
+unsigned Value::getNumUses() const {
+  unsigned Count = 0;
+  for (OpOperand *Use = getFirstUse(); Use; Use = Use->getNextUse())
+    ++Count;
+  return Count;
+}
+
+void Value::replaceAllUsesWith(Value NewValue) const {
+  assert(Impl && "null value");
+  assert(NewValue != *this && "replacing a value with itself");
+  while (OpOperand *Use = Impl->FirstUse)
+    Use->set(NewValue);
+}

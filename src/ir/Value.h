@@ -1,0 +1,166 @@
+//===- Value.h - SSA values and use-def chains ------------------*- C++ -*-===//
+///
+/// \file
+/// SSA values (operation results and block arguments) with intrusive
+/// use-def chains. Each OpOperand is a link in the use list of the value it
+/// references, enabling O(1) replace-all-uses-with — the workhorse of the
+/// pattern-rewriting driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IR_VALUE_H
+#define IRDL_IR_VALUE_H
+
+#include "ir/Types.h"
+#include "support/Casting.h"
+
+#include <cassert>
+
+namespace irdl {
+
+class Block;
+class OpOperand;
+class Operation;
+class Value;
+
+namespace detail {
+
+/// Backing storage shared by all SSA value kinds.
+class ValueImpl {
+public:
+  enum class Kind { OpResult, BlockArgument };
+
+  ValueImpl(Kind K, Type Ty) : K(K), Ty(Ty) {}
+  ValueImpl(const ValueImpl &) = delete;
+  ValueImpl &operator=(const ValueImpl &) = delete;
+
+  Kind getKind() const { return K; }
+  Type getType() const { return Ty; }
+  void setType(Type NewTy) { Ty = NewTy; }
+
+  OpOperand *FirstUse = nullptr;
+
+private:
+  Kind K;
+  Type Ty;
+};
+
+class OpResultImpl : public ValueImpl {
+public:
+  OpResultImpl(Type Ty, Operation *Owner, unsigned Index)
+      : ValueImpl(Kind::OpResult, Ty), Owner(Owner), Index(Index) {}
+
+  static bool classof(const ValueImpl *V) {
+    return V->getKind() == Kind::OpResult;
+  }
+
+  Operation *Owner;
+  unsigned Index;
+};
+
+class BlockArgumentImpl : public ValueImpl {
+public:
+  BlockArgumentImpl(Type Ty, Block *Owner, unsigned Index)
+      : ValueImpl(Kind::BlockArgument, Ty), Owner(Owner), Index(Index) {}
+
+  static bool classof(const ValueImpl *V) {
+    return V->getKind() == Kind::BlockArgument;
+  }
+
+  Block *Owner;
+  unsigned Index;
+};
+
+} // namespace detail
+
+/// One use of a Value by an Operation; a link in the value's use list.
+/// OpOperands are owned by their operation and are neither copyable nor
+/// movable (the use list points at them).
+class OpOperand {
+public:
+  OpOperand(Operation *Owner, Value Val);
+  OpOperand(const OpOperand &) = delete;
+  OpOperand &operator=(const OpOperand &) = delete;
+  ~OpOperand() { unlink(); }
+
+  Operation *getOwner() const { return Owner; }
+  Value get() const;
+
+  /// Points this operand at a (possibly null) new value, maintaining use
+  /// lists.
+  void set(Value NewValue);
+
+  OpOperand *getNextUse() const { return NextUse; }
+
+private:
+  friend class Value;
+  void linkTo(detail::ValueImpl *Impl);
+  void unlink();
+
+  Operation *Owner;
+  detail::ValueImpl *Val = nullptr;
+  OpOperand *NextUse = nullptr;
+  OpOperand **Back = nullptr;
+};
+
+/// A value-semantic handle to an SSA value.
+class Value {
+public:
+  Value() = default;
+  /*implicit*/ Value(detail::ValueImpl *Impl) : Impl(Impl) {}
+
+  explicit operator bool() const { return Impl != nullptr; }
+  bool operator==(const Value &RHS) const { return Impl == RHS.Impl; }
+  bool operator!=(const Value &RHS) const { return Impl != RHS.Impl; }
+
+  detail::ValueImpl *getImpl() const { return Impl; }
+
+  Type getType() const {
+    assert(Impl && "null value");
+    return Impl->getType();
+  }
+  void setType(Type Ty) {
+    assert(Impl && "null value");
+    Impl->setType(Ty);
+  }
+
+  bool isOpResult() const {
+    return Impl && isa<detail::OpResultImpl>(Impl);
+  }
+  bool isBlockArgument() const {
+    return Impl && isa<detail::BlockArgumentImpl>(Impl);
+  }
+
+  /// Returns the defining operation, or null for block arguments.
+  Operation *getDefiningOp() const;
+
+  /// For op results: the result index. For block arguments: the argument
+  /// index.
+  unsigned getIndex() const;
+
+  /// For block arguments: the owning block. Null for op results.
+  Block *getOwnerBlock() const;
+
+  /// Returns the block in which this value is defined (the parent block of
+  /// the defining op, or the owner block of the argument).
+  Block *getParentBlock() const;
+
+  bool use_empty() const { return !Impl || Impl->FirstUse == nullptr; }
+  bool hasOneUse() const {
+    return Impl && Impl->FirstUse && !Impl->FirstUse->getNextUse();
+  }
+  OpOperand *getFirstUse() const { return Impl ? Impl->FirstUse : nullptr; }
+
+  /// Counts the uses; O(#uses).
+  unsigned getNumUses() const;
+
+  /// Rewrites every use of this value to use \p NewValue instead.
+  void replaceAllUsesWith(Value NewValue) const;
+
+private:
+  detail::ValueImpl *Impl = nullptr;
+};
+
+} // namespace irdl
+
+#endif // IRDL_IR_VALUE_H

@@ -1,0 +1,554 @@
+//===- Constraint.cpp -----------------------------------------------===//
+
+#include "irdl/Constraint.h"
+
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace irdl;
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+// Private-constructor access: the factories are members, so they can build
+// directly.
+#define MAKE(KIND)                                                          \
+  std::shared_ptr<Constraint> C(new Constraint(Kind::KIND))
+
+ConstraintPtr Constraint::anyType() {
+  MAKE(AnyType);
+  return C;
+}
+ConstraintPtr Constraint::anyAttr() {
+  MAKE(AnyAttr);
+  return C;
+}
+ConstraintPtr Constraint::anyParam() {
+  MAKE(AnyParam);
+  return C;
+}
+
+ConstraintPtr Constraint::typeConstraint(const TypeDefinition *Def,
+                                         std::vector<ConstraintPtr> Params,
+                                         bool BaseOnly) {
+  assert(Def && "null type definition");
+  assert((BaseOnly || Params.size() == Def->getNumParams()) &&
+         "parameter constraint count mismatch");
+  MAKE(TypeParams);
+  C->TDef = Def;
+  C->Children = std::move(Params);
+  C->BaseOnly = BaseOnly;
+  return C;
+}
+
+ConstraintPtr Constraint::attrConstraint(const AttrDefinition *Def,
+                                         std::vector<ConstraintPtr> Params,
+                                         bool BaseOnly) {
+  assert(Def && "null attribute definition");
+  MAKE(AttrParams);
+  C->ADef = Def;
+  C->Children = std::move(Params);
+  C->BaseOnly = BaseOnly;
+  return C;
+}
+
+ConstraintPtr Constraint::typeEq(Type T) {
+  std::vector<ConstraintPtr> Params;
+  for (const ParamValue &P : T.getParams()) {
+    switch (P.getKind()) {
+    case ParamValue::Kind::Type:
+      Params.push_back(typeEq(P.getType()));
+      break;
+    case ParamValue::Kind::Int:
+      Params.push_back(intEq(P.getInt()));
+      break;
+    case ParamValue::Kind::Float:
+      Params.push_back(floatEq(P.getFloat()));
+      break;
+    case ParamValue::Kind::String:
+      Params.push_back(stringEq(P.getString()));
+      break;
+    case ParamValue::Kind::Enum:
+      Params.push_back(enumEq(P.getEnum()));
+      break;
+    default: {
+      // Fall back to a native equality check for the exotic kinds.
+      ParamValue Expected = P;
+      Params.push_back(native(
+          anyParam(),
+          [Expected](const ParamValue &V) { return V == Expected; },
+          "exact-param"));
+      break;
+    }
+    }
+  }
+  return typeConstraint(T.getDef(), std::move(Params), /*BaseOnly=*/false);
+}
+
+ConstraintPtr Constraint::intKind(unsigned Width, Signedness Sign) {
+  MAKE(IntKind);
+  C->IV = IntVal{static_cast<uint16_t>(Width), Sign, 0};
+  return C;
+}
+
+ConstraintPtr Constraint::intEq(IntVal V) {
+  MAKE(IntEq);
+  C->IV = V;
+  return C;
+}
+
+ConstraintPtr Constraint::floatKind(unsigned Width) {
+  MAKE(FloatKind);
+  C->FV = FloatVal{static_cast<uint16_t>(Width), 0.0};
+  return C;
+}
+
+ConstraintPtr Constraint::floatEq(FloatVal V) {
+  MAKE(FloatEq);
+  C->FV = V;
+  return C;
+}
+
+ConstraintPtr Constraint::stringKind() {
+  MAKE(StringKind);
+  return C;
+}
+
+ConstraintPtr Constraint::stringEq(std::string S) {
+  MAKE(StringEq);
+  C->Str = std::move(S);
+  return C;
+}
+
+ConstraintPtr Constraint::enumKind(const EnumDef *Def) {
+  MAKE(EnumKind);
+  C->EDef = Def;
+  return C;
+}
+
+ConstraintPtr Constraint::enumEq(EnumVal V) {
+  MAKE(EnumEq);
+  C->EV = V;
+  C->EDef = V.Def;
+  return C;
+}
+
+ConstraintPtr Constraint::arrayOf(ConstraintPtr Elem) {
+  MAKE(ArrayOf);
+  C->Children.push_back(std::move(Elem));
+  return C;
+}
+
+ConstraintPtr Constraint::anyArray() {
+  MAKE(ArrayOf);
+  return C;
+}
+
+ConstraintPtr Constraint::arrayExact(std::vector<ConstraintPtr> Elems) {
+  MAKE(ArrayExact);
+  C->Children = std::move(Elems);
+  return C;
+}
+
+ConstraintPtr Constraint::opaqueKind(std::string ParamTypeName) {
+  MAKE(OpaqueKind);
+  C->Str = std::move(ParamTypeName);
+  return C;
+}
+
+ConstraintPtr Constraint::anyOf(std::vector<ConstraintPtr> Cs) {
+  MAKE(AnyOf);
+  C->Children = std::move(Cs);
+  return C;
+}
+
+ConstraintPtr Constraint::conjunction(std::vector<ConstraintPtr> Cs) {
+  MAKE(And);
+  C->Children = std::move(Cs);
+  return C;
+}
+
+ConstraintPtr Constraint::negation(ConstraintPtr Inner) {
+  MAKE(Not);
+  C->Children.push_back(std::move(Inner));
+  return C;
+}
+
+ConstraintPtr Constraint::var(unsigned Index, std::string Name) {
+  MAKE(Var);
+  C->VarIndex = Index;
+  C->Str = std::move(Name);
+  return C;
+}
+
+ConstraintPtr Constraint::cpp(ConstraintPtr Base, CppParamPredicate Pred,
+                              std::string Source) {
+  MAKE(Cpp);
+  C->Children.push_back(std::move(Base));
+  C->CppPred = std::move(Pred);
+  C->Str = std::move(Source);
+  return C;
+}
+
+ConstraintPtr Constraint::native(ConstraintPtr Base, NativeConstraintFn Fn,
+                                 std::string Name) {
+  MAKE(Native);
+  C->Children.push_back(std::move(Base));
+  C->NativeFn = std::move(Fn);
+  C->Str = std::move(Name);
+  return C;
+}
+
+ConstraintPtr Constraint::named(ConstraintPtr Inner,
+                                std::string QualifiedName) {
+  MAKE(Named);
+  C->Children.push_back(std::move(Inner));
+  C->Str = std::move(QualifiedName);
+  return C;
+}
+
+#undef MAKE
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
+bool Constraint::requiresCpp() const {
+  if (K == Kind::Cpp || K == Kind::Native)
+    return true;
+  for (const ConstraintPtr &Child : Children)
+    if (Child->requiresCpp())
+      return true;
+  return false;
+}
+
+bool Constraint::referencesVar() const {
+  if (K == Kind::Var)
+    return true;
+  for (const ConstraintPtr &Child : Children)
+    if (Child->referencesVar())
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+bool Constraint::matches(const ParamValue &V, MatchContext &MC) const {
+  switch (K) {
+  case Kind::AnyType:
+    return V.isType();
+  case Kind::AnyAttr:
+    return V.isAttr();
+  case Kind::AnyParam:
+    return true;
+  case Kind::TypeParams: {
+    if (!V.isType() || V.getType().getDef() != TDef)
+      return false;
+    if (BaseOnly)
+      return true;
+    const auto &Params = V.getType().getParams();
+    if (Params.size() != Children.size())
+      return false;
+    for (size_t I = 0, E = Params.size(); I != E; ++I)
+      if (!Children[I]->matches(Params[I], MC))
+        return false;
+    return true;
+  }
+  case Kind::AttrParams: {
+    if (!V.isAttr() || V.getAttr().getDef() != ADef)
+      return false;
+    if (BaseOnly)
+      return true;
+    const auto &Params = V.getAttr().getParams();
+    if (Params.size() != Children.size())
+      return false;
+    for (size_t I = 0, E = Params.size(); I != E; ++I)
+      if (!Children[I]->matches(Params[I], MC))
+        return false;
+    return true;
+  }
+  case Kind::IntKind:
+    return V.isInt() && V.getInt().Width == IV.Width &&
+           V.getInt().Sign == IV.Sign;
+  case Kind::IntEq:
+    return V.isInt() && V.getInt() == IV;
+  case Kind::FloatKind:
+    return V.isFloat() && (FV.Width == 0 || V.getFloat().Width == FV.Width);
+  case Kind::FloatEq:
+    return V.isFloat() && V.getFloat() == FV;
+  case Kind::StringKind:
+    return V.isString();
+  case Kind::StringEq:
+    return V.isString() && V.getString() == Str;
+  case Kind::EnumKind:
+  case Kind::EnumEq: {
+    // Enum constraints accept both raw enum parameters and builtin.enum
+    // attributes wrapping one (how enums appear as op attributes).
+    const ParamValue *Inner = &V;
+    ParamValue Unwrapped;
+    if (V.isAttr()) {
+      IRContext *Ctx = EDef->getDialect()->getContext();
+      if (V.getAttr().getDef() != Ctx->getEnumAttrDef())
+        return false;
+      Unwrapped = V.getAttr().getParams()[0];
+      Inner = &Unwrapped;
+    }
+    if (!Inner->isEnum())
+      return false;
+    return K == Kind::EnumKind ? Inner->getEnum().Def == EDef
+                               : Inner->getEnum() == EV;
+  }
+  case Kind::ArrayOf: {
+    if (!V.isArray())
+      return false;
+    if (Children.empty())
+      return true;
+    for (const ParamValue &Elem : V.getArray())
+      if (!Children[0]->matches(Elem, MC))
+        return false;
+    return true;
+  }
+  case Kind::ArrayExact: {
+    if (!V.isArray() || V.getArray().size() != Children.size())
+      return false;
+    for (size_t I = 0, E = Children.size(); I != E; ++I)
+      if (!Children[I]->matches(V.getArray()[I], MC))
+        return false;
+    return true;
+  }
+  case Kind::OpaqueKind:
+    return V.isOpaque() && V.getOpaque().ParamTypeName == Str;
+  case Kind::AnyOf: {
+    for (const ConstraintPtr &Child : Children) {
+      auto Snapshot = MC.snapshot();
+      if (Child->matches(V, MC))
+        return true;
+      MC.rollback(std::move(Snapshot));
+    }
+    return false;
+  }
+  case Kind::And: {
+    for (const ConstraintPtr &Child : Children)
+      if (!Child->matches(V, MC))
+        return false;
+    return true;
+  }
+  case Kind::Not: {
+    auto Snapshot = MC.snapshot();
+    bool Matched = Children[0]->matches(V, MC);
+    MC.rollback(std::move(Snapshot));
+    return !Matched;
+  }
+  case Kind::Var: {
+    const auto &Binding = MC.getBinding(VarIndex);
+    if (Binding)
+      return *Binding == V;
+    if (!MC.getVarConstraint(VarIndex)->matches(V, MC))
+      return false;
+    MC.bind(VarIndex, V);
+    return true;
+  }
+  case Kind::Cpp:
+    return Children[0]->matches(V, MC) && CppPred && CppPred(V);
+  case Kind::Native:
+    return Children[0]->matches(V, MC) && NativeFn && NativeFn(V);
+  case Kind::Named:
+    return Children[0]->matches(V, MC);
+  }
+  return false;
+}
+
+std::optional<ParamValue>
+Constraint::concreteValue(const MatchContext &MC) const {
+  switch (K) {
+  case Kind::TypeParams: {
+    if (BaseOnly && TDef->getNumParams() != 0)
+      return std::nullopt;
+    std::vector<ParamValue> Params;
+    for (const ConstraintPtr &Child : Children) {
+      auto V = Child->concreteValue(MC);
+      if (!V)
+        return std::nullopt;
+      Params.push_back(std::move(*V));
+    }
+    // Unverified construction would assert on bad params; check first.
+    DiagnosticEngine Scratch;
+    Type T = TDef->getDialect()->getContext()->getTypeChecked(
+        TDef, std::move(Params), Scratch);
+    if (!T)
+      return std::nullopt;
+    return ParamValue(T);
+  }
+  case Kind::AttrParams: {
+    if (BaseOnly && ADef->getNumParams() != 0)
+      return std::nullopt;
+    std::vector<ParamValue> Params;
+    for (const ConstraintPtr &Child : Children) {
+      auto V = Child->concreteValue(MC);
+      if (!V)
+        return std::nullopt;
+      Params.push_back(std::move(*V));
+    }
+    DiagnosticEngine Scratch;
+    Attribute A = ADef->getDialect()->getContext()->getAttrChecked(
+        ADef, std::move(Params), Scratch);
+    if (!A)
+      return std::nullopt;
+    return ParamValue(A);
+  }
+  case Kind::IntEq:
+    return ParamValue(IV);
+  case Kind::FloatEq:
+    return ParamValue(FV);
+  case Kind::StringEq:
+    return ParamValue(Str);
+  case Kind::EnumEq:
+    return ParamValue(EV);
+  case Kind::ArrayExact: {
+    std::vector<ParamValue> Elems;
+    for (const ConstraintPtr &Child : Children) {
+      auto V = Child->concreteValue(MC);
+      if (!V)
+        return std::nullopt;
+      Elems.push_back(std::move(*V));
+    }
+    return ParamValue(std::move(Elems));
+  }
+  case Kind::Var:
+    if (const auto &Binding = MC.getBinding(VarIndex))
+      return *Binding;
+    return std::nullopt;
+  case Kind::And:
+  case Kind::Cpp:
+  case Kind::Native:
+  case Kind::Named:
+    // Derivable when some conjunct is.
+    for (const ConstraintPtr &Child : Children)
+      if (auto V = Child->concreteValue(MC))
+        return V;
+    return std::nullopt;
+  default:
+    return std::nullopt;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+static void printList(std::ostream &OS,
+                      const std::vector<ConstraintPtr> &Cs) {
+  for (size_t I = 0, E = Cs.size(); I != E; ++I) {
+    if (I)
+      OS << ", ";
+    OS << Cs[I]->str();
+  }
+}
+
+std::string Constraint::str() const {
+  std::ostringstream OS;
+  switch (K) {
+  case Kind::AnyType:
+    OS << "!AnyType";
+    break;
+  case Kind::AnyAttr:
+    OS << "#AnyAttr";
+    break;
+  case Kind::AnyParam:
+    OS << "AnyParam";
+    break;
+  case Kind::TypeParams:
+    OS << "!" << TDef->getFullName();
+    if (!BaseOnly && !Children.empty()) {
+      OS << "<";
+      printList(OS, Children);
+      OS << ">";
+    }
+    break;
+  case Kind::AttrParams:
+    OS << "#" << ADef->getFullName();
+    if (!BaseOnly && !Children.empty()) {
+      OS << "<";
+      printList(OS, Children);
+      OS << ">";
+    }
+    break;
+  case Kind::IntKind:
+    OS << (IV.Sign == Signedness::Unsigned ? "uint" : "int") << IV.Width
+       << "_t";
+    break;
+  case Kind::IntEq:
+    OS << IV.Value << " : "
+       << (IV.Sign == Signedness::Unsigned ? "uint" : "int") << IV.Width
+       << "_t";
+    break;
+  case Kind::FloatKind:
+    if (FV.Width == 0)
+      OS << "float";
+    else
+      OS << "float" << FV.Width << "_t";
+    break;
+  case Kind::FloatEq: {
+    printFloatLiteral(FV.Value, OS);
+    OS << " : float" << FV.Width << "_t";
+    break;
+  }
+  case Kind::StringKind:
+    OS << "string";
+    break;
+  case Kind::StringEq:
+    OS << '"' << Str << '"';
+    break;
+  case Kind::EnumKind:
+    OS << EDef->getFullName();
+    break;
+  case Kind::EnumEq:
+    OS << EV.Def->getFullName() << "." << EV.Def->getCases()[EV.Index];
+    break;
+  case Kind::ArrayOf:
+    if (Children.empty()) {
+      OS << "array";
+    } else {
+      OS << "array<" << Children[0]->str() << ">";
+    }
+    break;
+  case Kind::ArrayExact:
+    OS << "[";
+    printList(OS, Children);
+    OS << "]";
+    break;
+  case Kind::OpaqueKind:
+    OS << Str;
+    break;
+  case Kind::AnyOf:
+    OS << "AnyOf<";
+    printList(OS, Children);
+    OS << ">";
+    break;
+  case Kind::And:
+    OS << "And<";
+    printList(OS, Children);
+    OS << ">";
+    break;
+  case Kind::Not:
+    OS << "Not<" << Children[0]->str() << ">";
+    break;
+  case Kind::Var:
+    OS << "!" << Str;
+    break;
+  case Kind::Cpp:
+    OS << "CppConstraint(" << Children[0]->str() << ", \"" << Str << "\")";
+    break;
+  case Kind::Native:
+    OS << "NativeConstraint(" << Children[0]->str() << ", " << Str << ")";
+    break;
+  case Kind::Named:
+    OS << Str;
+    break;
+  }
+  return OS.str();
+}

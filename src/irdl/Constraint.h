@@ -1,0 +1,211 @@
+//===- Constraint.h - The IRDL constraint algebra ----------------*- C++ -*-===//
+///
+/// \file
+/// The resolved form of IRDL constraints (Figure 2 of the paper): type and
+/// attribute constraints (equality, base-name, parametric-with-nested-
+/// constraints), parameter constraints (integer kinds and literals,
+/// strings, floats, enums, arrays, opaque parameter kinds), the generic
+/// combinators AnyOf / And / Not, constraint variables (unification), and
+/// the IRDL-C++ escape hatches (interpreted C++ expressions and native
+/// callbacks).
+///
+/// Constraints are immutable trees shared via shared_ptr; evaluation
+/// happens against a MatchContext that carries constraint-variable
+/// bindings with snapshot/rollback (AnyOf and Not require backtracking).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IRDL_CONSTRAINT_H
+#define IRDL_IRDL_CONSTRAINT_H
+
+#include "ir/Context.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+namespace irdl {
+
+class Constraint;
+using ConstraintPtr = std::shared_ptr<const Constraint>;
+
+/// Constraint-variable bindings during one match (the ConstraintVars
+/// directive, Section 4.6): "constraints that need to be satisfied by the
+/// same type at each use".
+class MatchContext {
+public:
+  MatchContext() = default;
+  explicit MatchContext(const std::vector<ConstraintPtr> *VarConstraints)
+      : VarConstraints(VarConstraints),
+        Bindings(VarConstraints ? VarConstraints->size() : 0) {}
+
+  unsigned getNumVars() const { return Bindings.size(); }
+
+  const std::optional<ParamValue> &getBinding(unsigned Index) const {
+    assert(Index < Bindings.size() && "variable index out of range");
+    return Bindings[Index];
+  }
+  void bind(unsigned Index, ParamValue V) {
+    assert(Index < Bindings.size() && "variable index out of range");
+    Bindings[Index] = std::move(V);
+  }
+  const ConstraintPtr &getVarConstraint(unsigned Index) const {
+    assert(VarConstraints && Index < VarConstraints->size());
+    return (*VarConstraints)[Index];
+  }
+
+  /// Snapshot / rollback for backtracking combinators.
+  std::vector<std::optional<ParamValue>> snapshot() const {
+    return Bindings;
+  }
+  void rollback(std::vector<std::optional<ParamValue>> Snapshot) {
+    Bindings = std::move(Snapshot);
+  }
+
+private:
+  const std::vector<ConstraintPtr> *VarConstraints = nullptr;
+  std::vector<std::optional<ParamValue>> Bindings;
+};
+
+/// A native (C++) predicate over one parameter value — the general escape
+/// hatch IRDL-C++ provides when the interpreted expression subset is not
+/// enough.
+using NativeConstraintFn = std::function<bool(const ParamValue &)>;
+
+/// An interpreted IRDL-C++ predicate compiled from a CppConstraint string.
+using CppParamPredicate = std::function<bool(const ParamValue &)>;
+
+/// One node of a resolved constraint tree.
+class Constraint {
+public:
+  enum class Kind {
+    AnyType,     // !AnyType
+    AnyAttr,     // #AnyAttr
+    AnyParam,    // AnyParam
+    TypeParams,  // !name or !name<pc...>: base match + per-param children
+    AttrParams,  // #name or #name<pc...>
+    IntKind,     // int8_t .. uint64_t (width + signedness)
+    IntEq,       // 3 : int32_t
+    FloatKind,   // float32_t / float64_t / float (Width 0 = any)
+    FloatEq,     // exact float literal
+    StringKind,  // string
+    StringEq,    // "literal"
+    EnumKind,    // any constructor of an enum
+    EnumEq,      // a particular enum constructor
+    ArrayOf,     // array<pc>: all elements satisfy pc (no child = any array)
+    ArrayExact,  // [pc1, ..., pcN]
+    OpaqueKind,  // a TypeOrAttrParam-declared opaque kind (by name)
+    AnyOf,       // AnyOf<c...>
+    And,         // And<c...>
+    Not,         // Not<c>
+    Var,         // constraint variable reference
+    Cpp,         // base constraint + interpreted C++ predicate
+    Native,      // base constraint + registered native callback
+    Named,       // a use of a named Constraint declaration
+  };
+
+  //===------------------------------------------------------------------===//
+  // Factories
+  //===------------------------------------------------------------------===//
+
+  static ConstraintPtr anyType();
+  static ConstraintPtr anyAttr();
+  static ConstraintPtr anyParam();
+  /// Base-only match when \p Params is empty and \p BaseOnly is true;
+  /// otherwise the parameter count must equal the definition's.
+  static ConstraintPtr typeConstraint(const TypeDefinition *Def,
+                                      std::vector<ConstraintPtr> Params,
+                                      bool BaseOnly);
+  static ConstraintPtr attrConstraint(const AttrDefinition *Def,
+                                      std::vector<ConstraintPtr> Params,
+                                      bool BaseOnly);
+  /// Exact match of a fully concrete type.
+  static ConstraintPtr typeEq(Type T);
+  static ConstraintPtr intKind(unsigned Width, Signedness Sign);
+  static ConstraintPtr intEq(IntVal V);
+  static ConstraintPtr floatKind(unsigned Width);
+  static ConstraintPtr floatEq(FloatVal V);
+  static ConstraintPtr stringKind();
+  static ConstraintPtr stringEq(std::string S);
+  static ConstraintPtr enumKind(const EnumDef *Def);
+  static ConstraintPtr enumEq(EnumVal V);
+  static ConstraintPtr arrayOf(ConstraintPtr Elem);
+  static ConstraintPtr anyArray();
+  static ConstraintPtr arrayExact(std::vector<ConstraintPtr> Elems);
+  static ConstraintPtr opaqueKind(std::string ParamTypeName);
+  static ConstraintPtr anyOf(std::vector<ConstraintPtr> Cs);
+  static ConstraintPtr conjunction(std::vector<ConstraintPtr> Cs);
+  static ConstraintPtr negation(ConstraintPtr C);
+  static ConstraintPtr var(unsigned Index, std::string Name);
+  static ConstraintPtr cpp(ConstraintPtr Base, CppParamPredicate Pred,
+                           std::string Source);
+  static ConstraintPtr native(ConstraintPtr Base, NativeConstraintFn Fn,
+                              std::string Name);
+  /// Wraps a use of a named Constraint declaration: behaves exactly like
+  /// \p Inner but prints as \p QualifiedName (e.g. "cmath.Bounded"),
+  /// keeping pretty-printed specs reparseable.
+  static ConstraintPtr named(ConstraintPtr Inner,
+                             std::string QualifiedName);
+
+  //===------------------------------------------------------------------===//
+  // Accessors
+  //===------------------------------------------------------------------===//
+
+  Kind getKind() const { return K; }
+  const std::vector<ConstraintPtr> &getChildren() const { return Children; }
+  const TypeDefinition *getTypeDef() const { return TDef; }
+  const AttrDefinition *getAttrDef() const { return ADef; }
+  bool isBaseOnly() const { return BaseOnly; }
+  const IntVal &getIntVal() const { return IV; }
+  const FloatVal &getFloatVal() const { return FV; }
+  const std::string &getString() const { return Str; }
+  const EnumDef *getEnumDef() const { return EDef; }
+  const EnumVal &getEnumVal() const { return EV; }
+  unsigned getVarIndex() const { return VarIndex; }
+  unsigned getIntWidth() const { return IV.Width; }
+  Signedness getIntSign() const { return IV.Sign; }
+
+  /// True if this constraint (or any child) carries IRDL-C++ (interpreted
+  /// or native) — the classification used by the paper's Figures 9–11.
+  bool requiresCpp() const;
+
+  /// True if any node is a constraint-variable reference.
+  bool referencesVar() const;
+
+  //===------------------------------------------------------------------===//
+  // Evaluation
+  //===------------------------------------------------------------------===//
+
+  /// Returns true if \p V satisfies the constraint under \p MC (variable
+  /// bindings may be extended).
+  bool matches(const ParamValue &V, MatchContext &MC) const;
+
+  /// If the constraint pins down exactly one value given the bindings in
+  /// \p MC, returns it. Used by the declarative-format type inference.
+  std::optional<ParamValue> concreteValue(const MatchContext &MC) const;
+
+  /// Renders the constraint in IRDL surface syntax (for diagnostics and
+  /// the IRDL pretty-printer).
+  std::string str() const;
+
+private:
+  Constraint(Kind K) : K(K) {}
+
+  Kind K;
+  std::vector<ConstraintPtr> Children;
+  const TypeDefinition *TDef = nullptr;
+  const AttrDefinition *ADef = nullptr;
+  bool BaseOnly = false;
+  IntVal IV;
+  FloatVal FV;
+  std::string Str; // string literal / var name / opaque kind / cpp source
+  const EnumDef *EDef = nullptr;
+  EnumVal EV;
+  unsigned VarIndex = 0;
+  CppParamPredicate CppPred;
+  NativeConstraintFn NativeFn;
+};
+
+} // namespace irdl
+
+#endif // IRDL_IRDL_CONSTRAINT_H

@@ -1,0 +1,86 @@
+//===- IRDL.h - Loading IRDL dialect definitions ------------------*- C++ -*-===//
+///
+/// \file
+/// The public entry point of the IRDL frontend: load an IRDL source file
+/// and register every dialect it defines into an IRContext at runtime —
+/// "register a new dialect in MLIR by providing an IRDL specification file
+/// instead of writing, compiling, and linking several complex C++ or
+/// TableGen files" (Section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IRDL_IRDL_H
+#define IRDL_IRDL_IRDL_H
+
+#include "irdl/Spec.h"
+
+#include <map>
+
+namespace irdl {
+
+class Operation;
+
+/// Hooks a host application can provide for IRDL-C++ constructs that go
+/// beyond the interpreted expression subset. An IRDL CppConstraint whose
+/// string is `native:<name>` dispatches to the entry registered here.
+struct IRDLLoadOptions {
+  /// Parameter/type/attribute predicates, by name.
+  std::map<std::string, NativeConstraintFn> NativeConstraints;
+  /// Whole-operation verifiers, by name.
+  std::map<std::string,
+           std::function<LogicalResult(Operation *, DiagnosticEngine &)>>
+      NativeOpVerifiers;
+};
+
+/// The result of loading IRDL source: owns the resolved DialectSpecs
+/// (shared with the verifier closures installed on the context).
+class IRDLModule {
+public:
+  const std::vector<std::shared_ptr<DialectSpec>> &getDialects() const {
+    return Dialects;
+  }
+
+  const DialectSpec *lookupDialect(std::string_view Name) const {
+    for (const auto &D : Dialects)
+      if (D->Name == Name)
+        return D.get();
+    return nullptr;
+  }
+
+  /// Total op/type/attr counts across all dialects (handy for tooling).
+  size_t getNumOps() const;
+  size_t getNumTypes() const;
+  size_t getNumAttrs() const;
+
+  /// Merges the dialects of \p Other into this module (used when loading
+  /// several files).
+  void append(IRDLModule &&Other) {
+    for (auto &D : Other.Dialects)
+      Dialects.push_back(std::move(D));
+    Other.Dialects.clear();
+  }
+
+  std::vector<std::shared_ptr<DialectSpec>> Dialects;
+};
+
+/// Parses, analyzes, and registers the dialects in \p Source. The buffer
+/// is added to \p SrcMgr so diagnostics carry carets. Returns null on any
+/// error (the context may then contain partially registered skeletons; a
+/// failed load should be treated as fatal for that context).
+std::unique_ptr<IRDLModule>
+loadIRDL(IRContext &Ctx, std::string_view Source, SourceMgr &SrcMgr,
+         DiagnosticEngine &Diags, const IRDLLoadOptions &Opts = {},
+         std::string BufferName = "<irdl>");
+
+/// Reads \p Path from disk and loads it.
+std::unique_ptr<IRDLModule>
+loadIRDLFile(IRContext &Ctx, const std::string &Path, SourceMgr &SrcMgr,
+             DiagnosticEngine &Diags, const IRDLLoadOptions &Opts = {});
+
+/// Pretty-prints a resolved dialect back to IRDL surface syntax (aliases
+/// appear expanded). The output reparses to an equivalent dialect.
+std::string printDialectSpec(const DialectSpec &Spec);
+
+} // namespace irdl
+
+#endif // IRDL_IRDL_IRDL_H

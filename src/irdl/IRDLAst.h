@@ -1,0 +1,156 @@
+//===- IRDLAst.h - AST for the IRDL surface language -------------*- C++ -*-===//
+///
+/// \file
+/// The abstract syntax of IRDL (Section 4) and IRDL-C++ (Section 5):
+/// Dialect bodies containing Type / Attribute / Operation / Alias / Enum /
+/// Constraint / TypeOrAttrParam declarations, with a uniform constraint-
+/// expression sub-language. Most constructs (AnyOf, Variadic, array,
+/// int32_t, ...) parse as plain references; semantic analysis gives them
+/// meaning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IRDL_IRDLAST_H
+#define IRDL_IRDL_IRDLAST_H
+
+#include "support/SourceMgr.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace irdl::ast {
+
+struct ConstraintExpr;
+using ConstraintExprPtr = std::unique_ptr<ConstraintExpr>;
+
+/// A constraint expression: a (possibly sigiled, possibly parameterized)
+/// reference, a literal, or a fixed-size array pattern.
+struct ConstraintExpr {
+  enum class Kind {
+    Ref,        // [!|#] a.b.c [ <args...> ]
+    IntLit,     // 3 or -7, optionally `3 : int32_t` (KindRef)
+    FloatLit,   // 2.5, optionally `2.5 : float32_t`
+    StrLit,     // "foo"
+    ArrayExact, // [pc1, ..., pcN]
+  };
+
+  Kind K = Kind::Ref;
+  SMLoc Loc;
+
+  // Ref:
+  char Sigil = 0; // '!', '#', or 0
+  std::vector<std::string> Path;
+  bool HasArgs = false;
+  std::vector<ConstraintExprPtr> Args; // Ref args / ArrayExact elements
+
+  // Literals:
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  std::string StrValue;
+  /// Optional `: int32_t`-style kind annotation on a literal.
+  std::vector<std::string> KindRef;
+};
+
+/// `name: constraint` — parameters, operands, results, attributes, and
+/// region arguments all share this shape.
+struct NamedConstraint {
+  std::string Name;
+  ConstraintExprPtr Constr;
+  SMLoc Loc;
+};
+
+/// Type or Attribute definition.
+struct TypeOrAttrDecl {
+  bool IsAttr = false;
+  std::string Name;
+  SMLoc Loc;
+  std::vector<NamedConstraint> Params;
+  std::string Summary;
+  /// IRDL-C++ additional invariant ($_self is the type/attribute).
+  std::string CppConstraint;
+  bool HasCppConstraint = false;
+};
+
+/// `Region name { Arguments (...) Terminator op }`.
+struct RegionDecl {
+  std::string Name;
+  SMLoc Loc;
+  std::vector<NamedConstraint> Args;
+  /// Dotted op path; empty when unconstrained.
+  std::vector<std::string> Terminator;
+};
+
+/// Operation definition.
+struct OpDecl {
+  std::string Name;
+  SMLoc Loc;
+  /// ConstraintVar(s) (!T: ..., ...). Names are stored without sigils.
+  std::vector<NamedConstraint> ConstraintVars;
+  std::vector<NamedConstraint> Operands;
+  std::vector<NamedConstraint> Results;
+  std::vector<NamedConstraint> Attributes;
+  std::vector<RegionDecl> Regions;
+  /// Present (possibly empty) iff a Successors directive appeared — which
+  /// makes the operation a terminator (Section 4.6).
+  std::optional<std::vector<std::string>> Successors;
+  std::string Format;
+  bool HasFormat = false;
+  std::string Summary;
+  std::string CppConstraint;
+  bool HasCppConstraint = false;
+};
+
+/// `Alias !Name = expr` / parametric `Alias !Name<T, U> = expr`.
+struct AliasDecl {
+  char Sigil = 0;
+  std::string Name;
+  SMLoc Loc;
+  std::vector<std::string> Params;
+  ConstraintExprPtr Body;
+};
+
+/// `Enum name { A, B, C }`.
+struct EnumDecl {
+  std::string Name;
+  SMLoc Loc;
+  std::vector<std::string> Cases;
+};
+
+/// IRDL-C++ `Constraint name : base { Summary CppConstraint }`.
+struct ConstraintDecl {
+  std::string Name;
+  SMLoc Loc;
+  ConstraintExprPtr Base;
+  std::string Summary;
+  std::string CppConstraint;
+  bool HasCppConstraint = false;
+};
+
+/// IRDL-C++ `TypeOrAttrParam name { CppClassName CppParser CppPrinter }`.
+struct TypeOrAttrParamDecl {
+  std::string Name;
+  SMLoc Loc;
+  std::string Summary;
+  std::string CppClassName;
+  std::string CppParser;
+  std::string CppPrinter;
+};
+
+/// A whole `Dialect name { ... }` body, in declaration order.
+struct DialectDecl {
+  std::string Name;
+  SMLoc Loc;
+  std::vector<TypeOrAttrDecl> TypesAndAttrs;
+  std::vector<OpDecl> Ops;
+  std::vector<AliasDecl> Aliases;
+  std::vector<EnumDecl> Enums;
+  std::vector<ConstraintDecl> Constraints;
+  std::vector<TypeOrAttrParamDecl> ParamTypes;
+};
+
+} // namespace irdl::ast
+
+#endif // IRDL_IRDL_IRDLAST_H

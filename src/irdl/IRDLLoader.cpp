@@ -1,0 +1,78 @@
+//===- IRDLLoader.cpp - loadIRDL orchestration -------------------------===//
+
+#include "irdl/IRDL.h"
+
+#include "irdl/IRDLParser.h"
+#include "irdl/Registration.h"
+#include "irdl/Sema.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace irdl;
+
+size_t IRDLModule::getNumOps() const {
+  size_t N = 0;
+  for (const auto &D : Dialects)
+    N += D->Ops.size();
+  return N;
+}
+
+size_t IRDLModule::getNumTypes() const {
+  size_t N = 0;
+  for (const auto &D : Dialects)
+    N += D->Types.size();
+  return N;
+}
+
+size_t IRDLModule::getNumAttrs() const {
+  size_t N = 0;
+  for (const auto &D : Dialects)
+    N += D->Attrs.size();
+  return N;
+}
+
+std::unique_ptr<IRDLModule>
+irdl::loadIRDL(IRContext &Ctx, std::string_view Source, SourceMgr &SrcMgr,
+               DiagnosticEngine &Diags, const IRDLLoadOptions &Opts,
+               std::string BufferName) {
+  unsigned Id = SrcMgr.addBuffer(std::string(Source), std::move(BufferName));
+  if (!Diags.getSourceMgr())
+    Diags.setSourceMgr(&SrcMgr);
+
+  unsigned ErrorsBefore = Diags.getNumErrors();
+  std::vector<ast::DialectDecl> Decls =
+      parseIRDL(SrcMgr.getBufferContents(Id), Diags);
+  if (Diags.getNumErrors() != ErrorsBefore)
+    return nullptr;
+
+  Sema S(Ctx, Diags, Opts);
+  for (const ast::DialectDecl &Decl : Decls)
+    if (failed(S.declareDialect(Decl)))
+      return nullptr;
+
+  auto Module = std::make_unique<IRDLModule>();
+  for (const ast::DialectDecl &Decl : Decls) {
+    auto Spec = std::make_shared<DialectSpec>();
+    if (failed(S.resolveDialect(Decl, *Spec)))
+      return nullptr;
+    if (failed(registerDialectSpec(Spec, Ctx, Diags, Opts)))
+      return nullptr;
+    Module->Dialects.push_back(std::move(Spec));
+  }
+  return Module;
+}
+
+std::unique_ptr<IRDLModule>
+irdl::loadIRDLFile(IRContext &Ctx, const std::string &Path,
+                   SourceMgr &SrcMgr, DiagnosticEngine &Diags,
+                   const IRDLLoadOptions &Opts) {
+  std::ifstream In(Path);
+  if (!In) {
+    Diags.emitError(SMLoc(), "cannot open IRDL file '" + Path + "'");
+    return nullptr;
+  }
+  std::ostringstream Contents;
+  Contents << In.rdbuf();
+  return loadIRDL(Ctx, Contents.str(), SrcMgr, Diags, Opts, Path);
+}

@@ -1,0 +1,770 @@
+//===- Sema.cpp - IRDL name resolution and constraint lowering --------===//
+
+#include "irdl/Sema.h"
+
+#include "support/StringExtras.h"
+
+using namespace irdl;
+using namespace irdl::ast;
+
+//===----------------------------------------------------------------------===//
+// Pass 1: skeleton declarations
+//===----------------------------------------------------------------------===//
+
+Sema::DialectTables *Sema::lookupTables(std::string_view DialectName) {
+  auto It = Tables.find(DialectName);
+  return It == Tables.end() ? nullptr : &It->second;
+}
+
+LogicalResult Sema::declareDialect(const DialectDecl &Decl) {
+  // A dialect may extend one already registered natively in the context
+  // (component name clashes are diagnosed below), but declaring the same
+  // dialect twice in one load is an error.
+  if (Tables.count(Decl.Name)) {
+    Diags.emitError(Decl.Loc,
+                    "redefinition of dialect '" + Decl.Name + "'");
+    return failure();
+  }
+  Dialect *D = Ctx.getOrCreateDialect(Decl.Name);
+  DialectTables &T = Tables[Decl.Name];
+  T.Decl = &Decl;
+  T.D = D;
+
+  for (const EnumDecl &E : Decl.Enums) {
+    if (!D->addEnum(E.Name, E.Cases)) {
+      Diags.emitError(E.Loc, "redefinition of enum '" + E.Name + "'");
+      return failure();
+    }
+  }
+  for (const TypeOrAttrDecl &TA : Decl.TypesAndAttrs) {
+    std::vector<std::string> ParamNames;
+    for (const NamedConstraint &P : TA.Params)
+      ParamNames.push_back(P.Name);
+    if (TA.IsAttr) {
+      AttrDefinition *Def = D->addAttr(TA.Name);
+      if (!Def) {
+        Diags.emitError(TA.Loc,
+                        "redefinition of attribute '" + TA.Name + "'");
+        return failure();
+      }
+      Def->setParamNames(std::move(ParamNames));
+      Def->setSummary(TA.Summary);
+    } else {
+      TypeDefinition *Def = D->addType(TA.Name);
+      if (!Def) {
+        Diags.emitError(TA.Loc, "redefinition of type '" + TA.Name + "'");
+        return failure();
+      }
+      Def->setParamNames(std::move(ParamNames));
+      Def->setSummary(TA.Summary);
+    }
+  }
+  for (const OpDecl &Op : Decl.Ops) {
+    OpDefinition *Def = D->addOp(Op.Name);
+    if (!Def) {
+      Diags.emitError(Op.Loc,
+                      "redefinition of operation '" + Op.Name + "'");
+      return failure();
+    }
+    Def->setSummary(Op.Summary);
+  }
+  for (const AliasDecl &A : Decl.Aliases) {
+    if (!T.Aliases.emplace(A.Name, &A).second) {
+      Diags.emitError(A.Loc, "redefinition of alias '" + A.Name + "'");
+      return failure();
+    }
+  }
+  for (const ConstraintDecl &C : Decl.Constraints) {
+    if (!T.Constraints.emplace(C.Name, &C).second) {
+      Diags.emitError(C.Loc, "redefinition of constraint '" + C.Name + "'");
+      return failure();
+    }
+  }
+  for (const TypeOrAttrParamDecl &P : Decl.ParamTypes) {
+    if (!T.ParamTypes.emplace(P.Name, &P).second) {
+      Diags.emitError(P.Loc,
+                      "redefinition of parameter kind '" + P.Name + "'");
+      return failure();
+    }
+  }
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// Constraint resolution
+//===----------------------------------------------------------------------===//
+
+namespace irdl {
+
+/// Resolves constraint expressions within one lexical scope.
+class ConstraintResolver {
+public:
+  ConstraintResolver(Sema &S, Sema::DialectTables &Current)
+      : S(S), Current(Current) {}
+
+  /// Variable names visible in the current operation, if any.
+  const std::vector<std::string> *VarNames = nullptr;
+  /// Substitution environment during alias expansion.
+  const std::map<std::string, ConstraintPtr> *AliasEnv = nullptr;
+  /// Alias expansion depth guard.
+  unsigned Depth = 0;
+
+  ConstraintPtr resolve(const ConstraintExpr &E) {
+    switch (E.K) {
+    case ConstraintExpr::Kind::IntLit:
+      return resolveIntLit(E);
+    case ConstraintExpr::Kind::FloatLit:
+      return resolveFloatLit(E);
+    case ConstraintExpr::Kind::StrLit:
+      return Constraint::stringEq(E.StrValue);
+    case ConstraintExpr::Kind::ArrayExact: {
+      std::vector<ConstraintPtr> Elems;
+      for (const auto &Arg : E.Args) {
+        ConstraintPtr C = resolve(*Arg);
+        if (!C)
+          return nullptr;
+        Elems.push_back(std::move(C));
+      }
+      return Constraint::arrayExact(std::move(Elems));
+    }
+    case ConstraintExpr::Kind::Ref:
+      return resolveRef(E);
+    }
+    return nullptr;
+  }
+
+private:
+  DiagnosticEngine &diags() { return S.Diags; }
+
+  ConstraintPtr error(SMLoc Loc, std::string Message) {
+    diags().emitError(Loc, std::move(Message));
+    return nullptr;
+  }
+
+  /// Interprets `int32_t`-family names. Returns (width, sign) on match.
+  static std::optional<std::pair<unsigned, Signedness>>
+  matchIntKindName(std::string_view Name) {
+    Signedness Sign = Signedness::Signed;
+    std::string_view Rest = Name;
+    if (startsWith(Rest, "uint")) {
+      Sign = Signedness::Unsigned;
+      Rest = Rest.substr(4);
+    } else if (startsWith(Rest, "int")) {
+      Rest = Rest.substr(3);
+    } else {
+      return std::nullopt;
+    }
+    if (Rest.size() < 3 || Rest.substr(Rest.size() - 2) != "_t")
+      return std::nullopt;
+    auto Width = parseUInt(Rest.substr(0, Rest.size() - 2));
+    if (!Width || (*Width != 8 && *Width != 16 && *Width != 32 &&
+                   *Width != 64))
+      return std::nullopt;
+    return std::make_pair(static_cast<unsigned>(*Width), Sign);
+  }
+
+  /// Interprets `float32_t` / `float64_t` / `float`.
+  static std::optional<unsigned> matchFloatKindName(std::string_view Name) {
+    if (Name == "float")
+      return 0u;
+    if (Name == "float16_t")
+      return 16u;
+    if (Name == "float32_t")
+      return 32u;
+    if (Name == "float64_t")
+      return 64u;
+    return std::nullopt;
+  }
+
+  ConstraintPtr resolveIntLit(const ConstraintExpr &E) {
+    unsigned Width = 64;
+    Signedness Sign = Signedness::Signed;
+    if (!E.KindRef.empty()) {
+      if (E.KindRef.size() != 1)
+        return error(E.Loc, "invalid literal kind");
+      if (auto IK = matchIntKindName(E.KindRef[0])) {
+        Width = IK->first;
+        Sign = IK->second;
+      } else if (auto FK = matchFloatKindName(E.KindRef[0])) {
+        return Constraint::floatEq(FloatVal{
+            static_cast<uint16_t>(*FK ? *FK : 64),
+            static_cast<double>(E.IntValue)});
+      } else {
+        return error(E.Loc, "unknown literal kind '" + E.KindRef[0] + "'");
+      }
+    }
+    return Constraint::intEq(
+        IntVal{static_cast<uint16_t>(Width), Sign, E.IntValue});
+  }
+
+  ConstraintPtr resolveFloatLit(const ConstraintExpr &E) {
+    unsigned Width = 64;
+    if (!E.KindRef.empty()) {
+      if (E.KindRef.size() != 1)
+        return error(E.Loc, "invalid literal kind");
+      auto FK = matchFloatKindName(E.KindRef[0]);
+      if (!FK)
+        return error(E.Loc, "unknown float kind '" + E.KindRef[0] + "'");
+      if (*FK)
+        Width = *FK;
+    }
+    return Constraint::floatEq(
+        FloatVal{static_cast<uint16_t>(Width), E.FloatValue});
+  }
+
+  /// Resolves each argument of \p E.
+  bool resolveArgs(const ConstraintExpr &E,
+                   std::vector<ConstraintPtr> &Out) {
+    for (const auto &Arg : E.Args) {
+      ConstraintPtr C = resolve(*Arg);
+      if (!C)
+        return false;
+      Out.push_back(std::move(C));
+    }
+    return true;
+  }
+
+  /// Builds the constraint for builtin type sugar names (f32, i32, ...).
+  ConstraintPtr resolveBuiltinTypeSugar(std::string_view Name) {
+    IRContext &Ctx = S.Ctx;
+    if (Name == "f16" || Name == "f32" || Name == "f64") {
+      unsigned Width = Name == "f16" ? 16 : Name == "f32" ? 32 : 64;
+      return Constraint::typeConstraint(Ctx.getFloatTypeDef(Width), {},
+                                        /*BaseOnly=*/false);
+    }
+    if (Name == "index")
+      return Constraint::typeConstraint(Ctx.getIndexTypeDef(), {},
+                                        /*BaseOnly=*/false);
+    Signedness Sign;
+    std::string_view Digits;
+    if (startsWith(Name, "si")) {
+      Sign = Signedness::Signed;
+      Digits = Name.substr(2);
+    } else if (startsWith(Name, "ui")) {
+      Sign = Signedness::Unsigned;
+      Digits = Name.substr(2);
+    } else if (startsWith(Name, "i")) {
+      Sign = Signedness::Signless;
+      Digits = Name.substr(1);
+    } else {
+      return nullptr;
+    }
+    auto Width = parseUInt(Digits);
+    if (!Width || *Width < 1 || *Width > 128)
+      return nullptr;
+    return Constraint::typeConstraint(
+        Ctx.getIntegerTypeDef(),
+        {Constraint::intEq(IntVal{32, Signedness::Unsigned,
+                                  static_cast<int64_t>(*Width)}),
+         Constraint::enumEq(EnumVal{Ctx.getSignednessEnum(),
+                                    static_cast<unsigned>(Sign)})},
+        /*BaseOnly=*/false);
+  }
+
+  /// Resolves a type/attr definition reference with optional arguments.
+  ConstraintPtr resolveDefRef(const ConstraintExpr &E,
+                              TypeDefinition *TDef, AttrDefinition *ADef) {
+    std::vector<ConstraintPtr> Args;
+    if (!resolveArgs(E, Args))
+      return nullptr;
+    unsigned NumParams = TDef ? TDef->getNumParams() : ADef->getNumParams();
+    if (E.HasArgs && Args.size() != NumParams)
+      return error(E.Loc,
+                   "'" + (TDef ? TDef->getFullName() : ADef->getFullName()) +
+                       "' has " + std::to_string(NumParams) +
+                       " parameters but " + std::to_string(Args.size()) +
+                       " constraints were given");
+    if (TDef)
+      return Constraint::typeConstraint(TDef, std::move(Args),
+                                        /*BaseOnly=*/!E.HasArgs);
+    return Constraint::attrConstraint(ADef, std::move(Args),
+                                      /*BaseOnly=*/!E.HasArgs);
+  }
+
+  /// Expands an alias with the given argument expressions.
+  ConstraintPtr expandAlias(const ast::AliasDecl &Alias,
+                            Sema::DialectTables &Owner,
+                            const ConstraintExpr &E) {
+    if (Depth > 32)
+      return error(E.Loc, "alias expansion too deep (recursive alias?)");
+    if (E.Args.size() != Alias.Params.size())
+      return error(E.Loc, "alias '" + Alias.Name + "' expects " +
+                              std::to_string(Alias.Params.size()) +
+                              " arguments but got " +
+                              std::to_string(E.Args.size()));
+    std::map<std::string, ConstraintPtr> Env;
+    for (size_t I = 0, N = Alias.Params.size(); I != N; ++I) {
+      ConstraintPtr Arg = resolve(*E.Args[I]);
+      if (!Arg)
+        return nullptr;
+      Env.emplace(Alias.Params[I], std::move(Arg));
+    }
+    // The alias body resolves in the *owning* dialect's scope, with the
+    // parameter environment layered on, and no access to the use-site's
+    // constraint variables.
+    ConstraintResolver BodyResolver(S, Owner);
+    BodyResolver.AliasEnv = Env.empty() ? nullptr : &Env;
+    BodyResolver.Depth = Depth + 1;
+    BodyResolver.VarNames = VarNames; // vars may flow via ConstraintVars
+    return BodyResolver.resolve(*Alias.Body);
+  }
+
+  /// Resolves a named IRDL-C++ Constraint declaration (with caching).
+  ConstraintPtr resolveNamedConstraint(const ast::ConstraintDecl &Decl,
+                                       Sema::DialectTables &Owner) {
+    std::string Key = Decl.Name;
+    auto It = Owner.ResolvedConstraints.find(Key);
+    if (It != Owner.ResolvedConstraints.end())
+      return It->second;
+    // Insert a tombstone to catch recursion.
+    Owner.ResolvedConstraints.emplace(Key, nullptr);
+
+    ConstraintResolver BaseResolver(S, Owner);
+    BaseResolver.Depth = Depth + 1;
+    ConstraintPtr Base = BaseResolver.resolve(*Decl.Base);
+    if (!Base)
+      return nullptr;
+    ConstraintPtr Result = Base;
+    if (Decl.HasCppConstraint) {
+      if (startsWith(Decl.CppConstraint, "native:")) {
+        std::string Name = Decl.CppConstraint.substr(7);
+        auto NIt = S.Opts.NativeConstraints.find(Name);
+        if (NIt == S.Opts.NativeConstraints.end())
+          return error(Decl.Loc,
+                       "no native constraint registered under '" + Name +
+                           "'");
+        Result = Constraint::native(Base, NIt->second, Name);
+      } else {
+        auto Expr = CppExpr::parse(Decl.CppConstraint, S.Diags, Decl.Loc);
+        if (!Expr)
+          return nullptr;
+        Result = Constraint::cpp(
+            Base,
+            [Expr](const ParamValue &V) {
+              CppExpr::EvalContext Ctx;
+              Ctx.Self = cppEvalFromParam(V);
+              auto B = Expr->evaluateBool(Ctx);
+              return B && *B;
+            },
+            Decl.CppConstraint);
+      }
+    }
+    Result = Constraint::named(
+        Result, Owner.D->getNamespace() + "." + Decl.Name);
+    Owner.ResolvedConstraints[Key] = Result;
+    return Result;
+  }
+
+  /// Looks up \p Name inside \p T's dialect, trying the component kinds in
+  /// sigil-appropriate order.
+  ConstraintPtr lookupInDialect(const ConstraintExpr &E,
+                                std::string_view Name,
+                                Sema::DialectTables *T, Dialect *D) {
+    // Aliases and named constraints only exist for IRDL-declared dialects.
+    if (T) {
+      if (auto It = T->Aliases.find(Name); It != T->Aliases.end())
+        return expandAlias(*It->second, *T, E);
+      if (auto It = T->Constraints.find(Name); It != T->Constraints.end()) {
+        if (E.HasArgs)
+          return error(E.Loc, "named constraints take no arguments");
+        ConstraintPtr C = resolveNamedConstraint(*It->second, *T);
+        if (!C)
+          return error(E.Loc, "constraint '" + std::string(Name) +
+                                  "' is recursive or invalid");
+        return C;
+      }
+      if (auto It = T->ParamTypes.find(Name); It != T->ParamTypes.end()) {
+        if (E.HasArgs)
+          return error(E.Loc, "parameter kinds take no arguments");
+        return Constraint::opaqueKind(D->getNamespace() + "." +
+                                      std::string(Name));
+      }
+    }
+    if (!D)
+      return nullptr;
+    if (E.Sigil != '#')
+      if (TypeDefinition *Def = D->lookupType(Name))
+        return resolveDefRef(E, Def, nullptr);
+    if (E.Sigil != '!')
+      if (AttrDefinition *Def = D->lookupAttr(Name))
+        return resolveDefRef(E, nullptr, Def);
+    if (EnumDef *Def = D->lookupEnum(Name)) {
+      if (E.HasArgs)
+        return error(E.Loc, "enum constraints take no arguments");
+      return Constraint::enumKind(Def);
+    }
+    // Cross-sigil fallback (lenient).
+    if (E.Sigil == '#')
+      if (TypeDefinition *Def = D->lookupType(Name))
+        return resolveDefRef(E, Def, nullptr);
+    if (E.Sigil == '!')
+      if (AttrDefinition *Def = D->lookupAttr(Name))
+        return resolveDefRef(E, nullptr, Def);
+    return nullptr;
+  }
+
+  ConstraintPtr resolveRef(const ConstraintExpr &E) {
+    IRContext &Ctx = S.Ctx;
+
+    if (E.Path.size() == 1) {
+      const std::string &Name = E.Path[0];
+
+      // 1. Alias-parameter environment.
+      if (AliasEnv) {
+        auto It = AliasEnv->find(Name);
+        if (It != AliasEnv->end()) {
+          if (E.HasArgs)
+            return error(E.Loc, "alias parameters take no arguments");
+          return It->second;
+        }
+      }
+
+      // 2. Constraint variables.
+      if (VarNames) {
+        for (unsigned I = 0, N = VarNames->size(); I != N; ++I) {
+          if ((*VarNames)[I] == Name) {
+            if (E.HasArgs)
+              return error(E.Loc,
+                           "constraint variables take no arguments");
+            return Constraint::var(I, Name);
+          }
+        }
+      }
+
+      // 3. Combinators and builtins.
+      if (Name == "AnyOf" || Name == "And") {
+        std::vector<ConstraintPtr> Args;
+        if (!resolveArgs(E, Args))
+          return nullptr;
+        if (Args.empty())
+          return error(E.Loc, Name + " requires at least one constraint");
+        return Name == "AnyOf" ? Constraint::anyOf(std::move(Args))
+                               : Constraint::conjunction(std::move(Args));
+      }
+      if (Name == "Not") {
+        if (E.Args.size() != 1)
+          return error(E.Loc, "Not takes exactly one constraint");
+        ConstraintPtr Inner = resolve(*E.Args[0]);
+        return Inner ? Constraint::negation(std::move(Inner)) : nullptr;
+      }
+      if (Name == "Variadic" || Name == "Optional")
+        return error(E.Loc, Name + " is only allowed at the top level of "
+                                   "operand, result, and region argument "
+                                   "definitions");
+      if (Name == "array") {
+        if (!E.HasArgs)
+          return Constraint::anyArray();
+        if (E.Args.size() != 1)
+          return error(E.Loc, "array takes at most one element constraint");
+        ConstraintPtr Elem = resolve(*E.Args[0]);
+        return Elem ? Constraint::arrayOf(std::move(Elem)) : nullptr;
+      }
+      if (Name == "AnyType")
+        return Constraint::anyType();
+      if (Name == "AnyAttr")
+        return Constraint::anyAttr();
+      if (Name == "AnyParam")
+        return Constraint::anyParam();
+      if (auto IK = matchIntKindName(Name))
+        return Constraint::intKind(IK->first, IK->second);
+      if (auto FK = matchFloatKindName(Name))
+        return Constraint::floatKind(*FK);
+      if (Name == "string")
+        return Constraint::stringKind();
+      if (Name == "location" || Name == "type_id")
+        return Constraint::opaqueKind(Name);
+      // Builtin attribute sugar: #f32_attr / #f64_attr (Listing 5).
+      if (Name == "f32_attr" || Name == "f64_attr")
+        return Constraint::attrConstraint(
+            Ctx.getFloatAttrDef(),
+            {Constraint::floatKind(Name == "f32_attr" ? 32 : 64)},
+            /*BaseOnly=*/false);
+      if (!E.HasArgs)
+        if (ConstraintPtr Sugar = resolveBuiltinTypeSugar(Name))
+          return Sugar;
+
+      // 4. Current dialect, then builtin, then std (Section 4.2).
+      unsigned ErrorsBefore = S.Diags.getNumErrors();
+      if (ConstraintPtr C =
+              lookupInDialect(E, Name, &Current, Current.D))
+        return C;
+      if (S.Diags.getNumErrors() != ErrorsBefore)
+        return nullptr; // A nested resolution already reported.
+      for (const char *Ns : {"builtin", "std"}) {
+        Sema::DialectTables *T = S.lookupTables(Ns);
+        Dialect *D = Ctx.lookupDialect(Ns);
+        if (ConstraintPtr C = lookupInDialect(E, Name, T, D))
+          return C;
+        if (S.Diags.getNumErrors() != ErrorsBefore)
+          return nullptr;
+      }
+      return error(E.Loc, "unknown constraint '" + Name + "'");
+    }
+
+    // Multi-segment path.
+    // (a) dialect-qualified component: d.name
+    if (E.Path.size() == 2) {
+      if (Dialect *D = Ctx.lookupDialect(E.Path[0])) {
+        unsigned ErrorsBefore = S.Diags.getNumErrors();
+        Sema::DialectTables *T = S.lookupTables(E.Path[0]);
+        if (ConstraintPtr C = lookupInDialect(E, E.Path[1], T, D))
+          return C;
+        if (S.Diags.getNumErrors() != ErrorsBefore)
+          return nullptr;
+      }
+      // (b) enum constructor: enum.Case
+      if (EnumDef *Def = Ctx.resolveEnumDef(E.Path[0], Current.D)) {
+        if (auto Index = Def->lookupCase(E.Path[1]))
+          return Constraint::enumEq(EnumVal{Def, *Index});
+        return error(E.Loc, "'" + E.Path[1] +
+                                "' is not a constructor of enum '" +
+                                Def->getFullName() + "'");
+      }
+      return error(E.Loc,
+                   "unknown constraint '" + join(E.Path, ".") + "'");
+    }
+
+    // (c) dialect.enum.Case
+    if (E.Path.size() == 3) {
+      std::string EnumPath = E.Path[0] + "." + E.Path[1];
+      if (EnumDef *Def = Ctx.resolveEnumDef(EnumPath, Current.D)) {
+        if (auto Index = Def->lookupCase(E.Path[2]))
+          return Constraint::enumEq(EnumVal{Def, *Index});
+        return error(E.Loc, "'" + E.Path[2] +
+                                "' is not a constructor of enum '" +
+                                Def->getFullName() + "'");
+      }
+    }
+    return error(E.Loc, "unknown constraint '" + join(E.Path, ".") + "'");
+  }
+
+  Sema &S;
+  Sema::DialectTables &Current;
+};
+
+} // namespace irdl
+
+//===----------------------------------------------------------------------===//
+// Pass 2: resolution into specs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Unwraps a top-level Variadic/Optional wrapper into a VariadicKind.
+const ConstraintExpr *unwrapVariadic(const ConstraintExpr &E,
+                                     VariadicKind &VK) {
+  VK = VariadicKind::Single;
+  if (E.K != ConstraintExpr::Kind::Ref || E.Path.size() != 1 ||
+      !E.HasArgs)
+    return &E;
+  if (E.Path[0] == "Variadic")
+    VK = VariadicKind::Variadic;
+  else if (E.Path[0] == "Optional")
+    VK = VariadicKind::Optional;
+  else
+    return &E;
+  return E.Args.size() == 1 ? E.Args[0].get() : nullptr;
+}
+
+} // namespace
+
+LogicalResult Sema::resolveDialect(const DialectDecl &Decl,
+                                   DialectSpec &Spec) {
+  DialectTables &T = Tables[Decl.Name];
+  Spec.Name = Decl.Name;
+  Spec.D = T.D;
+
+  ConstraintResolver Resolver(*this, T);
+
+  // Enums were registered in pass 1; mirror them in the spec.
+  for (const EnumDecl &E : Decl.Enums) {
+    EnumSpec ES;
+    ES.Name = E.Name;
+    ES.Cases = E.Cases;
+    ES.Def = T.D->lookupEnum(E.Name);
+    Spec.Enums.push_back(std::move(ES));
+  }
+
+  // Opaque parameter kinds.
+  for (const TypeOrAttrParamDecl &P : Decl.ParamTypes) {
+    ParamTypeSpec PS;
+    PS.Name = P.Name;
+    PS.Summary = P.Summary;
+    PS.CppClassName = P.CppClassName;
+    PS.CppParserSrc = P.CppParser;
+    PS.CppPrinterSrc = P.CppPrinter;
+    Spec.ParamTypes.push_back(std::move(PS));
+  }
+
+  // Named constraints (also forces resolution/caching).
+  for (const ast::ConstraintDecl &C : Decl.Constraints) {
+    ConstraintResolver R(*this, T);
+    ConstraintPtr Resolved = R.resolve(*C.Base);
+    if (!Resolved)
+      return failure();
+    NamedConstraintSpec NS;
+    NS.Name = C.Name;
+    NS.Summary = C.Summary;
+    NS.HasCpp = C.HasCppConstraint;
+    // Resolve through the cache path so Cpp predicates attach.
+    ConstraintExpr Ref;
+    Ref.K = ConstraintExpr::Kind::Ref;
+    Ref.Loc = C.Loc;
+    Ref.Path.push_back(C.Name);
+    NS.Constr = ConstraintResolver(*this, T).resolve(Ref);
+    if (!NS.Constr)
+      return failure();
+    Spec.Constraints.push_back(std::move(NS));
+  }
+
+  // Aliases (non-parametric ones resolve for documentation).
+  for (const AliasDecl &A : Decl.Aliases) {
+    AliasSpec AS;
+    AS.Sigil = A.Sigil;
+    AS.Name = A.Name;
+    AS.Params = A.Params;
+    if (A.Params.empty()) {
+      ConstraintResolver R(*this, T);
+      AS.Body = R.resolve(*A.Body);
+      if (!AS.Body)
+        return failure();
+    }
+    Spec.Aliases.push_back(std::move(AS));
+  }
+
+  // Types and attributes.
+  for (const TypeOrAttrDecl &TA : Decl.TypesAndAttrs) {
+    TypeOrAttrSpec TS;
+    TS.IsAttr = TA.IsAttr;
+    TS.Name = TA.Name;
+    TS.Summary = TA.Summary;
+    for (const NamedConstraint &P : TA.Params) {
+      ConstraintResolver R(*this, T);
+      ConstraintPtr C = R.resolve(*P.Constr);
+      if (!C)
+        return failure();
+      TS.Params.push_back(ParamSpec{P.Name, std::move(C)});
+    }
+    if (TA.HasCppConstraint) {
+      TS.CppConstraintSrc = TA.CppConstraint;
+      if (startsWith(TA.CppConstraint, "native:")) {
+        std::string NativeName = TA.CppConstraint.substr(7);
+        auto It = Opts.NativeConstraints.find(NativeName);
+        if (It == Opts.NativeConstraints.end()) {
+          Diags.emitError(TA.Loc, "no native constraint registered under '" +
+                                      NativeName + "'");
+          return failure();
+        }
+        // Represent as an always-available expr via a wrapper: keep the
+        // native fn in the definition verifier (handled at registration
+        // through the spec's CppConstraintSrc prefix).
+      } else {
+        TS.CppConstraint = CppExpr::parse(TA.CppConstraint, Diags, TA.Loc);
+        if (!TS.CppConstraint)
+          return failure();
+      }
+    }
+    TS.Def = TA.IsAttr
+                 ? static_cast<TypeOrAttrDefinitionBase *>(
+                       T.D->lookupAttr(TA.Name))
+                 : static_cast<TypeOrAttrDefinitionBase *>(
+                       T.D->lookupType(TA.Name));
+    (TA.IsAttr ? Spec.Attrs : Spec.Types).push_back(std::move(TS));
+  }
+
+  // Operations.
+  for (const OpDecl &Op : Decl.Ops) {
+    OpSpec OS;
+    OS.Name = Op.Name;
+    OS.Summary = Op.Summary;
+    OS.Def = T.D->lookupOp(Op.Name);
+
+    for (const NamedConstraint &V : Op.ConstraintVars)
+      OS.VarNames.push_back(V.Name);
+
+    ConstraintResolver OpResolver(*this, T);
+    OpResolver.VarNames = &OS.VarNames;
+
+    for (const NamedConstraint &V : Op.ConstraintVars) {
+      ConstraintPtr C = OpResolver.resolve(*V.Constr);
+      if (!C)
+        return failure();
+      OS.VarConstraints.push_back(std::move(C));
+    }
+
+    auto ResolveOperandList =
+        [&](const std::vector<NamedConstraint> &Decls,
+            std::vector<OperandSpec> &Out) -> LogicalResult {
+      for (const NamedConstraint &NC : Decls) {
+        VariadicKind VK;
+        const ConstraintExpr *Inner = unwrapVariadic(*NC.Constr, VK);
+        if (!Inner) {
+          Diags.emitError(NC.Loc,
+                          "Variadic/Optional take exactly one constraint");
+          return failure();
+        }
+        ConstraintPtr C = OpResolver.resolve(*Inner);
+        if (!C)
+          return failure();
+        Out.push_back(OperandSpec{NC.Name, std::move(C), VK});
+      }
+      return success();
+    };
+
+    if (failed(ResolveOperandList(Op.Operands, OS.Operands)) ||
+        failed(ResolveOperandList(Op.Results, OS.Results)))
+      return failure();
+
+    for (const NamedConstraint &A : Op.Attributes) {
+      ConstraintPtr C = OpResolver.resolve(*A.Constr);
+      if (!C)
+        return failure();
+      OS.Attributes.push_back(ParamSpec{A.Name, std::move(C)});
+    }
+
+    for (const RegionDecl &R : Op.Regions) {
+      RegionSpec RS;
+      RS.Name = R.Name;
+      if (failed(ResolveOperandList(R.Args, RS.Args)))
+        return failure();
+      if (!R.Terminator.empty()) {
+        std::string TermName = join(R.Terminator, ".");
+        OpDefinition *TermDef = Ctx.resolveOpDef(TermName, T.D);
+        if (!TermDef) {
+          Diags.emitError(R.Loc, "unknown terminator operation '" +
+                                     TermName + "'");
+          return failure();
+        }
+        RS.TerminatorOpName = TermDef->getFullName();
+      }
+      OS.Regions.push_back(std::move(RS));
+    }
+
+    OS.Successors = Op.Successors;
+
+    if (Op.HasFormat) {
+      OS.HasFormat = true;
+      OS.FormatSrc = Op.Format;
+    }
+
+    if (Op.HasCppConstraint) {
+      OS.CppConstraintSrc = Op.CppConstraint;
+      if (startsWith(Op.CppConstraint, "native:")) {
+        OS.NativeVerifierName = Op.CppConstraint.substr(7);
+        if (!Opts.NativeOpVerifiers.count(OS.NativeVerifierName)) {
+          Diags.emitError(Op.Loc, "no native op verifier registered under '" +
+                                      OS.NativeVerifierName + "'");
+          return failure();
+        }
+      } else {
+        OS.CppConstraint = CppExpr::parse(Op.CppConstraint, Diags, Op.Loc);
+        if (!OS.CppConstraint)
+          return failure();
+      }
+    }
+
+    Spec.Ops.push_back(std::move(OS));
+  }
+
+  return success();
+}

@@ -1,0 +1,64 @@
+//===- Sema.h - IRDL semantic analysis ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Internal interface between the loader passes: name resolution and
+/// constraint lowering from the AST (IRDLAst.h) to resolved specs
+/// (Spec.h). Exposed for white-box testing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IRDL_SEMA_H
+#define IRDL_IRDL_SEMA_H
+
+#include "irdl/IRDL.h"
+#include "irdl/IRDLAst.h"
+
+namespace irdl {
+
+/// Shared state of one load: the AST-level symbol tables consulted during
+/// resolution (aliases, named constraints, opaque parameter kinds).
+class Sema {
+public:
+  Sema(IRContext &Ctx, DiagnosticEngine &Diags,
+       const IRDLLoadOptions &Opts)
+      : Ctx(Ctx), Diags(Diags), Opts(Opts) {}
+
+  /// Pass 1: creates the dialect and skeleton definitions (names and
+  /// parameter names only), so that cross-references resolve in pass 2.
+  /// Also indexes aliases / constraints / param kinds.
+  LogicalResult declareDialect(const ast::DialectDecl &Decl);
+
+  /// Pass 2: resolves every declaration of \p Decl into \p Spec.
+  LogicalResult resolveDialect(const ast::DialectDecl &Decl,
+                               DialectSpec &Spec);
+
+  IRContext &getContext() { return Ctx; }
+  DiagnosticEngine &getDiags() { return Diags; }
+  const IRDLLoadOptions &getOptions() const { return Opts; }
+
+private:
+  friend class ConstraintResolver;
+
+  struct DialectTables {
+    const ast::DialectDecl *Decl = nullptr;
+    Dialect *D = nullptr;
+    std::map<std::string, const ast::AliasDecl *, std::less<>> Aliases;
+    std::map<std::string, const ast::ConstraintDecl *, std::less<>>
+        Constraints;
+    std::map<std::string, const ast::TypeOrAttrParamDecl *, std::less<>>
+        ParamTypes;
+    /// Cache of resolved named constraints.
+    std::map<std::string, ConstraintPtr, std::less<>> ResolvedConstraints;
+  };
+
+  DialectTables *lookupTables(std::string_view DialectName);
+
+  IRContext &Ctx;
+  DiagnosticEngine &Diags;
+  const IRDLLoadOptions &Opts;
+  std::map<std::string, DialectTables, std::less<>> Tables;
+};
+
+} // namespace irdl
+
+#endif // IRDL_IRDL_SEMA_H

@@ -1,0 +1,78 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast ----------------*- C++ -*-===//
+//
+// Part of the IRDL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal reimplementation of LLVM's opt-in RTTI templates. A class
+/// hierarchy participates by providing a static `classof(const Base *)`
+/// predicate on each derived class; `isa`, `cast`, and `dyn_cast` then work
+/// exactly like their LLVM counterparts, with no v-table requirement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_SUPPORT_CASTING_H
+#define IRDL_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace irdl {
+
+/// Returns true if \p Val is an instance of any of the \p To types.
+template <typename To, typename... Tos, typename From>
+bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  if constexpr (std::is_base_of_v<To, From>)
+    return true;
+  else if (To::classof(Val))
+    return true;
+  if constexpr (sizeof...(Tos) > 0)
+    return isa<Tos...>(Val);
+  else
+    return false;
+}
+
+/// Returns true if \p Val is an instance of any of the \p To types, or false
+/// when \p Val is null.
+template <typename To, typename... Tos, typename From>
+bool isa_and_present(const From *Val) {
+  return Val && isa<To, Tos...>(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From>
+To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast for const pointers.
+template <typename To, typename From>
+const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null if \p Val is not a \p To.
+template <typename To, typename From>
+To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast for const pointers.
+template <typename To, typename From>
+const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates a null input (propagating it).
+template <typename To, typename From>
+To *dyn_cast_if_present(From *Val) {
+  return isa_and_present<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+} // namespace irdl
+
+#endif // IRDL_SUPPORT_CASTING_H

@@ -1,0 +1,32 @@
+//===- Hashing.h - hash_combine helpers -------------------------*- C++ -*-===//
+///
+/// \file
+/// Hash combinators used by the context-uniquing maps for types and
+/// attributes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_SUPPORT_HASHING_H
+#define IRDL_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <functional>
+
+namespace irdl {
+
+/// Mixes \p Value into \p Seed (boost-style).
+inline void hashCombine(size_t &Seed, size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+/// Hashes each argument and combines them into one value.
+template <typename... Ts>
+size_t hashValues(const Ts &...Values) {
+  size_t Seed = 0;
+  (hashCombine(Seed, std::hash<Ts>{}(Values)), ...);
+  return Seed;
+}
+
+} // namespace irdl
+
+#endif // IRDL_SUPPORT_HASHING_H

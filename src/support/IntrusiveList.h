@@ -1,0 +1,198 @@
+//===- IntrusiveList.h - Doubly-linked intrusive list ----------*- C++ -*-===//
+///
+/// \file
+/// A small intrusive doubly-linked list in the spirit of llvm::ilist. Nodes
+/// derive from IntrusiveListNode<T> (CRTP); the list owns its nodes and
+/// deletes them on destruction or erase(). Iterators remain valid across
+/// insertions and across removals of *other* nodes, which is the property
+/// the IR rewriting infrastructure depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_SUPPORT_INTRUSIVELIST_H
+#define IRDL_SUPPORT_INTRUSIVELIST_H
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+
+namespace irdl {
+
+template <typename T>
+class IntrusiveList;
+
+/// Base class for nodes stored in an IntrusiveList<T>.
+template <typename T>
+class IntrusiveListNode {
+public:
+  IntrusiveListNode() = default;
+  IntrusiveListNode(const IntrusiveListNode &) = delete;
+  IntrusiveListNode &operator=(const IntrusiveListNode &) = delete;
+
+  /// Returns the next node in the list, or null at the end.
+  T *getNextNode() const {
+    return Next && !Next->IsSentinel ? static_cast<T *>(Next) : nullptr;
+  }
+
+  /// Returns the previous node in the list, or null at the beginning.
+  T *getPrevNode() const {
+    return Prev && !Prev->IsSentinel ? static_cast<T *>(Prev) : nullptr;
+  }
+
+  /// Returns true if this node is currently linked into a list.
+  bool isLinked() const { return Next != nullptr; }
+
+private:
+  friend class IntrusiveList<T>;
+  IntrusiveListNode *Prev = nullptr;
+  IntrusiveListNode *Next = nullptr;
+  bool IsSentinel = false;
+};
+
+/// An owning intrusive doubly-linked list.
+template <typename T>
+class IntrusiveList {
+  using Node = IntrusiveListNode<T>;
+
+public:
+  class iterator {
+  public:
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T *;
+    using reference = T &;
+
+    iterator() = default;
+    explicit iterator(Node *N) : Cur(N) {}
+
+    reference operator*() const { return *static_cast<T *>(Cur); }
+    pointer operator->() const { return static_cast<T *>(Cur); }
+    iterator &operator++() {
+      Cur = Cur->Next;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator Tmp = *this;
+      ++*this;
+      return Tmp;
+    }
+    iterator &operator--() {
+      Cur = Cur->Prev;
+      return *this;
+    }
+    iterator operator--(int) {
+      iterator Tmp = *this;
+      --*this;
+      return Tmp;
+    }
+    bool operator==(const iterator &RHS) const { return Cur == RHS.Cur; }
+    bool operator!=(const iterator &RHS) const { return Cur != RHS.Cur; }
+
+    /// Returns the underlying node pointer.
+    T *getNodePtr() const { return static_cast<T *>(Cur); }
+
+  private:
+    Node *Cur = nullptr;
+  };
+
+  IntrusiveList() {
+    Sentinel.Prev = Sentinel.Next = &Sentinel;
+    Sentinel.IsSentinel = true;
+  }
+  IntrusiveList(const IntrusiveList &) = delete;
+  IntrusiveList &operator=(const IntrusiveList &) = delete;
+  ~IntrusiveList() { clear(); }
+
+  iterator begin() { return iterator(Sentinel.Next); }
+  iterator end() { return iterator(&Sentinel); }
+  iterator begin() const {
+    return iterator(const_cast<Node *>(Sentinel.Next));
+  }
+  iterator end() const { return iterator(const_cast<Node *>(&Sentinel)); }
+
+  bool empty() const { return Sentinel.Next == &Sentinel; }
+
+  /// Returns the number of elements; O(n).
+  size_t size() const {
+    size_t N = 0;
+    for (Node *Cur = Sentinel.Next; Cur != &Sentinel; Cur = Cur->Next)
+      ++N;
+    return N;
+  }
+
+  T &front() {
+    assert(!empty() && "front() on empty list");
+    return *static_cast<T *>(Sentinel.Next);
+  }
+  T &back() {
+    assert(!empty() && "back() on empty list");
+    return *static_cast<T *>(Sentinel.Prev);
+  }
+
+  /// Inserts \p N before \p Pos, taking ownership. Returns an iterator to N.
+  iterator insert(iterator Pos, T *N) {
+    Node *Where = Pos.getNodePtr();
+    Node *NewNode = N;
+    assert(!NewNode->isLinked() && "node is already in a list");
+    NewNode->Prev = Where->Prev;
+    NewNode->Next = Where;
+    Where->Prev->Next = NewNode;
+    Where->Prev = NewNode;
+    return iterator(NewNode);
+  }
+
+  iterator push_back(T *N) { return insert(end(), N); }
+  iterator push_front(T *N) { return insert(begin(), N); }
+
+  /// Unlinks \p N from the list without deleting it; the caller takes
+  /// ownership.
+  T *remove(T *N) {
+    Node *Cur = N;
+    assert(Cur->isLinked() && "node is not in a list");
+    Cur->Prev->Next = Cur->Next;
+    Cur->Next->Prev = Cur->Prev;
+    Cur->Prev = Cur->Next = nullptr;
+    return N;
+  }
+
+  /// Unlinks and deletes \p N. Returns an iterator to the following node.
+  iterator erase(T *N) {
+    iterator Following(static_cast<Node *>(N)->Next);
+    delete remove(N);
+    return Following;
+  }
+
+  /// Unlinks and deletes every element.
+  void clear() {
+    Node *Cur = Sentinel.Next;
+    while (Cur != &Sentinel) {
+      Node *NextNode = Cur->Next;
+      Cur->Prev = Cur->Next = nullptr;
+      delete static_cast<T *>(Cur);
+      Cur = NextNode;
+    }
+    Sentinel.Prev = Sentinel.Next = &Sentinel;
+  }
+
+  /// Moves all elements of \p Other before \p Pos.
+  void splice(iterator Pos, IntrusiveList &Other) {
+    if (Other.empty())
+      return;
+    Node *Where = Pos.getNodePtr();
+    Node *First = Other.Sentinel.Next;
+    Node *Last = Other.Sentinel.Prev;
+    Other.Sentinel.Prev = Other.Sentinel.Next = &Other.Sentinel;
+    First->Prev = Where->Prev;
+    Where->Prev->Next = First;
+    Last->Next = Where;
+    Where->Prev = Last;
+  }
+
+private:
+  Node Sentinel;
+};
+
+} // namespace irdl
+
+#endif // IRDL_SUPPORT_INTRUSIVELIST_H

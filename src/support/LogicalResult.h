@@ -1,0 +1,38 @@
+//===- LogicalResult.h - MLIR-style success/failure -------------*- C++ -*-===//
+///
+/// \file
+/// A two-state result type for operations that can fail but report their
+/// details through a DiagnosticEngine, mirroring mlir::LogicalResult.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_SUPPORT_LOGICALRESULT_H
+#define IRDL_SUPPORT_LOGICALRESULT_H
+
+namespace irdl {
+
+class LogicalResult {
+public:
+  static LogicalResult success(bool IsSuccess = true) {
+    return LogicalResult(IsSuccess);
+  }
+  static LogicalResult failure(bool IsFailure = true) {
+    return LogicalResult(!IsFailure);
+  }
+
+  bool succeeded() const { return IsSuccess; }
+  bool failed() const { return !IsSuccess; }
+
+private:
+  explicit LogicalResult(bool IsSuccess) : IsSuccess(IsSuccess) {}
+  bool IsSuccess;
+};
+
+inline LogicalResult success() { return LogicalResult::success(); }
+inline LogicalResult failure() { return LogicalResult::failure(); }
+inline bool succeeded(LogicalResult R) { return R.succeeded(); }
+inline bool failed(LogicalResult R) { return R.failed(); }
+
+} // namespace irdl
+
+#endif // IRDL_SUPPORT_LOGICALRESULT_H

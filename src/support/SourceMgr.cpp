@@ -1,0 +1,55 @@
+//===- SourceMgr.cpp ------------------------------------------------===//
+
+#include "support/SourceMgr.h"
+
+using namespace irdl;
+
+unsigned SourceMgr::addBuffer(std::string Contents, std::string Name) {
+  auto Buf = std::make_unique<Buffer>();
+  Buf->Contents = std::move(Contents);
+  Buf->Name = std::move(Name);
+  Buffers.push_back(std::move(Buf));
+  return Buffers.size();
+}
+
+unsigned SourceMgr::findBufferContaining(SMLoc Loc) const {
+  if (!Loc.isValid())
+    return 0;
+  const char *Ptr = Loc.getPointer();
+  for (unsigned I = 0, E = Buffers.size(); I != E; ++I) {
+    const std::string &Contents = Buffers[I]->Contents;
+    // The one-past-the-end position is a valid location (EOF diagnostics).
+    if (Ptr >= Contents.data() && Ptr <= Contents.data() + Contents.size())
+      return I + 1;
+  }
+  return 0;
+}
+
+SMLineAndColumn SourceMgr::getLineAndColumn(SMLoc Loc) const {
+  SMLineAndColumn Result;
+  unsigned Id = findBufferContaining(Loc);
+  if (Id == 0)
+    return Result;
+
+  std::string_view Contents = getBufferContents(Id);
+  const char *Ptr = Loc.getPointer();
+  size_t Offset = Ptr - Contents.data();
+
+  unsigned Line = 1;
+  size_t LineStart = 0;
+  for (size_t I = 0; I < Offset; ++I) {
+    if (Contents[I] == '\n') {
+      ++Line;
+      LineStart = I + 1;
+    }
+  }
+  size_t LineEnd = Contents.find('\n', LineStart);
+  if (LineEnd == std::string_view::npos)
+    LineEnd = Contents.size();
+
+  Result.BufferName = getBufferName(Id);
+  Result.Line = Line;
+  Result.Column = static_cast<unsigned>(Offset - LineStart) + 1;
+  Result.LineText = Contents.substr(LineStart, LineEnd - LineStart);
+  return Result;
+}

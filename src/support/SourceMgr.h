@@ -1,0 +1,106 @@
+//===- SourceMgr.h - Source buffers and locations --------------*- C++ -*-===//
+///
+/// \file
+/// Owns source buffers and maps raw pointer locations (SMLoc) back to
+/// buffer/line/column for diagnostics, in the spirit of llvm::SourceMgr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_SUPPORT_SOURCEMGR_H
+#define IRDL_SUPPORT_SOURCEMGR_H
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace irdl {
+
+/// A location in a source buffer, represented as a raw character pointer.
+class SMLoc {
+public:
+  SMLoc() = default;
+
+  static SMLoc getFromPointer(const char *Ptr) {
+    SMLoc Loc;
+    Loc.Ptr = Ptr;
+    return Loc;
+  }
+
+  bool isValid() const { return Ptr != nullptr; }
+  const char *getPointer() const { return Ptr; }
+
+  bool operator==(const SMLoc &RHS) const { return Ptr == RHS.Ptr; }
+  bool operator!=(const SMLoc &RHS) const { return Ptr != RHS.Ptr; }
+
+private:
+  const char *Ptr = nullptr;
+};
+
+/// A half-open range of locations within one buffer.
+class SMRange {
+public:
+  SMRange() = default;
+  SMRange(SMLoc Start, SMLoc End) : Start(Start), End(End) {}
+
+  bool isValid() const { return Start.isValid(); }
+  SMLoc getStart() const { return Start; }
+  SMLoc getEnd() const { return End; }
+
+private:
+  SMLoc Start, End;
+};
+
+/// Line and column (both 1-based) of a location, plus its buffer name.
+struct SMLineAndColumn {
+  std::string_view BufferName;
+  unsigned Line = 0;
+  unsigned Column = 0;
+  /// The full text of the line containing the location.
+  std::string_view LineText;
+};
+
+/// Owns a set of source buffers and resolves SMLocs against them.
+class SourceMgr {
+public:
+  /// Adds a buffer; returns its id (1-based). The contents are copied and
+  /// remain valid for the lifetime of the SourceMgr.
+  unsigned addBuffer(std::string Contents, std::string Name);
+
+  unsigned getNumBuffers() const { return Buffers.size(); }
+
+  /// Returns the contents of buffer \p Id.
+  std::string_view getBufferContents(unsigned Id) const {
+    assert(Id >= 1 && Id <= Buffers.size() && "invalid buffer id");
+    return Buffers[Id - 1]->Contents;
+  }
+
+  std::string_view getBufferName(unsigned Id) const {
+    assert(Id >= 1 && Id <= Buffers.size() && "invalid buffer id");
+    return Buffers[Id - 1]->Name;
+  }
+
+  /// Returns the start-of-buffer location for buffer \p Id.
+  SMLoc getBufferStart(unsigned Id) const {
+    return SMLoc::getFromPointer(getBufferContents(Id).data());
+  }
+
+  /// Finds the buffer containing \p Loc, or 0 if unknown.
+  unsigned findBufferContaining(SMLoc Loc) const;
+
+  /// Resolves \p Loc to a (buffer name, line, column, line text) tuple.
+  /// Returns a zeroed record if the location is not in any buffer.
+  SMLineAndColumn getLineAndColumn(SMLoc Loc) const;
+
+private:
+  struct Buffer {
+    std::string Contents;
+    std::string Name;
+  };
+  std::vector<std::unique_ptr<Buffer>> Buffers;
+};
+
+} // namespace irdl
+
+#endif // IRDL_SUPPORT_SOURCEMGR_H

@@ -1,0 +1,117 @@
+//===- StringExtras.cpp ---------------------------------------------===//
+
+#include "support/StringExtras.h"
+
+using namespace irdl;
+
+bool irdl::isIdentifierStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+}
+
+bool irdl::isIdentifierChar(char C) {
+  return isIdentifierStart(C) || (C >= '0' && C <= '9');
+}
+
+bool irdl::isIdentifier(std::string_view Str) {
+  if (Str.empty() || !isIdentifierStart(Str[0]))
+    return false;
+  for (char C : Str.substr(1))
+    if (!isIdentifierChar(C))
+      return false;
+  return true;
+}
+
+std::string irdl::escapeString(std::string_view Str) {
+  std::string Result;
+  Result.reserve(Str.size());
+  for (char C : Str) {
+    switch (C) {
+    case '"':
+      Result += "\\\"";
+      break;
+    case '\\':
+      Result += "\\\\";
+      break;
+    case '\n':
+      Result += "\\n";
+      break;
+    case '\t':
+      Result += "\\t";
+      break;
+    default:
+      Result += C;
+    }
+  }
+  return Result;
+}
+
+std::optional<std::string> irdl::unescapeString(std::string_view Body) {
+  std::string Result;
+  Result.reserve(Body.size());
+  for (size_t I = 0, E = Body.size(); I != E; ++I) {
+    if (Body[I] != '\\') {
+      Result += Body[I];
+      continue;
+    }
+    if (++I == E)
+      return std::nullopt;
+    switch (Body[I]) {
+    case '"':
+      Result += '"';
+      break;
+    case '\\':
+      Result += '\\';
+      break;
+    case 'n':
+      Result += '\n';
+      break;
+    case 't':
+      Result += '\t';
+      break;
+    default:
+      return std::nullopt;
+    }
+  }
+  return Result;
+}
+
+std::vector<std::string_view> irdl::splitString(std::string_view Str,
+                                                char Sep) {
+  std::vector<std::string_view> Pieces;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Str.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Pieces.push_back(Str.substr(Start));
+      return Pieces;
+    }
+    Pieces.push_back(Str.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::optional<uint64_t> irdl::parseUInt(std::string_view Str) {
+  if (Str.empty())
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : Str) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    uint64_t Digit = C - '0';
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return std::nullopt;
+    Value = Value * 10 + Digit;
+  }
+  return Value;
+}
+
+std::string irdl::join(const std::vector<std::string> &Pieces,
+                       std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0, E = Pieces.size(); I != E; ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Pieces[I];
+  }
+  return Result;
+}

@@ -1,0 +1,92 @@
+//===- RenderTest.cpp - ASCII rendering utilities -------------------------===//
+
+#include "analysis/Render.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace irdl;
+
+namespace {
+
+TEST(RenderTest, FormatPercent) {
+  EXPECT_EQ(formatPercent(0.5), "50%");
+  EXPECT_EQ(formatPercent(0.123, 1), "12.3%");
+  EXPECT_EQ(formatPercent(0.0), "0%");
+  EXPECT_EQ(formatPercent(1.0), "100%");
+}
+
+TEST(RenderTest, TextTableAlignsColumns) {
+  TextTable T({"name", "count"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer-name", "22"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("| name        | count |"), std::string::npos);
+  EXPECT_NE(Out.find("| longer-name | 22    |"), std::string::npos);
+  // Separator rows (ending "+\n") at top, after header, and bottom.
+  size_t Seps = 0, Pos = 0;
+  while ((Pos = Out.find("+\n", Pos)) != std::string::npos) {
+    ++Seps;
+    Pos += 2;
+  }
+  EXPECT_EQ(Seps, 3u);
+}
+
+TEST(RenderTest, TextTableShortRowsTolerated) {
+  TextTable T({"a", "b", "c"});
+  T.addRow({"only-one"});
+  std::ostringstream OS;
+  T.print(OS);
+  EXPECT_NE(OS.str().find("only-one"), std::string::npos);
+}
+
+TEST(RenderTest, StackedBarFillsWidth) {
+  std::string Bar = stackedBar({0.5, 0.5}, 40);
+  EXPECT_EQ(Bar.size(), 40u);
+  EXPECT_EQ(Bar.substr(0, 20), std::string(20, '#'));
+  EXPECT_EQ(Bar.substr(20), std::string(20, '='));
+}
+
+TEST(RenderTest, StackedBarHandlesRounding) {
+  std::string Bar = stackedBar({1.0 / 3, 1.0 / 3, 1.0 / 3}, 40);
+  EXPECT_EQ(Bar.size(), 40u);
+}
+
+TEST(RenderTest, StackedBarEmpty) {
+  EXPECT_EQ(stackedBar({}, 10), std::string(10, ' '));
+}
+
+TEST(RenderTest, CountBarLinear) {
+  EXPECT_EQ(countBar(10, 10, 20), std::string(20, '#'));
+  EXPECT_EQ(countBar(5, 10, 20), std::string(10, '#'));
+  EXPECT_EQ(countBar(0, 10, 20), "");
+  // Small nonzero values get at least one glyph.
+  EXPECT_EQ(countBar(0.01, 10, 20), "#");
+}
+
+TEST(RenderTest, CountBarLog) {
+  std::string Small = countBar(3, 945, 40, /*LogScale=*/true);
+  std::string Large = countBar(945, 945, 40, /*LogScale=*/true);
+  EXPECT_LT(Small.size(), Large.size());
+  EXPECT_EQ(Large.size(), 40u);
+  // Log scale compresses: 3 of 945 still visible.
+  EXPECT_GE(Small.size(), 4u);
+}
+
+TEST(RenderTest, PrintStackedFigureShape) {
+  std::ostringstream OS;
+  printStackedFigure(OS, "title", {"x", "y"},
+                     {{"rowA", {0.25, 0.75}}, {"rowB", {1.0, 0.0}}},
+                     {0.5, 0.5});
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("title"), std::string::npos);
+  EXPECT_NE(Out.find("legend:"), std::string::npos);
+  EXPECT_NE(Out.find("rowA"), std::string::npos);
+  EXPECT_NE(Out.find("overall"), std::string::npos);
+  EXPECT_NE(Out.find("25%"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,207 @@
+//===- StatisticsTest.cpp - Analysis library unit tests ------------------===//
+
+#include "analysis/DialectStatistics.h"
+
+#include "ir/Context.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class StatisticsTest : public ::testing::Test {
+protected:
+  StatisticsTest() : Diags(&SrcMgr) {}
+
+  std::unique_ptr<IRDLModule> load(std::string_view Src,
+                                   IRDLLoadOptions Opts = {}) {
+    return loadIRDL(Ctx, Src, SrcMgr, Diags, Opts);
+  }
+
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags;
+};
+
+TEST_F(StatisticsTest, ParamKindClassification) {
+  auto M = load(R"(
+    Dialect k {
+      Enum mode { A, B }
+      TypeOrAttrParam Special { CppClassName "K" }
+      Type t {
+        Parameters (a: !AnyType, b: #AnyAttr, c: uint32_t, d: string,
+                    e: float32_t, f: mode, g: location, h: type_id,
+                    i: Special, j: array<int32_t>, k: AnyOf<!f32, !f64>)
+      }
+    }
+  )");
+  ASSERT_NE(M, nullptr) << Diags.renderAll();
+  const TypeOrAttrSpec *T = M->lookupDialect("k")->lookupType("t");
+  auto Kind = [&](unsigned I) {
+    return classifyParamKind(T->Params[I].Constr);
+  };
+  EXPECT_EQ(Kind(0), ParamKind::AttrOrType);
+  EXPECT_EQ(Kind(1), ParamKind::AttrOrType);
+  EXPECT_EQ(Kind(2), ParamKind::Integer);
+  EXPECT_EQ(Kind(3), ParamKind::String);
+  EXPECT_EQ(Kind(4), ParamKind::Float);
+  EXPECT_EQ(Kind(5), ParamKind::Enum);
+  EXPECT_EQ(Kind(6), ParamKind::Location);
+  EXPECT_EQ(Kind(7), ParamKind::TypeId);
+  EXPECT_EQ(Kind(8), ParamKind::DomainSpecific);
+  EXPECT_EQ(Kind(9), ParamKind::Integer);    // array<int32_t>
+  EXPECT_EQ(Kind(10), ParamKind::AttrOrType); // uniform AnyOf
+}
+
+TEST_F(StatisticsTest, OpRecords) {
+  auto M = load(R"(
+    Dialect s {
+      Operation simple {
+        Operands (a: !f32, b: !f32)
+        Results (r: !f32)
+        Attributes (k: #builtin.int)
+      }
+      Operation shaped {
+        Operands (xs: Variadic<!f32>, o: Optional<!i32>)
+        Region body { }
+        Successors (next)
+        CppConstraint "$_self.numOperands >= 1"
+      }
+    }
+  )");
+  ASSERT_NE(M, nullptr) << Diags.renderAll();
+  CorpusStatistics Stats =
+      CorpusStatistics::compute(M->Dialects);
+  const DialectStatistics *D = Stats.lookup("s");
+  ASSERT_NE(D, nullptr);
+  ASSERT_EQ(D->Ops.size(), 2u);
+
+  const OpRecord &Simple = D->Ops[0];
+  EXPECT_EQ(Simple.NumOperandDefs, 2u);
+  EXPECT_EQ(Simple.NumVariadicOperandDefs, 0u);
+  EXPECT_EQ(Simple.NumResultDefs, 1u);
+  EXPECT_EQ(Simple.NumAttrDefs, 1u);
+  EXPECT_EQ(Simple.NumRegionDefs, 0u);
+  EXPECT_FALSE(Simple.IsTerminator);
+  EXPECT_TRUE(Simple.LocalConstraintsInIRDL);
+  EXPECT_FALSE(Simple.NeedsCppVerifier);
+
+  const OpRecord &Shaped = D->Ops[1];
+  EXPECT_EQ(Shaped.NumVariadicOperandDefs, 2u);
+  EXPECT_EQ(Shaped.NumRegionDefs, 1u);
+  EXPECT_TRUE(Shaped.IsTerminator);
+  EXPECT_TRUE(Shaped.NeedsCppVerifier);
+}
+
+TEST_F(StatisticsTest, Distributions) {
+  auto M = load(R"(
+    Dialect d {
+      Operation a { }
+      Operation b { Operands (x: !f32) }
+      Operation c { Operands (x: !f32, y: !f32) }
+      Operation e { Operands (x: !f32, y: !f32, z: !f32, w: !f32) }
+    }
+  )");
+  ASSERT_NE(M, nullptr) << Diags.renderAll();
+  CorpusStatistics Stats = CorpusStatistics::compute(M->Dialects);
+  Distribution OpDist = Stats.operandCountDist();
+  EXPECT_EQ(OpDist.Total, 4u);
+  EXPECT_EQ(OpDist.Counts[0], 1u);
+  EXPECT_EQ(OpDist.Counts[1], 1u);
+  EXPECT_EQ(OpDist.Counts[2], 1u);
+  EXPECT_EQ(OpDist.Counts[3], 1u); // 4 operands lands in the 3+ bucket
+  EXPECT_DOUBLE_EQ(OpDist.fraction(1), 0.25);
+}
+
+TEST_F(StatisticsTest, ExpressibilityBuckets) {
+  IRDLLoadOptions Opts;
+  Opts.NativeConstraints["n"] = [](const ParamValue &) { return true; };
+  auto M = load(R"(
+    Dialect e {
+      TypeOrAttrParam P { CppClassName "X" }
+      Type pure { Parameters (a: uint32_t) }
+      Type needs_param { Parameters (a: P) }
+      Type needs_verifier { Parameters (a: uint32_t)
+                            CppConstraint "$_self.a <= 4" }
+      Attribute pure_attr { Parameters (v: string) }
+      Operation op_pure { Operands (x: !f32) }
+      Operation op_cpp { CppConstraint "$_self.numResults == 0" }
+    }
+  )",
+                Opts);
+  ASSERT_NE(M, nullptr) << Diags.renderAll();
+  CorpusStatistics Stats = CorpusStatistics::compute(M->Dialects);
+
+  auto TP = Stats.typeParamExpressibility();
+  EXPECT_EQ(TP.PureIRDL, 2u);
+  EXPECT_EQ(TP.NeedsCpp, 1u);
+  auto TV = Stats.typeVerifierExpressibility();
+  EXPECT_EQ(TV.NeedsCpp, 1u);
+  auto AP = Stats.attrParamExpressibility();
+  EXPECT_EQ(AP.PureIRDL, 1u);
+  EXPECT_EQ(AP.NeedsCpp, 0u);
+
+  auto OV = Stats.opVerifierExpressibility();
+  EXPECT_EQ(OV.PureIRDL, 1u);
+  EXPECT_EQ(OV.NeedsCpp, 1u);
+  EXPECT_DOUBLE_EQ(OV.cppFraction(), 0.5);
+}
+
+TEST_F(StatisticsTest, LocationAndTypeIdAreNotCpp) {
+  auto M = load(R"(
+    Dialect loc {
+      Attribute l { Parameters (x: location, y: type_id) }
+    }
+  )");
+  ASSERT_NE(M, nullptr) << Diags.renderAll();
+  CorpusStatistics Stats = CorpusStatistics::compute(M->Dialects);
+  auto AP = Stats.attrParamExpressibility();
+  EXPECT_EQ(AP.PureIRDL, 1u);
+  EXPECT_EQ(AP.NeedsCpp, 0u);
+}
+
+TEST_F(StatisticsTest, LocalCppKindCategorization) {
+  IRDLLoadOptions Opts;
+  Opts.NativeConstraints["stride_check"] =
+      [](const ParamValue &) { return true; };
+  Opts.NativeConstraints["struct_opacity"] =
+      [](const ParamValue &) { return true; };
+  auto M = load(R"(
+    Dialect f12 {
+      Type buf { Parameters (w: uint32_t) }
+      Constraint Bounded : !buf { CppConstraint "$_self.w <= 64" }
+      Constraint Strided : !buf { CppConstraint "native:stride_check" }
+      Constraint Opaque : !buf { CppConstraint "native:struct_opacity" }
+      Operation ineq { Operands (a: Bounded) }
+      Operation stride { Operands (a: Strided) }
+      Operation opac { Operands (a: Opaque) }
+      Operation clean { Operands (a: !buf) }
+    }
+  )",
+                Opts);
+  ASSERT_NE(M, nullptr) << Diags.renderAll();
+  CorpusStatistics Stats = CorpusStatistics::compute(M->Dialects);
+  auto Kinds = Stats.localCppConstraintKinds();
+  EXPECT_EQ(Kinds[CppConstraintKind::IntegerInequality], 1u);
+  EXPECT_EQ(Kinds[CppConstraintKind::StrideCheck], 1u);
+  EXPECT_EQ(Kinds[CppConstraintKind::StructOpacity], 1u);
+
+  auto Local = Stats.opLocalConstraintExpressibility();
+  EXPECT_EQ(Local.NeedsCpp, 3u);
+  EXPECT_EQ(Local.PureIRDL, 1u);
+}
+
+TEST_F(StatisticsTest, DialectFractionWithOp) {
+  auto M = load(R"(
+    Dialect one { Operation a { Operands (x: Variadic<!f32>) } }
+    Dialect two { Operation b { Operands (x: !f32) } }
+  )");
+  ASSERT_NE(M, nullptr) << Diags.renderAll();
+  CorpusStatistics Stats = CorpusStatistics::compute(M->Dialects);
+  double Frac = Stats.dialectFractionWithOp(
+      [](const OpRecord &R) { return R.NumVariadicOperandDefs > 0; });
+  EXPECT_DOUBLE_EQ(Frac, 0.5);
+}
+
+} // namespace

@@ -1,0 +1,259 @@
+//===- CorpusTest.cpp - The synthetic 28-dialect corpus ------------------===//
+///
+/// Validates the corpus pipeline end to end: the synthesized IRDL text
+/// loads through the real frontend, and the statistics *measured* from
+/// the resulting specs reproduce the aggregates the paper quotes in
+/// Section 6 (within rounding).
+
+#include "analysis/DialectStatistics.h"
+#include "corpus/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+/// The corpus is deterministic; load it once for the whole suite.
+class CorpusTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    Ctx = new IRContext();
+    SrcMgr = new SourceMgr();
+    Diags = new DiagnosticEngine(SrcMgr);
+    Result = new CorpusLoadResult(
+        loadSyntheticCorpus(*Ctx, *SrcMgr, *Diags));
+    if (*Result)
+      Stats = new CorpusStatistics(
+          CorpusStatistics::compute(Result->AnalysisDialects));
+  }
+
+  static void TearDownTestSuite() {
+    delete Stats;
+    delete Result;
+    delete Diags;
+    delete SrcMgr;
+    delete Ctx;
+    Stats = nullptr;
+    Result = nullptr;
+    Diags = nullptr;
+    SrcMgr = nullptr;
+    Ctx = nullptr;
+  }
+
+  static IRContext *Ctx;
+  static SourceMgr *SrcMgr;
+  static DiagnosticEngine *Diags;
+  static CorpusLoadResult *Result;
+  static CorpusStatistics *Stats;
+};
+
+IRContext *CorpusTest::Ctx = nullptr;
+SourceMgr *CorpusTest::SrcMgr = nullptr;
+DiagnosticEngine *CorpusTest::Diags = nullptr;
+CorpusLoadResult *CorpusTest::Result = nullptr;
+CorpusStatistics *CorpusTest::Stats = nullptr;
+
+TEST_F(CorpusTest, LoadsThroughTheRealFrontend) {
+  ASSERT_TRUE(static_cast<bool>(*Result)) << Diags->renderAll();
+  EXPECT_EQ(Result->AnalysisDialects.size(), 28u);
+}
+
+TEST_F(CorpusTest, InventoryMatchesTable1) {
+  ASSERT_TRUE(static_cast<bool>(*Result)) << Diags->renderAll();
+  PaperAggregates Paper;
+  EXPECT_EQ(Stats->totalOps(), Paper.NumOps);
+  EXPECT_EQ(Stats->totalTypes(), Paper.NumTypes);
+  EXPECT_EQ(Stats->totalAttrs(), Paper.NumAttrs);
+
+  // Every Table 1 dialect is present with its profiled op count.
+  for (const DialectProfile &P : getDialectProfiles()) {
+    const DialectStatistics *D = Stats->lookup(P.Name);
+    ASSERT_NE(D, nullptr) << P.Name;
+    EXPECT_EQ(D->numOps(), P.NumOps) << P.Name;
+    EXPECT_EQ(D->numTypes(), P.NumTypes) << P.Name;
+    EXPECT_EQ(D->numAttrs(), P.NumAttrs) << P.Name;
+  }
+}
+
+TEST_F(CorpusTest, OperandDistributionMatchesFigure5a) {
+  ASSERT_TRUE(static_cast<bool>(*Result)) << Diags->renderAll();
+  Distribution D = Stats->operandCountDist();
+  PaperAggregates Paper;
+  EXPECT_NEAR(D.fraction(0), Paper.Operands0, 0.01);
+  EXPECT_NEAR(D.fraction(1), Paper.Operands1, 0.01);
+  EXPECT_NEAR(D.fraction(2), Paper.Operands2, 0.01);
+  EXPECT_NEAR(D.fraction(3), Paper.Operands3Plus, 0.01);
+}
+
+TEST_F(CorpusTest, VariadicOperandsMatchFigure5b) {
+  ASSERT_TRUE(static_cast<bool>(*Result)) << Diags->renderAll();
+  Distribution D = Stats->variadicOperandDist();
+  PaperAggregates Paper;
+  EXPECT_NEAR(1.0 - D.fraction(0), Paper.OpsWithVariadicOperand, 0.02);
+
+  double DialectFrac = Stats->dialectFractionWithOp(
+      [](const OpRecord &R) { return R.NumVariadicOperandDefs > 0; });
+  EXPECT_NEAR(DialectFrac, Paper.DialectsWithVariadicOperand, 0.04);
+}
+
+TEST_F(CorpusTest, ResultDistributionMatchesFigure6) {
+  ASSERT_TRUE(static_cast<bool>(*Result)) << Diags->renderAll();
+  Distribution D = Stats->resultCountDist();
+  PaperAggregates Paper;
+  EXPECT_NEAR(D.fraction(0), Paper.Results0, 0.01);
+  EXPECT_NEAR(D.fraction(1), Paper.Results1, 0.02);
+
+  // Only gpu, x86vector, async, and shape define 2-result ops.
+  for (const DialectStatistics &DS : Stats->getDialects()) {
+    bool HasTwo = false;
+    for (const OpRecord &R : DS.Ops)
+      HasTwo |= R.NumResultDefs >= 2;
+    bool Expected = DS.Name == "gpu" || DS.Name == "x86vector" ||
+                    DS.Name == "async" || DS.Name == "shape";
+    EXPECT_EQ(HasTwo, Expected) << DS.Name;
+  }
+
+  Distribution VR = Stats->variadicResultDist();
+  EXPECT_NEAR(1.0 - VR.fraction(0), Paper.OpsWithVariadicResult, 0.01);
+}
+
+TEST_F(CorpusTest, AttrAndRegionUseMatchesFigure7) {
+  ASSERT_TRUE(static_cast<bool>(*Result)) << Diags->renderAll();
+  PaperAggregates Paper;
+  Distribution A = Stats->attrCountDist();
+  EXPECT_NEAR(A.fraction(0), Paper.OpsWithNoAttr, 0.01);
+
+  Distribution R = Stats->regionCountDist();
+  EXPECT_NEAR(1.0 - R.fraction(0), Paper.OpsWithRegion, 0.01);
+  double RegionDialects = Stats->dialectFractionWithOp(
+      [](const OpRecord &Rec) { return Rec.NumRegionDefs > 0; });
+  EXPECT_NEAR(RegionDialects, Paper.DialectsWithRegionOp, 0.04);
+
+  // scf and builtin have region ops in more than half their operations.
+  for (const char *Name : {"scf", "builtin"}) {
+    const DialectStatistics *D = Stats->lookup(Name);
+    ASSERT_NE(D, nullptr);
+    unsigned WithRegion = 0;
+    for (const OpRecord &Rec : D->Ops)
+      WithRegion += Rec.NumRegionDefs > 0;
+    EXPECT_GT(2 * WithRegion, D->numOps()) << Name;
+  }
+}
+
+TEST_F(CorpusTest, ParamKindsMatchFigure8) {
+  ASSERT_TRUE(static_cast<bool>(*Result)) << Diags->renderAll();
+  auto TypeKinds = Stats->typeParamKinds();
+  auto AttrKinds = Stats->attrParamKinds();
+
+  // attr/type parameters dominate both panels.
+  unsigned TypeTotal = 0, AttrTotal = 0;
+  for (auto &[K, N] : TypeKinds)
+    TypeTotal += N;
+  for (auto &[K, N] : AttrKinds)
+    AttrTotal += N;
+  EXPECT_GT(TypeKinds[ParamKind::AttrOrType], TypeTotal / 3);
+  EXPECT_GT(AttrKinds[ParamKind::AttrOrType], AttrTotal / 3);
+
+  // Domain-specific parameters are rare (3%-ish for types).
+  EXPECT_LE(TypeKinds[ParamKind::DomainSpecific] * 100, TypeTotal * 5);
+
+  // Locations and type ids appear only on the attribute side here.
+  EXPECT_EQ(TypeKinds[ParamKind::Location], 0u);
+  EXPECT_GT(AttrKinds[ParamKind::Location], 0u);
+}
+
+TEST_F(CorpusTest, TypeExpressibilityMatchesFigure9) {
+  ASSERT_TRUE(static_cast<bool>(*Result)) << Diags->renderAll();
+  PaperAggregates Paper;
+  auto Params = Stats->typeParamExpressibility();
+  EXPECT_NEAR(1.0 - Params.cppFraction(), Paper.TypesParamsInIRDL, 0.01);
+  auto Verifiers = Stats->typeVerifierExpressibility();
+  EXPECT_NEAR(Verifiers.cppFraction(), Paper.TypesWithCppVerifier, 0.01);
+}
+
+TEST_F(CorpusTest, AttrExpressibilityMatchesFigure10) {
+  ASSERT_TRUE(static_cast<bool>(*Result)) << Diags->renderAll();
+  PaperAggregates Paper;
+  auto Params = Stats->attrParamExpressibility();
+  EXPECT_NEAR(1.0 - Params.cppFraction(), Paper.AttrsParamsInIRDL, 0.01);
+  auto Verifiers = Stats->attrVerifierExpressibility();
+  EXPECT_NEAR(Verifiers.cppFraction(), Paper.AttrsWithCppVerifier, 0.01);
+}
+
+TEST_F(CorpusTest, OpExpressibilityMatchesFigure11) {
+  ASSERT_TRUE(static_cast<bool>(*Result)) << Diags->renderAll();
+  PaperAggregates Paper;
+  auto Local = Stats->opLocalConstraintExpressibility();
+  EXPECT_NEAR(1.0 - Local.cppFraction(), Paper.OpsLocalConstraintsInIRDL,
+              0.01);
+  auto Verifiers = Stats->opVerifierExpressibility();
+  EXPECT_NEAR(Verifiers.cppFraction(), Paper.OpsNeedingCppVerifier, 0.01);
+}
+
+TEST_F(CorpusTest, CppConstraintKindsMatchFigure12) {
+  ASSERT_TRUE(static_cast<bool>(*Result)) << Diags->renderAll();
+  auto Kinds = Stats->localCppConstraintKinds();
+  unsigned ExpectedIneq = 0, ExpectedStride = 0, ExpectedOpacity = 0;
+  for (const DialectProfile &P : getDialectProfiles()) {
+    ExpectedIneq += P.OpsLocalIntInequality;
+    ExpectedStride += P.OpsLocalStrideCheck;
+    ExpectedOpacity += P.OpsLocalStructOpacity;
+  }
+  EXPECT_EQ(Kinds[CppConstraintKind::IntegerInequality], ExpectedIneq);
+  EXPECT_EQ(Kinds[CppConstraintKind::StrideCheck], ExpectedStride);
+  EXPECT_EQ(Kinds[CppConstraintKind::StructOpacity], ExpectedOpacity);
+  // The three categories are the only ones (Figure 12).
+  EXPECT_EQ(Kinds[CppConstraintKind::Other], 0u);
+}
+
+TEST_F(CorpusTest, GrowthTimelineMatchesFigure3) {
+  const auto &Timeline = getGrowthTimeline();
+  PaperAggregates Paper;
+  ASSERT_FALSE(Timeline.empty());
+  EXPECT_EQ(Timeline.front().NumOps, Paper.GrowthStart);
+  EXPECT_EQ(Timeline.back().NumOps, Paper.GrowthEnd);
+  // Monotonic growth, 2.1x overall.
+  for (size_t I = 1; I < Timeline.size(); ++I)
+    EXPECT_GE(Timeline[I].NumOps, Timeline[I - 1].NumOps);
+  EXPECT_NEAR(static_cast<double>(Paper.GrowthEnd) / Paper.GrowthStart,
+              2.1, 0.05);
+}
+
+TEST_F(CorpusTest, NativeConstraintsBehave) {
+  // The stride/opacity callbacks actually discriminate values.
+  ASSERT_TRUE(static_cast<bool>(*Result)) << Diags->renderAll();
+  IRDLLoadOptions Opts = corpusNativeOptions();
+  TypeDefinition *Buffer = Ctx->resolveTypeDef("corpus_support.buffer");
+  ASSERT_NE(Buffer, nullptr);
+
+  auto MakeBuffer = [&](std::vector<int64_t> Strides,
+                        std::string Opacity) {
+    std::vector<ParamValue> StrideVals;
+    for (int64_t S : Strides)
+      StrideVals.emplace_back(IntVal{64, Signedness::Signed, S});
+    return Ctx->getType(
+        Buffer,
+        {ParamValue(Ctx->getFloatType(32)),
+         ParamValue(IntVal{32, Signedness::Unsigned, 8}),
+         ParamValue(std::move(StrideVals)), ParamValue(Opacity)});
+  };
+
+  auto &Stride = Opts.NativeConstraints["stride_check"];
+  EXPECT_TRUE(Stride(ParamValue(MakeBuffer({4, 1}, "opaque"))));
+  EXPECT_FALSE(Stride(ParamValue(MakeBuffer({}, "opaque"))));
+  EXPECT_FALSE(Stride(ParamValue(MakeBuffer({0}, "opaque"))));
+
+  auto &Opacity = Opts.NativeConstraints["struct_opacity"];
+  EXPECT_TRUE(Opacity(ParamValue(MakeBuffer({1}, "opaque"))));
+  EXPECT_FALSE(Opacity(ParamValue(MakeBuffer({1}, "transparent"))));
+}
+
+TEST_F(CorpusTest, SynthesisIsDeterministic) {
+  std::string A = synthesizeCorpusIRDL();
+  std::string B = synthesizeCorpusIRDL();
+  EXPECT_EQ(A, B);
+  EXPECT_GT(A.size(), 10000u);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+//===- EnumAttrTest.cpp - Enum constructors as op attributes -------------===//
+///
+/// Enums (Section 4.8) appear in two roles: as type/attribute parameters
+/// (raw EnumVal parameter values) and as operation attributes (wrapped in
+/// the builtin.enum attribute). These tests cover the attribute role:
+/// parsing `arith.fastmath.fast` in attribute position, printing it back,
+/// and constraint checking against enum / enum-constructor constraints.
+
+#include "ir/Block.h"
+#include "ir/Context.h"
+#include "ir/IRParser.h"
+#include "ir/Printer.h"
+#include "ir/Region.h"
+#include "irdl/IRDL.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class EnumAttrTest : public ::testing::Test {
+protected:
+  EnumAttrTest() : Diags(&SrcMgr) {
+    Module = loadIRDL(Ctx, R"(
+      Dialect e {
+        Enum rounding { nearest, up, down }
+        Operation round {
+          Operands (x: !f32)
+          Results (r: !f32)
+          Attributes (mode: rounding)
+        }
+        Operation round_up_only {
+          Operands (x: !f32)
+          Results (r: !f32)
+          Attributes (mode: rounding.up)
+        }
+      }
+    )",
+                      SrcMgr, Diags);
+  }
+
+  OwningOpRef parse(std::string_view Src) {
+    return parseSourceString(Ctx, Src, SrcMgr, Diags);
+  }
+
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags;
+  std::unique_ptr<IRDLModule> Module;
+};
+
+TEST_F(EnumAttrTest, GetEnumAttrIsUniqued) {
+  EnumDef *R = Ctx.resolveEnumDef("e.rounding");
+  ASSERT_NE(R, nullptr);
+  Attribute A = Ctx.getEnumAttr(EnumVal{R, 1});
+  Attribute B = Ctx.getEnumAttr(EnumVal{R, 1});
+  Attribute C = Ctx.getEnumAttr(EnumVal{R, 2});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A.str(), "e.rounding.up");
+}
+
+TEST_F(EnumAttrTest, ParsePrintRoundTrip) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  OwningOpRef M = parse(R"(
+    std.func @f(%x: f32) {
+      %r = "e.round"(%x) {mode = e.rounding.nearest} : (f32) -> (f32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(M->verify(V))) << V.renderAll();
+
+  std::string Text = printOpToString(M.get());
+  EXPECT_NE(Text.find("mode = e.rounding.nearest"), std::string::npos)
+      << Text;
+  OwningOpRef M2 = parse(Text);
+  ASSERT_TRUE(static_cast<bool>(M2)) << Text << "\n" << Diags.renderAll();
+  EXPECT_EQ(printOpToString(M2.get()), Text);
+}
+
+TEST_F(EnumAttrTest, EnumKindConstraintChecksTheEnum) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  // A different enum's constructor is rejected.
+  DiagnosticEngine LocalDiags(&SrcMgr);
+  auto M2 = loadIRDL(Ctx, "Dialect other { Enum shade { light, dark } }",
+                     SrcMgr, LocalDiags);
+  ASSERT_NE(M2, nullptr) << LocalDiags.renderAll();
+
+  OwningOpRef M = parse(R"(
+    std.func @f(%x: f32) {
+      %r = "e.round"(%x) {mode = other.shade.dark} : (f32) -> (f32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(failed(M->verify(V)));
+  EXPECT_NE(V.renderAll().find("attribute 'mode'"), std::string::npos);
+
+  // An integer attribute is rejected too.
+  OwningOpRef M3 = parse(R"(
+    std.func @f(%x: f32) {
+      %r = "e.round"(%x) {mode = 1 : i32} : (f32) -> (f32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M3)) << Diags.renderAll();
+  DiagnosticEngine V3;
+  EXPECT_TRUE(failed(M3->verify(V3)));
+}
+
+TEST_F(EnumAttrTest, EnumConstructorConstraintPinsOneCase) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  OwningOpRef Good = parse(R"(
+    std.func @f(%x: f32) {
+      %r = "e.round_up_only"(%x) {mode = e.rounding.up} : (f32) -> (f32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Good)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(Good->verify(V))) << V.renderAll();
+
+  OwningOpRef Bad = parse(R"(
+    std.func @f(%x: f32) {
+      %r = "e.round_up_only"(%x) {mode = e.rounding.down} : (f32) -> (f32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Bad)) << Diags.renderAll();
+  DiagnosticEngine V2;
+  EXPECT_TRUE(failed(Bad->verify(V2)));
+}
+
+TEST_F(EnumAttrTest, UnknownCaseDiagnosedAtParse) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  OwningOpRef M = parse(R"(
+    std.func @f(%x: f32) {
+      %r = "e.round"(%x) {mode = e.rounding.sideways} : (f32) -> (f32)
+      std.return
+    }
+  )");
+  EXPECT_FALSE(static_cast<bool>(M));
+  EXPECT_NE(Diags.renderAll().find("not a constructor"),
+            std::string::npos);
+}
+
+TEST_F(EnumAttrTest, DottedTypeStillParsesInAttrPosition) {
+  // A dotted path that is NOT an enum falls back to a type attribute.
+  DiagnosticEngine LocalDiags(&SrcMgr);
+  auto M2 = loadIRDL(Ctx, R"(
+    Dialect t2 { Type thing { Parameters (x: !AnyType) } }
+  )",
+                     SrcMgr, LocalDiags);
+  ASSERT_NE(M2, nullptr) << LocalDiags.renderAll();
+  DiagnosticEngine ADiags;
+  Attribute A = parseAttrString(Ctx, "!t2.thing<f32>", ADiags);
+  ASSERT_TRUE(static_cast<bool>(A)) << ADiags.renderAll();
+  EXPECT_EQ(A.getDef(), Ctx.getTypeAttrDef());
+  // Bare (bang-less) dotted paths work as type attrs too.
+  Attribute B = parseAttrString(Ctx, "t2.thing<f32>", ADiags);
+  ASSERT_TRUE(static_cast<bool>(B)) << ADiags.renderAll();
+  EXPECT_EQ(A, B);
+}
+
+} // namespace

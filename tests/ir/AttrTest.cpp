@@ -1,0 +1,109 @@
+//===- AttrTest.cpp - Attribute uniquing and builtin attrs -------------===//
+
+#include "ir/Context.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+TEST(AttrTest, IntegerAttrUniquing) {
+  IRContext Ctx;
+  EXPECT_EQ(Ctx.getIntegerAttr(3, 32), Ctx.getIntegerAttr(3, 32));
+  EXPECT_NE(Ctx.getIntegerAttr(3, 32), Ctx.getIntegerAttr(4, 32));
+  EXPECT_NE(Ctx.getIntegerAttr(3, 32), Ctx.getIntegerAttr(3, 64));
+}
+
+TEST(AttrTest, FloatAttr) {
+  IRContext Ctx;
+  Attribute A = Ctx.getFloatAttr(2.5, 32);
+  EXPECT_EQ(A.getParam("value").getFloat().Value, 2.5);
+  EXPECT_EQ(A.getParam("value").getFloat().Width, 32);
+  EXPECT_EQ(A, Ctx.getFloatAttr(2.5, 32));
+}
+
+TEST(AttrTest, StringAttr) {
+  IRContext Ctx;
+  Attribute A = Ctx.getStringAttr("conorm");
+  EXPECT_EQ(A.getParam("value").getString(), "conorm");
+  EXPECT_EQ(A, Ctx.getStringAttr("conorm"));
+  EXPECT_NE(A, Ctx.getStringAttr("other"));
+}
+
+TEST(AttrTest, TypeAttr) {
+  IRContext Ctx;
+  Attribute A = Ctx.getTypeAttr(Ctx.getFloatType(32));
+  EXPECT_EQ(A.getParam("type").getType(), Ctx.getFloatType(32));
+}
+
+TEST(AttrTest, UnitAttr) {
+  IRContext Ctx;
+  EXPECT_EQ(Ctx.getUnitAttr(), Ctx.getUnitAttr());
+  EXPECT_TRUE(Ctx.getUnitAttr().getParams().empty());
+}
+
+TEST(AttrTest, ArrayAttr) {
+  IRContext Ctx;
+  Attribute Arr = Ctx.getArrayAttr(
+      {Ctx.getIntegerAttr(1, 32), Ctx.getIntegerAttr(2, 32)});
+  EXPECT_EQ(Arr.getParam("elements").getArray().size(), 2u);
+  EXPECT_EQ(Arr, Ctx.getArrayAttr({Ctx.getIntegerAttr(1, 32),
+                                   Ctx.getIntegerAttr(2, 32)}));
+  EXPECT_NE(Arr, Ctx.getArrayAttr({Ctx.getIntegerAttr(2, 32),
+                                   Ctx.getIntegerAttr(1, 32)}));
+}
+
+TEST(AttrTest, CustomAttrDefinition) {
+  IRContext Ctx;
+  Dialect *D = Ctx.getOrCreateDialect("cmath");
+  AttrDefinition *Def = D->addAttr("fraction");
+  Def->setParamNames({"num", "den"});
+  Attribute Half = Ctx.getAttr(
+      Def, {ParamValue(IntVal{32, {}, 1}), ParamValue(IntVal{32, {}, 2})});
+  EXPECT_EQ(Half.getName(), "cmath.fraction");
+  EXPECT_EQ(Half.getParam("den").getInt().Value, 2);
+}
+
+TEST(AttrTest, CheckedAttrConstruction) {
+  IRContext Ctx;
+  DiagnosticEngine Diags;
+  // builtin.int rejects a string parameter.
+  Attribute Bad = Ctx.getAttrChecked(
+      Ctx.getIntAttrDef(), {ParamValue(std::string("oops"))}, Diags);
+  EXPECT_FALSE(static_cast<bool>(Bad));
+  EXPECT_TRUE(Diags.hadError());
+}
+
+TEST(AttrTest, AttrAsTypeParameter) {
+  IRContext Ctx;
+  Dialect *D = Ctx.getOrCreateDialect("t");
+  TypeDefinition *Def = D->addType("annotated");
+  Def->setParamNames({"note"});
+  Type T = Ctx.getType(Def, {ParamValue(Ctx.getStringAttr("hi"))});
+  EXPECT_TRUE(T.getParam("note").isAttr());
+  EXPECT_EQ(T.getParam("note").getAttr(), Ctx.getStringAttr("hi"));
+}
+
+TEST(AttrTest, OpaqueParamCodecs) {
+  IRContext Ctx;
+  const OpaqueParamCodec *Loc = Ctx.lookupOpaqueParamCodec("location");
+  ASSERT_NE(Loc, nullptr);
+  EXPECT_EQ(Loc->Parse("file.c:10:2"), "file.c:10:2");
+  EXPECT_EQ(Ctx.lookupOpaqueParamCodec("no_such_codec"), nullptr);
+
+  OpaqueParamCodec Custom;
+  Custom.Print = [](const OpaqueVal &V) { return V.Payload; };
+  Custom.Parse = [](std::string_view P) -> std::optional<std::string> {
+    if (P.empty())
+      return std::nullopt;
+    return std::string(P);
+  };
+  Ctx.registerOpaqueParamCodec("llvm_struct", Custom);
+  const OpaqueParamCodec *C = Ctx.lookupOpaqueParamCodec("llvm_struct");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Parse(""), std::nullopt);
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+//===- BuilderTest.cpp - OpBuilder insertion behaviour -----------------===//
+
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class BuilderTest : public ::testing::Test {
+protected:
+  BuilderTest() : Builder(&Ctx) {
+    Dialect *D = Ctx.getOrCreateDialect("test");
+    OpDefinition *Def = D->addOp("op");
+    Def->setSummary("test op");
+    (void)Def;
+  }
+
+  IRContext Ctx;
+  OpBuilder Builder;
+};
+
+TEST_F(BuilderTest, CreateWithoutInsertionPointIsDetached) {
+  Operation *Op = Builder.create("test.op", {}, {Ctx.getFloatType(32)});
+  EXPECT_EQ(Op->getBlock(), nullptr);
+  delete Op;
+}
+
+TEST_F(BuilderTest, SequentialInsertionAtEnd) {
+  Block B;
+  Builder.setInsertionPointToEnd(&B);
+  Operation *First = Builder.create("test.op", {}, {});
+  Operation *Second = Builder.create("test.op", {}, {});
+  EXPECT_EQ(&B.front(), First);
+  EXPECT_EQ(&B.back(), Second);
+}
+
+TEST_F(BuilderTest, InsertionBeforeOp) {
+  Block B;
+  Builder.setInsertionPointToEnd(&B);
+  Operation *Last = Builder.create("test.op", {}, {});
+  Builder.setInsertionPoint(Last);
+  Operation *BeforeLast = Builder.create("test.op", {}, {});
+  EXPECT_EQ(&B.front(), BeforeLast);
+  EXPECT_EQ(BeforeLast->getNextNode(), Last);
+}
+
+TEST_F(BuilderTest, InsertionAfterOp) {
+  Block B;
+  Builder.setInsertionPointToEnd(&B);
+  Operation *First = Builder.create("test.op", {}, {});
+  Operation *Third = Builder.create("test.op", {}, {});
+  Builder.setInsertionPointAfter(First);
+  Operation *SecondOp = Builder.create("test.op", {}, {});
+  EXPECT_EQ(First->getNextNode(), SecondOp);
+  EXPECT_EQ(SecondOp->getNextNode(), Third);
+}
+
+TEST_F(BuilderTest, InsertionAtStart) {
+  Block B;
+  Builder.setInsertionPointToEnd(&B);
+  Builder.create("test.op", {}, {});
+  Builder.setInsertionPointToStart(&B);
+  Operation *New = Builder.create("test.op", {}, {});
+  EXPECT_EQ(&B.front(), New);
+}
+
+TEST_F(BuilderTest, ResolveNamePrefersRegistered) {
+  OperationName Name = Builder.resolveName("test.op");
+  EXPECT_TRUE(Name.isRegistered());
+  EXPECT_EQ(Name.str(), "test.op");
+
+  OperationName Std = Builder.resolveName("return");
+  EXPECT_EQ(Std.str(), "std.return");
+}
+
+TEST_F(BuilderTest, CreateWithOperandsAndAttrs) {
+  Block B;
+  Builder.setInsertionPointToEnd(&B);
+  Operation *P = Builder.create("test.op", {}, {Ctx.getFloatType(32)});
+  NamedAttrList Attrs;
+  Attrs.set("k", Ctx.getIntegerAttr(7, 32));
+  Operation *C =
+      Builder.create("test.op", {P->getResult(0)}, {}, std::move(Attrs));
+  EXPECT_EQ(C->getNumOperands(), 1u);
+  EXPECT_EQ(C->getAttr("k"), Ctx.getIntegerAttr(7, 32));
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- DominanceEdgeTest.cpp - CFG edge cases in the verifier -------------===//
+
+#include "ir/Block.h"
+#include "ir/Context.h"
+#include "ir/IRParser.h"
+#include "ir/Region.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class DominanceEdgeTest : public ::testing::Test {
+protected:
+  DominanceEdgeTest() : Diags(&SrcMgr) {
+    Dialect *D = Ctx.getOrCreateDialect("test");
+    D->addOp("source");
+    D->addOp("sink");
+  }
+
+  OwningOpRef parse(std::string_view Src) {
+    return parseSourceString(Ctx, Src, SrcMgr, Diags);
+  }
+
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags;
+  DiagnosticEngine VDiags;
+};
+
+TEST_F(DominanceEdgeTest, LoopBackEdge) {
+  // A value defined in the loop header is usable in the loop body that
+  // branches back to it.
+  OwningOpRef M = parse(R"(
+    std.func @f(%c: i1) {
+      "std.br"()[^header] : () -> ()
+    ^header:
+      %x = "test.source"() : () -> (f32)
+      "std.cond_br"(%c)[^body, ^exit] : (i1) -> ()
+    ^body:
+      "test.sink"(%x) : (f32) -> ()
+      "std.br"()[^header] : () -> ()
+    ^exit:
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  EXPECT_TRUE(succeeded(M->verify(VDiags))) << VDiags.renderAll();
+}
+
+TEST_F(DominanceEdgeTest, ValueFromLoopBodyNotUsableInHeader) {
+  OwningOpRef M = parse(R"(
+    std.func @f(%c: i1) {
+      "std.br"()[^header] : () -> ()
+    ^header:
+      "test.sink"(%y) : (f32) -> ()
+      "std.cond_br"(%c)[^body, ^exit] : (i1) -> ()
+    ^body:
+      %y = "test.source"() : () -> (f32)
+      "std.br"()[^header] : () -> ()
+    ^exit:
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  EXPECT_TRUE(failed(M->verify(VDiags)));
+  EXPECT_NE(VDiags.renderAll().find("does not dominate"),
+            std::string::npos);
+}
+
+TEST_F(DominanceEdgeTest, UnreachableBlockDoesNotDominate) {
+  // A definition in an unreachable block cannot feed a reachable one.
+  OwningOpRef M = parse(R"(
+    std.func @f() {
+      "std.br"()[^reach] : () -> ()
+    ^reach:
+      "test.sink"(%dead) : (f32) -> ()
+      std.return
+    ^unreachable:
+      %dead = "test.source"() : () -> (f32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  EXPECT_TRUE(failed(M->verify(VDiags)));
+}
+
+TEST_F(DominanceEdgeTest, UseInsideUnreachableBlockIsTolerantButChecked) {
+  // Uses *within* an unreachable block of values defined in the same
+  // block still obey intra-block ordering.
+  OwningOpRef M = parse(R"(
+    std.func @f() {
+      std.return
+    ^dead:
+      %x = "test.source"() : () -> (f32)
+      "test.sink"(%x) : (f32) -> ()
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  EXPECT_TRUE(succeeded(M->verify(VDiags))) << VDiags.renderAll();
+}
+
+TEST_F(DominanceEdgeTest, DiamondJoinNeedsCommonDominator) {
+  // The classic: defs in each diamond arm do not dominate the join.
+  OwningOpRef M = parse(R"(
+    std.func @f(%c: i1) {
+      %ok = "test.source"() : () -> (f32)
+      "std.cond_br"(%c)[^l, ^r] : (i1) -> ()
+    ^l:
+      %a = "test.source"() : () -> (f32)
+      "std.br"()[^join] : () -> ()
+    ^r:
+      "std.br"()[^join] : () -> ()
+    ^join:
+      "test.sink"(%ok) : (f32) -> ()
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  EXPECT_TRUE(succeeded(M->verify(VDiags))) << VDiags.renderAll();
+
+  OwningOpRef Bad = parse(R"(
+    std.func @f(%c: i1) {
+      "std.cond_br"(%c)[^l, ^r] : (i1) -> ()
+    ^l:
+      %a = "test.source"() : () -> (f32)
+      "std.br"()[^join] : () -> ()
+    ^r:
+      "std.br"()[^join] : () -> ()
+    ^join:
+      "test.sink"(%a) : (f32) -> ()
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Bad)) << Diags.renderAll();
+  DiagnosticEngine V2;
+  EXPECT_TRUE(failed(Bad->verify(V2)));
+}
+
+TEST_F(DominanceEdgeTest, NestedRegionSeesLoopHeaderValues) {
+  OwningOpRef M = parse(R"(
+    std.func @f(%c: i1) {
+      %x = "test.source"() : () -> (f32)
+      "std.cond_br"(%c)[^a, ^b] : (i1) -> ()
+    ^a:
+      module {
+        "test.sink"(%x) : (f32) -> ()
+      }
+      std.return
+    ^b:
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  EXPECT_TRUE(succeeded(M->verify(VDiags))) << VDiags.renderAll();
+}
+
+TEST_F(DominanceEdgeTest, BlockArgumentsDominateWholeBlock) {
+  OwningOpRef M = parse(R"(
+    std.func @f(%c: i1) {
+      "std.br"()[^loop] : () -> ()
+    ^loop(%carried: f32):
+      "test.sink"(%carried) : (f32) -> ()
+      "std.br"()[^loop] : () -> ()
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  EXPECT_TRUE(succeeded(M->verify(VDiags))) << VDiags.renderAll();
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+//===- OperationTest.cpp - Operation construction ----------------------===//
+
+#include "ir/Context.h"
+#include "ir/Block.h"
+#include "ir/Builder.h"
+#include "ir/Region.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class OperationTest : public ::testing::Test {
+protected:
+  OperationTest() {
+    Ctx.setAllowUnregisteredOps(true);
+    D = Ctx.getOrCreateDialect("test");
+    ProduceDef = D->addOp("produce");
+    ConsumeDef = D->addOp("consume");
+  }
+
+  Operation *makeProduce(Type Ty) {
+    OperationState State{OperationName(ProduceDef)};
+    State.ResultTypes.push_back(Ty);
+    return Operation::create(State);
+  }
+
+  IRContext Ctx;
+  Dialect *D = nullptr;
+  OpDefinition *ProduceDef = nullptr;
+  OpDefinition *ConsumeDef = nullptr;
+};
+
+TEST_F(OperationTest, CreateWithResults) {
+  Operation *Op = makeProduce(Ctx.getFloatType(32));
+  EXPECT_EQ(Op->getNumResults(), 1u);
+  EXPECT_EQ(Op->getResult(0).getType(), Ctx.getFloatType(32));
+  EXPECT_EQ(Op->getResult(0).getDefiningOp(), Op);
+  EXPECT_EQ(Op->getResult(0).getIndex(), 0u);
+  EXPECT_EQ(Op->getName().str(), "test.produce");
+  EXPECT_TRUE(Op->isRegistered());
+  delete Op;
+}
+
+TEST_F(OperationTest, CreateWithOperands) {
+  Operation *P = makeProduce(Ctx.getFloatType(32));
+  OperationState State{OperationName(ConsumeDef)};
+  State.Operands.push_back(P->getResult(0));
+  Operation *C = Operation::create(State);
+  EXPECT_EQ(C->getNumOperands(), 1u);
+  EXPECT_EQ(C->getOperand(0), P->getResult(0));
+  EXPECT_FALSE(P->use_empty());
+  delete C;
+  EXPECT_TRUE(P->use_empty());
+  delete P;
+}
+
+TEST_F(OperationTest, Attributes) {
+  Operation *Op = makeProduce(Ctx.getFloatType(32));
+  Op->setAttr("flag", Ctx.getUnitAttr());
+  Op->setAttr("count", Ctx.getIntegerAttr(4, 32));
+  EXPECT_EQ(Op->getAttr("count"), Ctx.getIntegerAttr(4, 32));
+  EXPECT_FALSE(static_cast<bool>(Op->getAttr("missing")));
+  EXPECT_TRUE(Op->removeAttr("flag"));
+  EXPECT_FALSE(Op->removeAttr("flag"));
+  delete Op;
+}
+
+TEST_F(OperationTest, NamedAttrListIsSorted) {
+  NamedAttrList L;
+  IRContext C2;
+  L.set("zeta", C2.getUnitAttr());
+  L.set("alpha", C2.getUnitAttr());
+  L.set("mid", C2.getUnitAttr());
+  std::vector<std::string> Names;
+  for (const NamedAttribute &NA : L)
+    Names.push_back(NA.Name);
+  EXPECT_EQ(Names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST_F(OperationTest, SetOperandsGrowAndShrink) {
+  Operation *A = makeProduce(Ctx.getFloatType(32));
+  Operation *B = makeProduce(Ctx.getFloatType(32));
+  OperationState State{OperationName(ConsumeDef)};
+  Operation *C = Operation::create(State);
+
+  C->setOperands({A->getResult(0), B->getResult(0)});
+  EXPECT_EQ(C->getNumOperands(), 2u);
+  EXPECT_FALSE(A->use_empty());
+  EXPECT_FALSE(B->use_empty());
+
+  C->setOperands({B->getResult(0)});
+  EXPECT_EQ(C->getNumOperands(), 1u);
+  EXPECT_TRUE(A->use_empty());
+  EXPECT_FALSE(B->use_empty());
+
+  C->setOperands({});
+  EXPECT_TRUE(B->use_empty());
+  delete C;
+  delete A;
+  delete B;
+}
+
+TEST_F(OperationTest, EraseOperand) {
+  Operation *A = makeProduce(Ctx.getFloatType(32));
+  Operation *B = makeProduce(Ctx.getFloatType(64));
+  OperationState State{OperationName(ConsumeDef)};
+  State.Operands = {A->getResult(0), B->getResult(0)};
+  Operation *C = Operation::create(State);
+  C->eraseOperand(0);
+  EXPECT_EQ(C->getNumOperands(), 1u);
+  EXPECT_EQ(C->getOperand(0), B->getResult(0));
+  EXPECT_TRUE(A->use_empty());
+  delete C;
+  delete A;
+  delete B;
+}
+
+TEST_F(OperationTest, MultipleResults) {
+  OperationState State{OperationName(ProduceDef)};
+  State.ResultTypes = {Ctx.getFloatType(32), Ctx.getIntegerType(32)};
+  Operation *Op = Operation::create(State);
+  EXPECT_EQ(Op->getNumResults(), 2u);
+  EXPECT_EQ(Op->getResult(1).getIndex(), 1u);
+  auto Types = Op->getResultTypes();
+  EXPECT_EQ(Types[1], Ctx.getIntegerType(32));
+  delete Op;
+}
+
+TEST_F(OperationTest, RegionsInState) {
+  OperationState State{OperationName(ProduceDef)};
+  Region *R = State.addRegion();
+  Block *B = new Block();
+  R->push_back(B);
+  Operation *Op = Operation::create(State);
+  EXPECT_EQ(Op->getNumRegions(), 1u);
+  EXPECT_EQ(Op->getRegion(0).getNumBlocks(), 1u);
+  EXPECT_EQ(Op->getRegion(0).front().getParent(), &Op->getRegion(0));
+  EXPECT_EQ(Op->getRegion(0).getParentOp(), Op);
+  delete Op;
+}
+
+TEST_F(OperationTest, WalkVisitsNestedOps) {
+  OperationState State{OperationName(ProduceDef)};
+  Region *R = State.addRegion();
+  Block *B = new Block();
+  R->push_back(B);
+  OperationState Inner{OperationName(ConsumeDef)};
+  B->push_back(Operation::create(Inner));
+  Operation *Op = Operation::create(State);
+
+  int Count = 0;
+  Op->walk([&](Operation *) { ++Count; });
+  EXPECT_EQ(Count, 2);
+  delete Op;
+}
+
+TEST_F(OperationTest, ParentChain) {
+  OperationState State{OperationName(ProduceDef)};
+  Region *R = State.addRegion();
+  Block *B = new Block();
+  R->push_back(B);
+  OperationState InnerState{OperationName(ConsumeDef)};
+  Operation *Inner = Operation::create(InnerState);
+  B->push_back(Inner);
+  Operation *Outer = Operation::create(State);
+
+  EXPECT_EQ(Inner->getParentOp(), Outer);
+  EXPECT_EQ(Outer->getParentOp(), nullptr);
+  EXPECT_EQ(Inner->getBlock()->getParentOp(), Outer);
+  delete Outer;
+}
+
+TEST_F(OperationTest, UnregisteredOperation) {
+  OperationState State{OperationName(std::string("mystery.op"))};
+  Operation *Op = Operation::create(State);
+  EXPECT_FALSE(Op->isRegistered());
+  EXPECT_EQ(Op->getDef(), nullptr);
+  EXPECT_EQ(Op->getName().str(), "mystery.op");
+  delete Op;
+}
+
+} // namespace

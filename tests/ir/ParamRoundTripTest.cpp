@@ -1,0 +1,98 @@
+//===- ParamRoundTripTest.cpp - Parameter syntax round trips --------------===//
+///
+/// Property sweep: every ParamValue kind, embedded as the parameter of a
+/// type, prints to text that reparses to the *same uniqued type handle*.
+
+#include "ir/Context.h"
+#include "ir/IRParser.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+struct Pool {
+  IRContext Ctx;
+  TypeDefinition *Box;
+  EnumDef *Mode;
+  std::vector<ParamValue> Values;
+
+  Pool() {
+    Dialect *D = Ctx.getOrCreateDialect("p");
+    Box = D->addType("box");
+    Box->setParamNames({"v"});
+    Mode = D->addEnum("mode", {"A", "B", "C"});
+
+    Values.emplace_back(Ctx.getFloatType(32));
+    Values.emplace_back(Ctx.getIntegerType(32));
+    Values.emplace_back(Ctx.getIntegerType(8, Signedness::Signed));
+    Values.emplace_back(Ctx.getIndexType());
+    Values.emplace_back(Ctx.getFunctionType({Ctx.getIntegerType(32)},
+                                            {Ctx.getFloatType(64)}));
+    Values.emplace_back(Ctx.getIntegerAttr(42, 32));
+    Values.emplace_back(Ctx.getIntegerAttr(-7, 16, Signedness::Signed));
+    Values.emplace_back(Ctx.getFloatAttr(2.5, 32));
+    Values.emplace_back(Ctx.getStringAttr("hello \"world\""));
+    Values.emplace_back(Ctx.getTypeAttr(Ctx.getFloatType(32)));
+    Values.emplace_back(Ctx.getUnitAttr());
+    Values.emplace_back(
+        Ctx.getArrayAttr({Ctx.getIntegerAttr(1, 32), Ctx.getUnitAttr()}));
+    Values.emplace_back(Ctx.getEnumAttr(EnumVal{Mode, 1}));
+    Values.emplace_back(IntVal{32, Signedness::Signless, 9});
+    Values.emplace_back(IntVal{64, Signedness::Signed, -3});
+    Values.emplace_back(IntVal{8, Signedness::Unsigned, 255});
+    Values.emplace_back(FloatVal{32, 1.5});
+    Values.emplace_back(FloatVal{64, -0.125});
+    Values.emplace_back(FloatVal{64, 1e100});
+    Values.emplace_back(std::string("plain"));
+    Values.emplace_back(std::string("esc \"q\" \\ \n\t"));
+    Values.emplace_back(std::string(""));
+    Values.emplace_back(EnumVal{Mode, 0});
+    Values.emplace_back(EnumVal{Mode, 2});
+    Values.emplace_back(std::vector<ParamValue>{});
+    Values.emplace_back(std::vector<ParamValue>{
+        ParamValue(IntVal{32, Signedness::Signless, 1}),
+        ParamValue(std::string("x")),
+        ParamValue(Ctx.getFloatType(32))});
+    Values.emplace_back(OpaqueVal{"location", "file.c:3:4"});
+    Values.emplace_back(OpaqueVal{"type_id", "0xdeadbeef"});
+  }
+};
+
+Pool &pool() {
+  static Pool P;
+  return P;
+}
+
+class ParamRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParamRoundTripTest, TypeEmbeddingRoundTrips) {
+  Pool &P = pool();
+  const ParamValue &V = P.Values[static_cast<size_t>(GetParam())];
+  Type T = P.Ctx.getType(P.Box, {V});
+  std::string Text = T.str();
+
+  DiagnosticEngine Diags;
+  Type Back = parseTypeString(P.Ctx, Text, Diags);
+  ASSERT_TRUE(static_cast<bool>(Back))
+      << "text was: " << Text << "\n"
+      << Diags.renderAll();
+  EXPECT_EQ(Back, T) << "text was: " << Text;
+}
+
+TEST_P(ParamRoundTripTest, ParamPrintingIsStable) {
+  Pool &P = pool();
+  const ParamValue &V = P.Values[static_cast<size_t>(GetParam())];
+  EXPECT_EQ(V.str(), V.str());
+  // Hash is consistent with equality.
+  ParamValue Copy = V;
+  EXPECT_EQ(Copy, V);
+  EXPECT_EQ(Copy.hash(), V.hash());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ParamRoundTripTest,
+                         ::testing::Range(0, 28));
+
+} // namespace

@@ -1,0 +1,154 @@
+//===- RandomRoundTripTest.cpp - Randomized print/parse property ----------===//
+///
+/// Builds pseudo-random (deterministically seeded) modules — random op
+/// shapes, random operand wiring respecting dominance, random attributes
+/// — and checks that print -> parse -> print is a fixed point and that
+/// the reparsed IR verifies. One test instance per seed.
+
+#include "ir/Block.h"
+#include "ir/Builder.h"
+#include "ir/IRParser.h"
+#include "ir/Printer.h"
+#include "ir/Region.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+/// A minimal deterministic PRNG (LCG) — std::rand would be platform-
+/// dependent and Date/time seeding would break reproducibility.
+class Lcg {
+public:
+  explicit Lcg(uint64_t Seed) : State(Seed * 6364136223846793005ULL + 1) {}
+  uint32_t next() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>(State >> 33);
+  }
+  uint32_t below(uint32_t N) { return N ? next() % N : 0; }
+
+private:
+  uint64_t State;
+};
+
+class RandomRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomRoundTripTest, PrintParsePrintFixedPoint) {
+  IRContext Ctx;
+  Dialect *D = Ctx.getOrCreateDialect("rnd");
+  // A family of ops with every arity combination 0..2 x 0..2.
+  std::vector<OpDefinition *> Defs;
+  for (unsigned NumOperands = 0; NumOperands <= 2; ++NumOperands)
+    for (unsigned NumResults = 0; NumResults <= 2; ++NumResults)
+      Defs.push_back(D->addOp("op" + std::to_string(NumOperands) +
+                              std::to_string(NumResults)));
+
+  Lcg Rng(static_cast<uint64_t>(GetParam()) + 17);
+
+  std::vector<Type> TypePool = {
+      Ctx.getFloatType(32), Ctx.getFloatType(64), Ctx.getIntegerType(1),
+      Ctx.getIntegerType(32), Ctx.getIntegerType(8, Signedness::Signed),
+      Ctx.getIndexType(),
+      Ctx.getFunctionType({Ctx.getIntegerType(32)},
+                          {Ctx.getFloatType(32)})};
+
+  auto RandomAttr = [&](Lcg &R) -> Attribute {
+    switch (R.below(5)) {
+    case 0:
+      return Ctx.getIntegerAttr(static_cast<int64_t>(R.below(1000)) - 500,
+                                32);
+    case 1:
+      return Ctx.getFloatAttr(R.below(100) / 4.0, 64);
+    case 2:
+      return Ctx.getStringAttr("s" + std::to_string(R.below(10)));
+    case 3:
+      return Ctx.getUnitAttr();
+    default:
+      return Ctx.getTypeAttr(TypePool[R.below(TypePool.size())]);
+    }
+  };
+
+  // Build a module with a chain of random ops; operands come from
+  // earlier results of matching type (or fresh source ops).
+  OperationState ModState(Ctx.resolveOpDef("builtin.module"));
+  Region *ModRegion = ModState.addRegion();
+  Block *Body = new Block();
+  ModRegion->push_back(Body);
+
+  OpBuilder Builder(&Ctx);
+  Builder.setInsertionPointToEnd(Body);
+  std::vector<Value> Available; // values usable as operands
+
+  // Seed with a few producers.
+  OpDefinition *Producer = Defs[1]; // op01: 0 operands, 1 result
+  for (int I = 0; I < 4; ++I) {
+    OperationState S(Producer);
+    S.ResultTypes = {TypePool[Rng.below(TypePool.size())]};
+    Available.push_back(Builder.create(S)->getResult(0));
+  }
+
+  for (int I = 0; I < 40; ++I) {
+    OpDefinition *Def = Defs[Rng.below(Defs.size())];
+    // Decode the op's arity from its name ("opNM").
+    unsigned NumOperands = Def->getShortName()[2] - '0';
+    unsigned NumResults = Def->getShortName()[3] - '0';
+
+    OperationState S(Def);
+    for (unsigned J = 0; J < NumOperands; ++J)
+      S.Operands.push_back(Available[Rng.below(Available.size())]);
+    for (unsigned J = 0; J < NumResults; ++J)
+      S.ResultTypes.push_back(TypePool[Rng.below(TypePool.size())]);
+    unsigned NumAttrs = Rng.below(3);
+    for (unsigned J = 0; J < NumAttrs; ++J)
+      S.addAttribute("a" + std::to_string(J), RandomAttr(Rng));
+
+    Operation *Op = Builder.create(S);
+    for (unsigned J = 0; J < NumResults; ++J)
+      Available.push_back(Op->getResult(J));
+  }
+
+  OwningOpRef M(Operation::create(ModState));
+  DiagnosticEngine V;
+  ASSERT_TRUE(succeeded(M->verify(V))) << V.renderAll();
+
+  std::string Once = printOpToString(M.get());
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags(&SrcMgr);
+  OwningOpRef M2 = parseSourceString(Ctx, Once, SrcMgr, Diags);
+  ASSERT_TRUE(static_cast<bool>(M2))
+      << Diags.renderAll() << "\nIR was:\n"
+      << Once;
+  std::string Twice = printOpToString(M2.get());
+  EXPECT_EQ(Once, Twice);
+
+  DiagnosticEngine V2;
+  EXPECT_TRUE(succeeded(M2->verify(V2))) << V2.renderAll();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRoundTripTest,
+                         ::testing::Range(0, 24));
+
+TEST(AttrNameQuoting, NonIdentifierNamesRoundTrip) {
+  IRContext Ctx;
+  Dialect *D = Ctx.getOrCreateDialect("q");
+  D->addOp("op");
+  OperationState S(D->lookupOp("op"));
+  S.addAttribute("dotted.name", Ctx.getIntegerAttr(1, 32));
+  S.addAttribute("with space", Ctx.getUnitAttr());
+  OwningOpRef Op(Operation::create(S));
+
+  std::string Text = printOpToString(Op.get());
+  EXPECT_NE(Text.find("\"dotted.name\""), std::string::npos) << Text;
+  EXPECT_NE(Text.find("\"with space\""), std::string::npos) << Text;
+
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags(&SrcMgr);
+  OwningOpRef M = parseSourceString(Ctx, Text, SrcMgr, Diags);
+  ASSERT_TRUE(static_cast<bool>(M)) << Text << "\n" << Diags.renderAll();
+  Operation &Parsed = M->getRegion(0).front().front();
+  EXPECT_EQ(Parsed.getAttr("dotted.name"), Ctx.getIntegerAttr(1, 32));
+  EXPECT_EQ(Parsed.getAttr("with space"), Ctx.getUnitAttr());
+}
+
+} // namespace

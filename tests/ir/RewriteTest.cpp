@@ -1,0 +1,191 @@
+//===- RewriteTest.cpp - Pattern rewriting -----------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Block.h"
+#include "ir/IRParser.h"
+#include "ir/Printer.h"
+#include "ir/Region.h"
+#include "ir/Rewrite.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class RewriteTest : public ::testing::Test {
+protected:
+  RewriteTest() : Diags(&SrcMgr) {}
+
+  OwningOpRef parse(std::string_view Src) {
+    return parseSourceString(Ctx, Src, SrcMgr, Diags);
+  }
+
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags;
+};
+
+/// Rewrites x + x into x * 2... actually into mulf(x, x) to stay in the
+/// float domain: addf(%a, %a) -> mulf(%a, %a) for test purposes.
+struct AddSelfToMul : RewritePattern {
+  AddSelfToMul() : RewritePattern("std.addf") {}
+
+  LogicalResult matchAndRewrite(Operation *Op,
+                                PatternRewriter &Rewriter) const override {
+    if (Op->getOperand(0) != Op->getOperand(1))
+      return failure();
+    OperationState State(
+        Rewriter.getContext()->resolveOpDef("std.mulf"), Op->getLoc());
+    State.Operands = {Op->getOperand(0), Op->getOperand(1)};
+    State.ResultTypes = {Op->getResult(0).getType()};
+    Operation *Mul = Rewriter.createOp(State);
+    Rewriter.replaceOp(Op, {Mul->getResult(0)});
+    return success();
+  }
+};
+
+/// Folds mulf(constant, constant) into a constant.
+struct FoldMulOfConstants : RewritePattern {
+  FoldMulOfConstants() : RewritePattern("std.mulf", /*Benefit=*/2) {}
+
+  LogicalResult matchAndRewrite(Operation *Op,
+                                PatternRewriter &Rewriter) const override {
+    Operation *L = Op->getOperand(0).getDefiningOp();
+    Operation *R = Op->getOperand(1).getDefiningOp();
+    auto IsConst = [](Operation *D) {
+      return D && D->getName().str() == "std.constant";
+    };
+    if (!IsConst(L) || !IsConst(R))
+      return failure();
+    IRContext *Ctx = Rewriter.getContext();
+    double LV = L->getAttr("value").getParams()[0].getFloat().Value;
+    double RV = R->getAttr("value").getParams()[0].getFloat().Value;
+    unsigned Width = L->getAttr("value").getParams()[0].getFloat().Width;
+    OperationState State(Ctx->resolveOpDef("std.constant"), Op->getLoc());
+    State.addAttribute("value", Ctx->getFloatAttr(LV * RV, Width));
+    State.ResultTypes = {Op->getResult(0).getType()};
+    Operation *Folded = Rewriter.createOp(State);
+    Rewriter.replaceOp(Op, {Folded->getResult(0)});
+    return success();
+  }
+};
+
+TEST_F(RewriteTest, SimpleRewrite) {
+  OwningOpRef M = parse(R"(
+    std.func @f(%a: f32) -> f32 {
+      %s = std.addf %a, %a : f32
+      std.return %s : f32
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+
+  RewritePatternSet Patterns(&Ctx);
+  Patterns.add<AddSelfToMul>();
+  RewriteStatistics Stats = applyPatternsGreedily(M.get(), Patterns);
+  EXPECT_EQ(Stats.NumRewrites, 1u);
+  EXPECT_TRUE(Stats.Converged);
+
+  std::string Text = printOpToString(M.get());
+  EXPECT_NE(Text.find("std.mulf"), std::string::npos);
+  EXPECT_EQ(Text.find("std.addf"), std::string::npos);
+}
+
+TEST_F(RewriteTest, CascadingRewrites) {
+  // Folding proceeds bottom-up: two folds collapse the whole chain.
+  OwningOpRef M = parse(R"(
+    std.func @f() -> f32 {
+      %a = std.constant 2.0 : f32
+      %b = std.constant 3.0 : f32
+      %c = std.mulf %a, %b : f32
+      %d = std.mulf %c, %c : f32
+      std.return %d : f32
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+
+  RewritePatternSet Patterns(&Ctx);
+  Patterns.add<FoldMulOfConstants>();
+  RewriteStatistics Stats = applyPatternsGreedily(M.get(), Patterns);
+  EXPECT_EQ(Stats.NumRewrites, 2u);
+
+  unsigned Erased = eraseDeadOps(M.get(), {"std.constant", "std.mulf"});
+  EXPECT_GE(Erased, 2u);
+
+  std::string Text = printOpToString(M.get());
+  EXPECT_EQ(Text.find("std.mulf"), std::string::npos);
+  EXPECT_NE(Text.find("36"), std::string::npos); // (2*3)^2
+}
+
+TEST_F(RewriteTest, NoMatchMeansNoChange) {
+  OwningOpRef M = parse(R"(
+    std.func @f(%a: f32, %b: f32) -> f32 {
+      %s = std.addf %a, %b : f32
+      std.return %s : f32
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  std::string Before = printOpToString(M.get());
+
+  RewritePatternSet Patterns(&Ctx);
+  Patterns.add<AddSelfToMul>(); // Requires equal operands.
+  RewriteStatistics Stats = applyPatternsGreedily(M.get(), Patterns);
+  EXPECT_EQ(Stats.NumRewrites, 0u);
+  EXPECT_EQ(printOpToString(M.get()), Before);
+}
+
+TEST_F(RewriteTest, BenefitOrdersPatterns) {
+  // Both patterns match mulf of constants; the higher-benefit one (the
+  // fold) must win over a lower-benefit one that would rename it.
+  struct RenameMul : RewritePattern {
+    RenameMul() : RewritePattern("std.mulf", /*Benefit=*/1) {}
+    LogicalResult
+    matchAndRewrite(Operation *Op,
+                    PatternRewriter &Rewriter) const override {
+      if (Op->getAttr("renamed"))
+        return failure();
+      Op->setAttr("renamed",
+                  Rewriter.getContext()->getUnitAttr());
+      Rewriter.notifyOpModified(Op);
+      return success();
+    }
+  };
+
+  OwningOpRef M = parse(R"(
+    std.func @f() -> f32 {
+      %a = std.constant 2.0 : f32
+      %c = std.mulf %a, %a : f32
+      std.return %c : f32
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+
+  RewritePatternSet Patterns(&Ctx);
+  Patterns.add<RenameMul>();
+  Patterns.add<FoldMulOfConstants>();
+  applyPatternsGreedily(M.get(), Patterns);
+
+  std::string Text = printOpToString(M.get());
+  // The fold ran; the mulf is gone (after DCE) rather than renamed.
+  eraseDeadOps(M.get(), {"std.constant", "std.mulf"});
+  Text = printOpToString(M.get());
+  EXPECT_EQ(Text.find("renamed"), std::string::npos);
+  EXPECT_EQ(Text.find("std.mulf"), std::string::npos);
+}
+
+TEST_F(RewriteTest, EraseDeadOpsRespectsUses) {
+  OwningOpRef M = parse(R"(
+    std.func @f() -> f32 {
+      %a = std.constant 2.0 : f32
+      %b = std.constant 3.0 : f32
+      std.return %a : f32
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  unsigned Erased = eraseDeadOps(M.get(), {"std.constant"});
+  EXPECT_EQ(Erased, 1u); // Only %b is dead.
+  std::string Text = printOpToString(M.get());
+  EXPECT_NE(Text.find("std.constant 2"), std::string::npos);
+}
+
+} // namespace

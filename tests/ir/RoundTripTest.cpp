@@ -1,0 +1,136 @@
+//===- RoundTripTest.cpp - print(parse(x)) == print(parse(print(parse(x))))===//
+
+#include "ir/Context.h"
+#include "ir/IRParser.h"
+#include "ir/Printer.h"
+#include "ir/Region.h"
+#include "ir/Block.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class RoundTripTest : public ::testing::TestWithParam<const char *> {
+protected:
+  RoundTripTest() : Diags(&SrcMgr) {
+    Dialect *D = Ctx.getOrCreateDialect("test");
+    D->addOp("source");
+    D->addOp("sink");
+    D->addOp("pair");
+    D->addOp("wrap");
+    TypeDefinition *Complex =
+        Ctx.getOrCreateDialect("cmath")->addType("complex");
+    Complex->setParamNames({"elementType"});
+    AttrDefinition *Frac =
+        Ctx.lookupDialect("cmath")->addAttr("fraction");
+    Frac->setParamNames({"num", "den"});
+  }
+
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags;
+};
+
+TEST_P(RoundTripTest, Stable) {
+  OwningOpRef First = parseSourceString(Ctx, GetParam(), SrcMgr, Diags);
+  ASSERT_TRUE(static_cast<bool>(First)) << Diags.renderAll();
+  std::string Once = printOpToString(First.get());
+
+  OwningOpRef Second = parseSourceString(Ctx, Once, SrcMgr, Diags);
+  ASSERT_TRUE(static_cast<bool>(Second))
+      << "failed to reparse:\n"
+      << Once << "\n"
+      << Diags.renderAll();
+  std::string Twice = printOpToString(Second.get());
+  EXPECT_EQ(Once, Twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RoundTripTest,
+    ::testing::Values(
+        // Straight-line generic ops.
+        R"(%0 = "test.source"() : () -> (f32)
+           "test.sink"(%0) : (f32) -> ())",
+        // Multi-result ops.
+        R"(%p:2 = "test.pair"() : () -> (f32, i1)
+           "test.sink"(%p#0) : (f32) -> ()
+           "test.sink"(%p#1) : (i1) -> ())",
+        // Attributes of every builtin kind.
+        R"("test.sink"() {a = 3 : i32, b = -7 : si16, c = 2.5 : f32,
+                          d = "str", e = unit, f = [1 : i32, true],
+                          g = f32, h = (i32) -> f32,
+                          i = #cmath.fraction<1 : i32, 2 : i32>}
+           : () -> ())",
+        // Dialect types with parameters.
+        R"(%0 = "test.source"() : () -> (!cmath.complex<f32>)
+           "test.sink"(%0) : (!cmath.complex<f32>) -> ())",
+        // Functions, CFGs, and block arguments.
+        R"(std.func @f(%c: i1) -> f32 {
+             %x = "test.source"() : () -> (f32)
+             "std.cond_br"(%c)[^a, ^b] : (i1) -> ()
+           ^a:
+             "std.br"()[^join] : () -> ()
+           ^b:
+             "std.br"()[^join] : () -> ()
+           ^join:
+             std.return %x : f32
+           })",
+        // Custom syntax: std arithmetic.
+        R"(std.func @g(%a: f32, %b: f32) -> f32 {
+             %c = std.mulf %a, %b : f32
+             %d = std.addf %c, %a : f32
+             std.return %d : f32
+           })",
+        // Constants.
+        R"(%c = std.constant 1.5 : f32
+           %i = std.constant 42 : i32
+           "test.sink"(%c) : (f32) -> ())",
+        // Nested regions in generic form.
+        R"("test.wrap"() ({
+             %0 = "test.source"() : () -> (f32)
+           }) : () -> ())",
+        // Empty module.
+        R"(module {
+           })"));
+
+TEST_F(RoundTripTest, VerifiedAfterRoundTrip) {
+  const char *Src = R"(
+    std.func @f(%a: f32) -> f32 {
+      %b = std.mulf %a, %a : f32
+      std.return %b : f32
+    }
+  )";
+  OwningOpRef M = parseSourceString(Ctx, Src, SrcMgr, Diags);
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(M->verify(V))) << V.renderAll();
+  std::string Text = printOpToString(M.get());
+  OwningOpRef M2 = parseSourceString(Ctx, Text, SrcMgr, Diags);
+  ASSERT_TRUE(static_cast<bool>(M2)) << Text << Diags.renderAll();
+  DiagnosticEngine V2;
+  EXPECT_TRUE(succeeded(M2->verify(V2))) << V2.renderAll();
+}
+
+TEST_F(RoundTripTest, GenericFormRoundTrips) {
+  const char *Src = R"(
+    std.func @f(%a: f32) -> f32 {
+      %b = std.mulf %a, %a : f32
+      std.return %b : f32
+    }
+  )";
+  OwningOpRef M = parseSourceString(Ctx, Src, SrcMgr, Diags);
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  PrintOptions Generic;
+  Generic.GenericForm = true;
+  std::string Text = printOpToString(M.get(), Generic);
+  EXPECT_NE(Text.find("\"std.func\""), std::string::npos);
+  EXPECT_NE(Text.find("\"std.mulf\""), std::string::npos);
+  OwningOpRef M2 = parseSourceString(Ctx, Text, SrcMgr, Diags);
+  ASSERT_TRUE(static_cast<bool>(M2)) << Text << "\n" << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(M2->verify(V))) << V.renderAll();
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===- TypeTest.cpp - Type uniquing and builtin types ------------------===//
+
+#include "ir/Context.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+TEST(TypeTest, FloatTypesAreUniqued) {
+  IRContext Ctx;
+  EXPECT_EQ(Ctx.getFloatType(32), Ctx.getFloatType(32));
+  EXPECT_NE(Ctx.getFloatType(32), Ctx.getFloatType(64));
+}
+
+TEST(TypeTest, IntegerTypesAreUniqued) {
+  IRContext Ctx;
+  Type I32 = Ctx.getIntegerType(32);
+  EXPECT_EQ(I32, Ctx.getIntegerType(32));
+  EXPECT_NE(I32, Ctx.getIntegerType(64));
+  EXPECT_NE(I32, Ctx.getIntegerType(32, Signedness::Signed));
+}
+
+TEST(TypeTest, TypeNameAndDialect) {
+  IRContext Ctx;
+  Type F32 = Ctx.getFloatType(32);
+  EXPECT_EQ(F32.getName(), "builtin.f32");
+  EXPECT_EQ(F32.getDialect()->getNamespace(), "builtin");
+  EXPECT_EQ(F32.getContext(), &Ctx);
+}
+
+TEST(TypeTest, IntegerTypeParams) {
+  IRContext Ctx;
+  Type SI8 = Ctx.getIntegerType(8, Signedness::Signed);
+  EXPECT_EQ(SI8.getParam("bitwidth").getInt().Value, 8);
+  EXPECT_EQ(SI8.getParam("signedness").getEnum().Index,
+            static_cast<unsigned>(Signedness::Signed));
+}
+
+TEST(TypeTest, FunctionType) {
+  IRContext Ctx;
+  Type FT = Ctx.getFunctionType({Ctx.getIntegerType(32)},
+                                {Ctx.getFloatType(64)});
+  EXPECT_EQ(FT, Ctx.getFunctionType({Ctx.getIntegerType(32)},
+                                    {Ctx.getFloatType(64)}));
+  EXPECT_EQ(FT.getParam("inputs").getArray().size(), 1u);
+  EXPECT_EQ(FT.getParam("results").getArray()[0].getType(),
+            Ctx.getFloatType(64));
+}
+
+TEST(TypeTest, CustomDialectType) {
+  IRContext Ctx;
+  Dialect *D = Ctx.getOrCreateDialect("cmath");
+  TypeDefinition *Complex = D->addType("complex");
+  Complex->setParamNames({"elementType"});
+  Type C32 = Ctx.getType(Complex, {ParamValue(Ctx.getFloatType(32))});
+  Type C64 = Ctx.getType(Complex, {ParamValue(Ctx.getFloatType(64))});
+  EXPECT_NE(C32, C64);
+  EXPECT_EQ(C32, Ctx.getType(Complex, {ParamValue(Ctx.getFloatType(32))}));
+  EXPECT_EQ(C32.getParam("elementType").getType(), Ctx.getFloatType(32));
+  EXPECT_EQ(C32.getName(), "cmath.complex");
+}
+
+TEST(TypeTest, CheckedConstructionRunsVerifier) {
+  IRContext Ctx;
+  Dialect *D = Ctx.getOrCreateDialect("t");
+  TypeDefinition *Def = D->addType("positive");
+  Def->setParamNames({"v"});
+  Def->setVerifier([](const std::vector<ParamValue> &Params,
+                      DiagnosticEngine &Diags, SMLoc Loc) -> LogicalResult {
+    if (Params.size() == 1 && Params[0].isInt() &&
+        Params[0].getInt().Value > 0)
+      return success();
+    Diags.emitError(Loc, "expected a positive integer parameter");
+    return failure();
+  });
+
+  DiagnosticEngine Diags;
+  Type Good = Ctx.getTypeChecked(Def, {ParamValue(IntVal{32, {}, 5})}, Diags);
+  EXPECT_TRUE(static_cast<bool>(Good));
+  EXPECT_FALSE(Diags.hadError());
+
+  Type Bad = Ctx.getTypeChecked(Def, {ParamValue(IntVal{32, {}, -1})}, Diags);
+  EXPECT_FALSE(static_cast<bool>(Bad));
+  EXPECT_TRUE(Diags.hadError());
+}
+
+TEST(TypeTest, CheckedConstructionSkipsVerifierWhenCached) {
+  IRContext Ctx;
+  Dialect *D = Ctx.getOrCreateDialect("t");
+  TypeDefinition *Def = D->addType("counted");
+  int Calls = 0;
+  Def->setVerifier([&Calls](const std::vector<ParamValue> &,
+                            DiagnosticEngine &, SMLoc) -> LogicalResult {
+    ++Calls;
+    return success();
+  });
+  DiagnosticEngine Diags;
+  Type A = Ctx.getTypeChecked(Def, {}, Diags);
+  Type B = Ctx.getTypeChecked(Def, {}, Diags);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(TypeTest, ParamValueEquality) {
+  IRContext Ctx;
+  ParamValue A(IntVal{32, Signedness::Signless, 7});
+  ParamValue B(IntVal{32, Signedness::Signless, 7});
+  ParamValue C(IntVal{64, Signedness::Signless, 7});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A.hash(), B.hash());
+
+  ParamValue S1(std::string("hello"));
+  ParamValue S2(std::string("hello"));
+  EXPECT_EQ(S1, S2);
+  EXPECT_NE(S1, A);
+}
+
+TEST(TypeTest, ArrayParamValues) {
+  IRContext Ctx;
+  std::vector<ParamValue> Elems;
+  Elems.emplace_back(Ctx.getFloatType(32));
+  Elems.emplace_back(IntVal{32, {}, 1});
+  ParamValue Arr(std::move(Elems));
+  EXPECT_TRUE(Arr.isArray());
+  EXPECT_EQ(Arr.getArray().size(), 2u);
+  EXPECT_TRUE(Arr.getArray()[0].isType());
+}
+
+TEST(TypeTest, UniquedTypeCount) {
+  IRContext Ctx;
+  size_t Before = Ctx.getNumUniquedTypes();
+  Ctx.getIntegerType(17);
+  Ctx.getIntegerType(17);
+  Ctx.getIntegerType(18);
+  EXPECT_EQ(Ctx.getNumUniquedTypes(), Before + 2);
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- UseDefTest.cpp - SSA use-def chain behaviour --------------------===//
+
+#include "ir/Block.h"
+#include "ir/Context.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class UseDefTest : public ::testing::Test {
+protected:
+  UseDefTest() {
+    Dialect *D = Ctx.getOrCreateDialect("test");
+    ProduceDef = D->addOp("produce");
+    ConsumeDef = D->addOp("consume");
+  }
+
+  Operation *makeProduce() {
+    OperationState State{OperationName(ProduceDef)};
+    State.ResultTypes.push_back(Ctx.getFloatType(32));
+    return Operation::create(State);
+  }
+
+  Operation *makeConsume(std::vector<Value> Operands) {
+    OperationState State{OperationName(ConsumeDef)};
+    State.Operands = std::move(Operands);
+    return Operation::create(State);
+  }
+
+  IRContext Ctx;
+  OpDefinition *ProduceDef = nullptr;
+  OpDefinition *ConsumeDef = nullptr;
+};
+
+TEST_F(UseDefTest, UseCounts) {
+  Operation *P = makeProduce();
+  Value V = P->getResult(0);
+  EXPECT_TRUE(V.use_empty());
+  EXPECT_EQ(V.getNumUses(), 0u);
+
+  Operation *C1 = makeConsume({V});
+  EXPECT_TRUE(V.hasOneUse());
+  EXPECT_EQ(V.getNumUses(), 1u);
+
+  Operation *C2 = makeConsume({V, V});
+  EXPECT_FALSE(V.hasOneUse());
+  EXPECT_EQ(V.getNumUses(), 3u);
+
+  delete C2;
+  EXPECT_EQ(V.getNumUses(), 1u);
+  delete C1;
+  EXPECT_TRUE(V.use_empty());
+  delete P;
+}
+
+TEST_F(UseDefTest, UseListIteration) {
+  Operation *P = makeProduce();
+  Value V = P->getResult(0);
+  Operation *C1 = makeConsume({V});
+  Operation *C2 = makeConsume({V});
+
+  std::vector<Operation *> Users;
+  for (OpOperand *Use = V.getFirstUse(); Use; Use = Use->getNextUse())
+    Users.push_back(Use->getOwner());
+  EXPECT_EQ(Users.size(), 2u);
+  // Most recent use first (stack discipline).
+  EXPECT_EQ(Users[0], C2);
+  EXPECT_EQ(Users[1], C1);
+
+  delete C1;
+  delete C2;
+  delete P;
+}
+
+TEST_F(UseDefTest, ReplaceAllUsesWith) {
+  Operation *P1 = makeProduce();
+  Operation *P2 = makeProduce();
+  Operation *C1 = makeConsume({P1->getResult(0)});
+  Operation *C2 = makeConsume({P1->getResult(0), P1->getResult(0)});
+
+  P1->getResult(0).replaceAllUsesWith(P2->getResult(0));
+
+  EXPECT_TRUE(P1->use_empty());
+  EXPECT_EQ(P2->getResult(0).getNumUses(), 3u);
+  EXPECT_EQ(C1->getOperand(0), P2->getResult(0));
+  EXPECT_EQ(C2->getOperand(1), P2->getResult(0));
+
+  delete C1;
+  delete C2;
+  delete P1;
+  delete P2;
+}
+
+TEST_F(UseDefTest, SetOperandRelinks) {
+  Operation *P1 = makeProduce();
+  Operation *P2 = makeProduce();
+  Operation *C = makeConsume({P1->getResult(0)});
+
+  C->setOperand(0, P2->getResult(0));
+  EXPECT_TRUE(P1->use_empty());
+  EXPECT_TRUE(P2->getResult(0).hasOneUse());
+  EXPECT_EQ(P2->getResult(0).getFirstUse()->getOwner(), C);
+
+  // Setting to the same value is a no-op.
+  C->setOperand(0, P2->getResult(0));
+  EXPECT_EQ(P2->getResult(0).getNumUses(), 1u);
+
+  delete C;
+  delete P1;
+  delete P2;
+}
+
+TEST_F(UseDefTest, BlockArgumentValues) {
+  Block B;
+  Value Arg = B.addArgument(Ctx.getFloatType(32));
+  EXPECT_TRUE(Arg.isBlockArgument());
+  EXPECT_FALSE(Arg.isOpResult());
+  EXPECT_EQ(Arg.getOwnerBlock(), &B);
+  EXPECT_EQ(Arg.getDefiningOp(), nullptr);
+  EXPECT_EQ(Arg.getParentBlock(), &B);
+  EXPECT_EQ(Arg.getIndex(), 0u);
+
+  Operation *C = makeConsume({Arg});
+  EXPECT_TRUE(Arg.hasOneUse());
+  delete C;
+}
+
+TEST_F(UseDefTest, OperationReplaceAllUsesWith) {
+  Operation *P1 = makeProduce();
+  Operation *P2 = makeProduce();
+  Operation *C = makeConsume({P1->getResult(0)});
+  P1->replaceAllUsesWith(std::vector<Value>{P2->getResult(0)});
+  EXPECT_EQ(C->getOperand(0), P2->getResult(0));
+  delete C;
+  delete P1;
+  delete P2;
+}
+
+TEST_F(UseDefTest, NullValueHandling) {
+  Value V;
+  EXPECT_FALSE(static_cast<bool>(V));
+  EXPECT_TRUE(V.use_empty());
+  EXPECT_EQ(V.getDefiningOp(), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- CppExprTest.cpp - The IRDL-C++ expression interpreter ------------===//
+
+#include "irdl/CppExpr.h"
+
+#include "ir/Block.h"
+#include "ir/IRParser.h"
+#include "ir/Region.h"
+#include "irdl/IRDL.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class CppExprTest : public ::testing::Test {
+protected:
+  std::shared_ptr<const CppExpr> compile(std::string_view Src) {
+    return CppExpr::parse(Src, Diags);
+  }
+
+  /// Evaluates with $_self bound to an integer parameter value.
+  std::optional<bool> evalWithInt(std::string_view Src, int64_t Value) {
+    auto E = compile(Src);
+    if (!E)
+      return std::nullopt;
+    CppExpr::EvalContext Ctx;
+    Ctx.Self = cppEvalFromParam(ParamValue(IntVal{32, {}, Value}));
+    return E->evaluateBool(Ctx);
+  }
+
+  DiagnosticEngine Diags;
+};
+
+TEST_F(CppExprTest, Literals) {
+  CppExpr::EvalContext Ctx;
+  auto E = compile("3 + 4 * 2 == 11");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->evaluateBool(Ctx), true);
+
+  EXPECT_EQ(compile("10 / 3 == 3")->evaluateBool(Ctx), true);
+  EXPECT_EQ(compile("10 % 3 == 1")->evaluateBool(Ctx), true);
+  EXPECT_EQ(compile("2.5 * 2.0 == 5.0")->evaluateBool(Ctx), true);
+  EXPECT_EQ(compile("\"abc\" == \"abc\"")->evaluateBool(Ctx), true);
+  EXPECT_EQ(compile("\"abc\" != \"abd\"")->evaluateBool(Ctx), true);
+  EXPECT_EQ(compile("true && !false")->evaluateBool(Ctx), true);
+}
+
+TEST_F(CppExprTest, Precedence) {
+  CppExpr::EvalContext Ctx;
+  EXPECT_EQ(compile("1 + 2 * 3 == 7")->evaluateBool(Ctx), true);
+  EXPECT_EQ(compile("(1 + 2) * 3 == 9")->evaluateBool(Ctx), true);
+  EXPECT_EQ(compile("1 < 2 && 2 < 3 || false")->evaluateBool(Ctx), true);
+  EXPECT_EQ(compile("-3 + 5 == 2")->evaluateBool(Ctx), true);
+}
+
+TEST_F(CppExprTest, SelfAsParameter) {
+  // The paper's BoundedInteger: "$_self <= 32".
+  EXPECT_EQ(evalWithInt("$_self <= 32", 16), true);
+  EXPECT_EQ(evalWithInt("$_self <= 32", 64), false);
+  EXPECT_EQ(evalWithInt("$_self % 2 == 0", 8), true);
+  EXPECT_EQ(evalWithInt("$_self % 2 == 0", 9), false);
+}
+
+TEST_F(CppExprTest, ShortCircuit) {
+  // Division by zero would fail; short-circuiting avoids it.
+  EXPECT_EQ(evalWithInt("$_self == 0 || 10 / $_self > 1", 0), true);
+  EXPECT_EQ(evalWithInt("$_self != 0 && 10 / $_self >= 5", 2), true);
+  // Without short-circuit this evaluates the division and fails.
+  EXPECT_EQ(evalWithInt("10 / $_self > 1", 0), std::nullopt);
+}
+
+TEST_F(CppExprTest, ParseErrors) {
+  EXPECT_EQ(compile("3 +"), nullptr);
+  EXPECT_TRUE(Diags.hadError());
+  Diags.clear();
+  EXPECT_EQ(compile("$_other"), nullptr);
+  Diags.clear();
+  EXPECT_EQ(compile("(1 + 2"), nullptr);
+  Diags.clear();
+  EXPECT_EQ(compile("3 3"), nullptr);
+}
+
+TEST_F(CppExprTest, TypeErrorsYieldNullopt) {
+  CppExpr::EvalContext Ctx;
+  // Comparing string with < is unsupported.
+  EXPECT_EQ(compile("\"a\" < \"b\"")->evaluateBool(Ctx), std::nullopt);
+  // Unknown accessor.
+  EXPECT_EQ(evalWithInt("$_self.bogus() == 1", 3), std::nullopt);
+}
+
+TEST_F(CppExprTest, StringAccessors) {
+  auto E = compile("$_self.size() == 3 && !$_self.empty()");
+  ASSERT_NE(E, nullptr);
+  CppExpr::EvalContext Ctx;
+  Ctx.Self = cppEvalFromParam(ParamValue(std::string("abc")));
+  EXPECT_EQ(E->evaluateBool(Ctx), true);
+  Ctx.Self = cppEvalFromParam(ParamValue(std::string("abcd")));
+  EXPECT_EQ(E->evaluateBool(Ctx), false);
+}
+
+TEST_F(CppExprTest, ParamRecordAccess) {
+  // $_self as the parameter record of a type under verification.
+  IRContext IRCtx;
+  Dialect *D = IRCtx.getOrCreateDialect("v");
+  TypeDefinition *Vec = D->addType("vector");
+  Vec->setParamNames({"elem", "size"});
+  std::vector<ParamValue> Params = {ParamValue(IRCtx.getFloatType(32)),
+                                    ParamValue(IntVal{32, {}, 4})};
+  CppExpr::EvalContext Ctx;
+  Ctx.Self = CppEvalValue(ParamRecord{Vec, &Params});
+
+  EXPECT_EQ(compile("$_self.size == 4")->evaluateBool(Ctx), true);
+  EXPECT_EQ(compile("$_self.size() <= 32")->evaluateBool(Ctx), true);
+  EXPECT_EQ(compile("$_self.size > 4")->evaluateBool(Ctx), false);
+}
+
+TEST_F(CppExprTest, OperationAccessors) {
+  // The paper's append_vector invariant:
+  //   $_self.lhs().size() + $_self.rhs().size() == $_self.res().size()
+  IRContext IRCtx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine LoadDiags(&SrcMgr);
+  auto Module = loadIRDL(IRCtx, R"irdl(
+    Dialect vec {
+      Type vector {
+        Parameters (elem: !AnyType, size: uint32_t)
+      }
+      Operation append {
+        Operands (lhs: !vector, rhs: !vector)
+        Results (res: !vector)
+        CppConstraint "$_self.lhs().size() + $_self.rhs().size() ==
+                       $_self.res().size()"
+      }
+    }
+  )irdl",
+                         SrcMgr, LoadDiags);
+  ASSERT_NE(Module, nullptr) << LoadDiags.renderAll();
+
+  TypeDefinition *Vec = IRCtx.resolveTypeDef("vec.vector");
+  auto VecTy = [&](int64_t N) {
+    return IRCtx.getType(
+        Vec, {ParamValue(IRCtx.getFloatType(32)),
+              ParamValue(IntVal{32, Signedness::Unsigned, N})});
+  };
+
+  // Build append(v2, v3) -> v5 (valid) and -> v6 (invalid).
+  auto Build = [&](int64_t ResSize) {
+    OperationState SL(IRCtx.resolveOpDef("vec.append"));
+    // Source ops for operands.
+    Dialect *T = IRCtx.getOrCreateDialect("tst");
+    static int Counter = 0;
+    OpDefinition *Src = T->lookupOp("src") ? T->lookupOp("src")
+                                           : T->addOp("src");
+    (void)Counter;
+    OperationState S1(Src), S2(Src);
+    S1.ResultTypes = {VecTy(2)};
+    S2.ResultTypes = {VecTy(3)};
+    Operation *O1 = Operation::create(S1);
+    Operation *O2 = Operation::create(S2);
+    SL.Operands = {O1->getResult(0), O2->getResult(0)};
+    SL.ResultTypes = {VecTy(ResSize)};
+    Operation *App = Operation::create(SL);
+    return std::make_tuple(O1, O2, App);
+  };
+
+  {
+    auto [O1, O2, App] = Build(5);
+    DiagnosticEngine V;
+    EXPECT_TRUE(succeeded(App->getDef()->getVerifier()(App, V)))
+        << V.renderAll();
+    delete App;
+    delete O1;
+    delete O2;
+  }
+  {
+    auto [O1, O2, App] = Build(6);
+    DiagnosticEngine V;
+    EXPECT_TRUE(failed(App->getDef()->getVerifier()(App, V)));
+    EXPECT_NE(V.renderAll().find("IRDL-C++"), std::string::npos);
+    delete App;
+    delete O1;
+    delete O2;
+  }
+}
+
+} // namespace

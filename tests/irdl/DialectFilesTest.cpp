@@ -1,0 +1,220 @@
+//===- DialectFilesTest.cpp - Bundled .irdl files ------------------------===//
+///
+/// Parameterized over every bundled dialect file: each must load cleanly,
+/// pretty-print, and reload to a fixed point; plus file-specific semantic
+/// checks for arith and scf.
+
+#include "ir/Block.h"
+#include "ir/Context.h"
+#include "ir/IRParser.h"
+#include "ir/Printer.h"
+#include "ir/Region.h"
+#include "irdl/IRDL.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class DialectFileTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(DialectFileTest, LoadsCleanly) {
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags(&SrcMgr);
+  auto M = loadIRDLFile(Ctx, std::string(IRDL_DIALECTS_DIR) + "/" +
+                                 GetParam(),
+                        SrcMgr, Diags);
+  ASSERT_NE(M, nullptr) << Diags.renderAll();
+  EXPECT_FALSE(M->getDialects().empty());
+  EXPECT_GT(M->getNumOps(), 0u);
+}
+
+TEST_P(DialectFileTest, PrettyPrintReachesFixedPoint) {
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags(&SrcMgr);
+  auto M = loadIRDLFile(Ctx, std::string(IRDL_DIALECTS_DIR) + "/" +
+                                 GetParam(),
+                        SrcMgr, Diags);
+  ASSERT_NE(M, nullptr) << Diags.renderAll();
+
+  for (const auto &D : M->getDialects()) {
+    std::string Once = printDialectSpec(*D);
+    IRContext Ctx2;
+    SourceMgr SrcMgr2;
+    DiagnosticEngine Diags2(&SrcMgr2);
+    auto M2 = loadIRDL(Ctx2, Once, SrcMgr2, Diags2);
+    ASSERT_NE(M2, nullptr) << Once << "\n" << Diags2.renderAll();
+    std::string Twice = printDialectSpec(*M2->getDialects()[0]);
+    EXPECT_EQ(Once, Twice);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bundled, DialectFileTest,
+                         ::testing::Values("cmath.irdl", "arith.irdl",
+                                           "scf.irdl", "complex.irdl",
+                                           "math.irdl"));
+
+class ArithDialectTest : public ::testing::Test {
+protected:
+  ArithDialectTest() : Diags(&SrcMgr) {
+    Module = loadIRDLFile(Ctx, std::string(IRDL_DIALECTS_DIR) +
+                                   "/arith.irdl",
+                          SrcMgr, Diags);
+  }
+
+  OwningOpRef parse(std::string_view Src) {
+    return parseSourceString(Ctx, Src, SrcMgr, Diags);
+  }
+
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags;
+  std::unique_ptr<IRDLModule> Module;
+};
+
+TEST_F(ArithDialectTest, ElementwiseOpsUnify) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  OwningOpRef M = parse(R"(
+    std.func @f(%a: i32, %b: i32) {
+      %c = "arith.addi"(%a, %b) : (i32, i32) -> (i32)
+      %d = "arith.muli"(%c, %c) : (i32, i32) -> (i32)
+      %p = "arith.cmpi"(%c, %d) {predicate = opaque} : (i32, i32) -> (i1)
+      std.return
+    }
+  )");
+  // The cmpi predicate attr must be an enum constructor; an arbitrary
+  // attr fails; build a correct one below.
+  EXPECT_FALSE(static_cast<bool>(M));
+  Diags.clear();
+
+  OwningOpRef M2 = parse(R"(
+    std.func @f(%a: i32, %b: i32) {
+      %c = "arith.addi"(%a, %b) : (i32, i32) -> (i32)
+      %d = "arith.muli"(%c, %c) : (i32, i32) -> (i32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M2)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(M2->verify(V))) << V.renderAll();
+
+  // Mixed-width addi rejected by the constraint variable.
+  OwningOpRef Bad = parse(R"(
+    std.func @f(%a: i32, %b: i64) {
+      %c = "arith.addi"(%a, %b) : (i32, i64) -> (i32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Bad)) << Diags.renderAll();
+  DiagnosticEngine V2;
+  EXPECT_TRUE(failed(Bad->verify(V2)));
+}
+
+TEST_F(ArithDialectTest, EnumAttributeConstraint) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  // Build cmpi with a proper enum parameter wrapped... enums are type/attr
+  // parameters; as op attributes they arrive as attributes. The spec
+  // declares `predicate: cmp_predicate`, an enum constraint, so the
+  // attribute must be... no builtin attr holds enum values; use the
+  // generic #AnyAttr check instead: the constraint rejects any attr.
+  const DialectSpec *Arith = Module->lookupDialect("arith");
+  const OpSpec *Cmpi = Arith->lookupOp("cmpi");
+  ASSERT_NE(Cmpi, nullptr);
+  MatchContext MC;
+  // An integer attribute is not an enum constructor.
+  EXPECT_FALSE(Cmpi->Attributes[0].Constr->matches(
+      ParamValue(Ctx.getIntegerAttr(1, 32)), MC));
+  // An enum value satisfies it.
+  EnumDef *Pred = Ctx.resolveEnumDef("arith.cmp_predicate");
+  ASSERT_NE(Pred, nullptr);
+  EXPECT_TRUE(Cmpi->Attributes[0].Constr->matches(
+      ParamValue(EnumVal{Pred, 2}), MC));
+}
+
+class ScfDialectTest : public ::testing::Test {
+protected:
+  ScfDialectTest() : Diags(&SrcMgr) {
+    Module = loadIRDLFile(Ctx, std::string(IRDL_DIALECTS_DIR) +
+                                   "/scf.irdl",
+                          SrcMgr, Diags);
+  }
+
+  OwningOpRef parse(std::string_view Src) {
+    return parseSourceString(Ctx, Src, SrcMgr, Diags);
+  }
+
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags;
+  std::unique_ptr<IRDLModule> Module;
+};
+
+TEST_F(ScfDialectTest, ForLoopWithYield) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  OwningOpRef M = parse(R"(
+    std.func @f(%lo: index, %hi: index, %step: index, %init: f32) {
+      %sum = "scf.for"(%lo, %hi, %step, %init) ({
+      ^bb0(%iv: index):
+        "scf.yield"(%init) : (f32) -> ()
+      }) : (index, index, index, f32) -> (f32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(M->verify(V))) << V.renderAll();
+}
+
+TEST_F(ScfDialectTest, ForRequiresYieldTerminator) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  OwningOpRef M = parse(R"(
+    std.func @f(%lo: index) {
+      "scf.for"(%lo, %lo, %lo) ({
+      ^bb0(%iv: index):
+        %c = std.constant 1.0 : f32
+      }) : (index, index, index) -> ()
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(failed(M->verify(V)));
+  EXPECT_NE(V.renderAll().find("must end with 'scf.yield'"),
+            std::string::npos);
+}
+
+TEST_F(ScfDialectTest, IfWithBothRegions) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  OwningOpRef M = parse(R"(
+    std.func @f(%c: i1, %x: f32) {
+      %r = "scf.if"(%c) ({
+        "scf.yield"(%x) : (f32) -> ()
+      }, {
+        "scf.yield"(%x) : (f32) -> ()
+      }) : (i1) -> (f32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(M->verify(V))) << V.renderAll();
+
+  // Only one region: rejected.
+  OwningOpRef Bad = parse(R"(
+    std.func @f(%c: i1) {
+      "scf.if"(%c) ({
+        "scf.yield"() : () -> ()
+      }) : (i1) -> ()
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Bad)) << Diags.renderAll();
+  DiagnosticEngine V2;
+  EXPECT_TRUE(failed(Bad->verify(V2)));
+  EXPECT_NE(V2.renderAll().find("expects 2 regions"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,295 @@
+//===- LoadTest.cpp - End-to-end IRDL dialect loading -------------------===//
+///
+/// Loads the paper's cmath dialect (dialects/cmath.irdl) and checks the
+/// full Section 3 flow: dynamic registration, generated verifiers,
+/// declarative formats, optional operands, region terminators, and
+/// successor-declared terminators.
+
+#include "ir/Block.h"
+#include "ir/Context.h"
+#include "ir/IRParser.h"
+#include "ir/Printer.h"
+#include "ir/Region.h"
+#include "irdl/IRDL.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class LoadCmathTest : public ::testing::Test {
+protected:
+  LoadCmathTest() : Diags(&SrcMgr) {
+    Module = loadIRDLFile(Ctx, std::string(IRDL_DIALECTS_DIR) +
+                                   "/cmath.irdl",
+                          SrcMgr, Diags);
+  }
+
+  OwningOpRef parse(std::string_view Src) {
+    return parseSourceString(Ctx, Src, SrcMgr, Diags);
+  }
+
+  Type complexOf(Type Elem) {
+    return Ctx.getType(Ctx.resolveTypeDef("cmath.complex"),
+                       {ParamValue(Elem)});
+  }
+
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags;
+  std::unique_ptr<IRDLModule> Module;
+};
+
+TEST_F(LoadCmathTest, LoadsSuccessfully) {
+  ASSERT_TRUE(Module != nullptr) << Diags.renderAll();
+  EXPECT_EQ(Module->getDialects().size(), 1u);
+  const DialectSpec *Cmath = Module->lookupDialect("cmath");
+  ASSERT_NE(Cmath, nullptr);
+  EXPECT_EQ(Cmath->Ops.size(), 7u);
+  EXPECT_EQ(Cmath->Types.size(), 1u);
+  EXPECT_NE(Ctx.lookupDialect("cmath"), nullptr);
+  EXPECT_NE(Ctx.resolveTypeDef("cmath.complex"), nullptr);
+  EXPECT_NE(Ctx.resolveOpDef("cmath.mul"), nullptr);
+}
+
+TEST_F(LoadCmathTest, TypeVerifierFromConstraints) {
+  ASSERT_TRUE(Module != nullptr) << Diags.renderAll();
+  TypeDefinition *Complex = Ctx.resolveTypeDef("cmath.complex");
+  DiagnosticEngine Local;
+  // f32 element: fine.
+  Type Good = Ctx.getTypeChecked(
+      Complex, {ParamValue(Ctx.getFloatType(32))}, Local);
+  EXPECT_TRUE(static_cast<bool>(Good));
+  // i32 element: violates !AnyOf<!f32, !f64>.
+  Type Bad = Ctx.getTypeChecked(
+      Complex, {ParamValue(Ctx.getIntegerType(32))}, Local);
+  EXPECT_FALSE(static_cast<bool>(Bad));
+  EXPECT_TRUE(Local.hadError());
+  // Wrong arity.
+  Type BadArity = Ctx.getTypeChecked(Complex, {}, Local);
+  EXPECT_FALSE(static_cast<bool>(BadArity));
+}
+
+TEST_F(LoadCmathTest, ParseConormExample) {
+  // Listing 1 of the paper, adapted to the generated custom formats.
+  ASSERT_TRUE(Module != nullptr) << Diags.renderAll();
+  OwningOpRef M = parse(R"(
+    std.func @conorm(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>)
+        -> f32 {
+      %norm_p = cmath.norm %p : f32
+      %norm_q = cmath.norm %q : f32
+      %pq = std.mulf %norm_p, %norm_q : f32
+      std.return %pq : f32
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(M->verify(V))) << V.renderAll();
+
+  // The custom format prints back.
+  std::string Text = printOpToString(M.get());
+  EXPECT_NE(Text.find("cmath.norm %"), std::string::npos);
+  EXPECT_NE(Text.find(" : f32"), std::string::npos);
+}
+
+TEST_F(LoadCmathTest, MulFormatRoundTrip) {
+  ASSERT_TRUE(Module != nullptr) << Diags.renderAll();
+  OwningOpRef M = parse(R"(
+    std.func @f(%p: !cmath.complex<f64>, %q: !cmath.complex<f64>)
+        -> !cmath.complex<f64> {
+      %r = cmath.mul %p, %q : f64
+      std.return %r : !cmath.complex<f64>
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(M->verify(V))) << V.renderAll();
+  Operation *Mul = nullptr;
+  M->walk([&](Operation *Op) {
+    if (Op->getName().str() == "cmath.mul")
+      Mul = Op;
+  });
+  ASSERT_NE(Mul, nullptr);
+  // Types were inferred from the format: T = complex<f64>.
+  EXPECT_EQ(Mul->getResult(0).getType(), complexOf(Ctx.getFloatType(64)));
+  EXPECT_EQ(Mul->getOperand(0).getType(), complexOf(Ctx.getFloatType(64)));
+
+  std::string Text = printOpToString(M.get());
+  OwningOpRef M2 = parse(Text);
+  ASSERT_TRUE(static_cast<bool>(M2)) << Text << "\n" << Diags.renderAll();
+  EXPECT_EQ(printOpToString(M2.get()), Text);
+}
+
+TEST_F(LoadCmathTest, ConstraintVarRejectsMixedTypes) {
+  ASSERT_TRUE(Module != nullptr) << Diags.renderAll();
+  // Build mul with mismatched operand types via the generic form.
+  OwningOpRef M = parse(R"(
+    std.func @f(%p: !cmath.complex<f32>, %q: !cmath.complex<f64>) {
+      %r = "cmath.mul"(%p, %q) :
+          (!cmath.complex<f32>, !cmath.complex<f64>)
+          -> (!cmath.complex<f32>)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(failed(M->verify(V)));
+  EXPECT_NE(V.renderAll().find("does not satisfy constraint"),
+            std::string::npos);
+}
+
+TEST_F(LoadCmathTest, NormUnifiesElementAndResult) {
+  ASSERT_TRUE(Module != nullptr) << Diags.renderAll();
+  // norm of complex<f32> must return f32, not f64.
+  OwningOpRef M = parse(R"(
+    std.func @f(%p: !cmath.complex<f32>) {
+      %r = "cmath.norm"(%p) : (!cmath.complex<f32>) -> (f64)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(failed(M->verify(V)));
+}
+
+TEST_F(LoadCmathTest, AttributesVerified) {
+  ASSERT_TRUE(Module != nullptr) << Diags.renderAll();
+  OwningOpRef M = parse(R"(
+    %c = cmath.create_constant 1.5 : f32, 2.5 : f32
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(M->verify(V))) << V.renderAll();
+  Operation &C = M->getRegion(0).front().front();
+  EXPECT_EQ(C.getAttr("re"), Ctx.getFloatAttr(1.5, 32));
+  EXPECT_EQ(C.getResult(0).getType(), complexOf(Ctx.getFloatType(32)));
+
+  // Wrong attribute kind (f64 where f32_attr expected) fails.
+  C.setAttr("im", Ctx.getFloatAttr(2.5, 64));
+  EXPECT_TRUE(failed(M->verify(V)));
+}
+
+TEST_F(LoadCmathTest, MissingAttributeRejected) {
+  ASSERT_TRUE(Module != nullptr) << Diags.renderAll();
+  OwningOpRef M = parse(R"(
+    %c = "cmath.create_constant"() {re = 1.0 : f32}
+        : () -> (!cmath.complex<f32>)
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(failed(M->verify(V)));
+  EXPECT_NE(V.renderAll().find("requires attribute 'im'"),
+            std::string::npos);
+}
+
+TEST_F(LoadCmathTest, OptionalOperand) {
+  ASSERT_TRUE(Module != nullptr) << Diags.renderAll();
+  // Both arities of cmath.log are accepted (Listing 6).
+  OwningOpRef M = parse(R"(
+    std.func @f(%c: !cmath.complex<f32>, %b: f32) {
+      %l1 = "cmath.log"(%c) : (!cmath.complex<f32>)
+          -> (!cmath.complex<f32>)
+      %l2 = "cmath.log"(%c, %b) : (!cmath.complex<f32>, f32)
+          -> (!cmath.complex<f32>)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(M->verify(V))) << V.renderAll();
+
+  // Three operands exceed the optional's budget.
+  OwningOpRef Bad = parse(R"(
+    std.func @f(%c: !cmath.complex<f32>, %b: f32) {
+      %l = "cmath.log"(%c, %b, %b) : (!cmath.complex<f32>, f32, f32)
+          -> (!cmath.complex<f32>)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Bad)) << Diags.renderAll();
+  EXPECT_TRUE(failed(Bad->verify(V)));
+}
+
+TEST_F(LoadCmathTest, RegionTerminatorChecked) {
+  ASSERT_TRUE(Module != nullptr) << Diags.renderAll();
+  OwningOpRef M = parse(R"(
+    std.func @f(%lo: i32, %hi: i32, %step: i32) {
+      "cmath.range_loop"(%lo, %hi, %step) ({
+      ^bb0(%iv: i32):
+        "cmath.range_loop_terminator"() : () -> ()
+      }) : (i32, i32, i32) -> ()
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(M->verify(V))) << V.renderAll();
+
+  // Wrong induction-variable type.
+  OwningOpRef Bad = parse(R"(
+    std.func @f(%lo: i32, %hi: i32, %step: i32) {
+      "cmath.range_loop"(%lo, %hi, %step) ({
+      ^bb0(%iv: f32):
+        "cmath.range_loop_terminator"() : () -> ()
+      }) : (i32, i32, i32) -> ()
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Bad)) << Diags.renderAll();
+  EXPECT_TRUE(failed(Bad->verify(V)));
+}
+
+TEST_F(LoadCmathTest, MissingTerminatorRejected) {
+  ASSERT_TRUE(Module != nullptr) << Diags.renderAll();
+  OwningOpRef M = parse(R"(
+    std.func @f(%lo: i32) {
+      "cmath.range_loop"(%lo, %lo, %lo) ({
+      ^bb0(%iv: i32):
+        %x = "cmath.create_constant"() {re = 1.0 : f32, im = 0.0 : f32}
+            : () -> (!cmath.complex<f32>)
+      }) : (i32, i32, i32) -> ()
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(failed(M->verify(V)));
+  EXPECT_NE(V.renderAll().find("must end with"), std::string::npos);
+}
+
+TEST_F(LoadCmathTest, SuccessorsMakeTerminator) {
+  ASSERT_TRUE(Module != nullptr) << Diags.renderAll();
+  const OpDefinition *CondBr = Ctx.resolveOpDef("cmath.conditional_branch");
+  ASSERT_NE(CondBr, nullptr);
+  EXPECT_TRUE(CondBr->isTerminator());
+  EXPECT_EQ(CondBr->getNumSuccessors(), 2u);
+
+  OwningOpRef M = parse(R"(
+    std.func @f(%c: i1) {
+      "cmath.conditional_branch"(%c)[^t, ^f] : (i1) -> ()
+    ^t:
+      std.return
+    ^f:
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(M->verify(V))) << V.renderAll();
+}
+
+TEST_F(LoadCmathTest, SpecClassification) {
+  ASSERT_TRUE(Module != nullptr) << Diags.renderAll();
+  const DialectSpec *Cmath = Module->lookupDialect("cmath");
+  ASSERT_NE(Cmath, nullptr);
+  // Everything in cmath is expressible without IRDL-C++.
+  for (const OpSpec &Op : Cmath->Ops) {
+    EXPECT_TRUE(Op.localConstraintsInIRDL()) << Op.Name;
+    EXPECT_FALSE(Op.requiresCppVerifier()) << Op.Name;
+  }
+  for (const TypeOrAttrSpec &T : Cmath->Types)
+    EXPECT_FALSE(T.requiresCppVerifier() || T.requiresCppParams());
+}
+
+} // namespace

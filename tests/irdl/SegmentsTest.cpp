@@ -1,0 +1,169 @@
+//===- SegmentsTest.cpp - Variadic operand/result segmentation ----------===//
+
+#include "ir/Block.h"
+#include "ir/Context.h"
+#include "ir/IRParser.h"
+#include "ir/Region.h"
+#include "irdl/IRDL.h"
+#include "irdl/Registration.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class SegmentsTest : public ::testing::Test {
+protected:
+  SegmentsTest() : Diags(&SrcMgr) {
+    Module = loadIRDL(Ctx, R"(
+      Dialect seg {
+        Operation fixed { Operands (a: !f32, b: !f32) }
+        Operation one_variadic {
+          Operands (pre: !f32, rest: Variadic<!i32>)
+        }
+        Operation one_optional {
+          Operands (x: Optional<!f32>, y: !i32)
+        }
+        Operation two_variadic {
+          Operands (xs: Variadic<!f32>, ys: Variadic<!i32>)
+        }
+        Operation variadic_results {
+          Results (outs: Variadic<!f32>)
+        }
+      }
+    )",
+                      SrcMgr, Diags);
+  }
+
+  /// Builds a seg.<name> op with float/int operands per the pattern
+  /// string: 'f' -> f32 value, 'i' -> i32 value.
+  Operation *build(std::string_view Name, std::string_view Pattern,
+                   NamedAttrList Attrs = {},
+                   std::vector<Type> Results = {}) {
+    Dialect *T = Ctx.getOrCreateDialect("tst");
+    OpDefinition *Src = T->lookupOp("src");
+    if (!Src)
+      Src = T->addOp("src");
+    std::vector<Value> Operands;
+    for (char C : Pattern) {
+      OperationState S(Src);
+      S.ResultTypes = {C == 'f' ? Ctx.getFloatType(32)
+                                : Ctx.getIntegerType(32)};
+      Operation *Op = Operation::create(S);
+      Sources.push_back(Op);
+      Operands.push_back(Op->getResult(0));
+    }
+    OperationState S(Ctx.resolveOpDef(std::string("seg.") +
+                                      std::string(Name)));
+    S.Operands = std::move(Operands);
+    S.Attributes = std::move(Attrs);
+    S.ResultTypes = std::move(Results);
+    Operation *Op = Operation::create(S);
+    Built.push_back(Op);
+    return Op;
+  }
+
+  LogicalResult verify(Operation *Op) {
+    VDiags.clear();
+    return Op->getDef()->getVerifier()(Op, VDiags);
+  }
+
+  ~SegmentsTest() override {
+    for (Operation *Op : Built)
+      delete Op;
+    for (Operation *Op : Sources)
+      delete Op;
+  }
+
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags;
+  DiagnosticEngine VDiags;
+  std::unique_ptr<IRDLModule> Module;
+  std::vector<Operation *> Sources;
+  std::vector<Operation *> Built;
+};
+
+TEST_F(SegmentsTest, FixedArity) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  EXPECT_TRUE(succeeded(verify(build("fixed", "ff"))));
+  EXPECT_TRUE(failed(verify(build("fixed", "f"))));
+  EXPECT_TRUE(failed(verify(build("fixed", "fff"))));
+}
+
+TEST_F(SegmentsTest, SingleVariadicTakesSlack) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  EXPECT_TRUE(succeeded(verify(build("one_variadic", "f"))))
+      << VDiags.renderAll();
+  EXPECT_TRUE(succeeded(verify(build("one_variadic", "fi"))));
+  EXPECT_TRUE(succeeded(verify(build("one_variadic", "fiii"))));
+  // Missing the fixed operand.
+  EXPECT_TRUE(failed(verify(build("one_variadic", ""))));
+  // Wrong type inside the variadic group.
+  EXPECT_TRUE(failed(verify(build("one_variadic", "fif"))));
+}
+
+TEST_F(SegmentsTest, OptionalBoundsSlack) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  EXPECT_TRUE(succeeded(verify(build("one_optional", "i"))))
+      << VDiags.renderAll();
+  EXPECT_TRUE(succeeded(verify(build("one_optional", "fi"))));
+  EXPECT_TRUE(failed(verify(build("one_optional", "ffi"))));
+}
+
+TEST_F(SegmentsTest, TwoVariadicsRequireSegmentAttr) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  // Without the attribute: rejected (ambiguous).
+  EXPECT_TRUE(failed(verify(build("two_variadic", "ffii"))));
+  EXPECT_NE(VDiags.renderAll().find("operandSegmentSizes"),
+            std::string::npos);
+
+  // With the attribute: accepted when consistent.
+  NamedAttrList Attrs;
+  Attrs.set("operandSegmentSizes",
+            Ctx.getArrayAttr({Ctx.getIntegerAttr(2, 32),
+                              Ctx.getIntegerAttr(2, 32)}));
+  EXPECT_TRUE(succeeded(verify(build("two_variadic", "ffii", Attrs))))
+      << VDiags.renderAll();
+
+  // Sizes that do not sum to the operand count.
+  NamedAttrList Bad;
+  Bad.set("operandSegmentSizes",
+          Ctx.getArrayAttr({Ctx.getIntegerAttr(1, 32),
+                            Ctx.getIntegerAttr(2, 32)}));
+  EXPECT_TRUE(failed(verify(build("two_variadic", "ffii", Bad))));
+
+  // Segmentation that mismatches the element types.
+  NamedAttrList Shifted;
+  Shifted.set("operandSegmentSizes",
+              Ctx.getArrayAttr({Ctx.getIntegerAttr(3, 32),
+                                Ctx.getIntegerAttr(1, 32)}));
+  EXPECT_TRUE(failed(verify(build("two_variadic", "ffii", Shifted))));
+}
+
+TEST_F(SegmentsTest, VariadicResults) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  EXPECT_TRUE(succeeded(verify(build("variadic_results", "", {}, {}))));
+  EXPECT_TRUE(succeeded(verify(build(
+      "variadic_results", "", {},
+      {Ctx.getFloatType(32), Ctx.getFloatType(32)}))));
+  EXPECT_TRUE(failed(verify(build("variadic_results", "", {},
+                                  {Ctx.getIntegerType(32)}))));
+}
+
+TEST_F(SegmentsTest, ComputeSegmentsDirect) {
+  std::vector<OperandSpec> Specs;
+  Specs.push_back({"a", Constraint::anyType(), VariadicKind::Single});
+  Specs.push_back({"b", Constraint::anyType(), VariadicKind::Variadic});
+  std::string Err;
+  OperationState S(OperationName(std::string("x.y")));
+  Operation *Op = Operation::create(S);
+  auto Segments = computeSegments(Specs, 4, Op, "operandSegmentSizes", Err);
+  ASSERT_TRUE(Segments.has_value()) << Err;
+  EXPECT_EQ((*Segments)[0], std::make_pair(0u, 1u));
+  EXPECT_EQ((*Segments)[1], std::make_pair(1u, 3u));
+  delete Op;
+}
+
+} // namespace

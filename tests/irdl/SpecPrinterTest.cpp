@@ -1,0 +1,123 @@
+//===- SpecPrinterTest.cpp - IRDL pretty-printer round trips -------------===//
+
+#include "ir/Context.h"
+#include "irdl/IRDL.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class SpecPrinterTest : public ::testing::Test {
+protected:
+  SpecPrinterTest() : Diags(&SrcMgr) {}
+
+  std::unique_ptr<IRDLModule> load(IRContext &Ctx, std::string_view Src) {
+    return loadIRDL(Ctx, Src, SrcMgr, Diags);
+  }
+
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags;
+};
+
+TEST_F(SpecPrinterTest, PrintContainsDeclarations) {
+  IRContext Ctx;
+  auto M = load(Ctx, R"(
+    Dialect cm {
+      Enum mode { A, B }
+      Type complex { Parameters (e: AnyOf<!f32, !f64>) Summary "cplx" }
+      Operation mul {
+        ConstraintVar (!T: !complex)
+        Operands (lhs: !T, rhs: !T)
+        Results (res: !T)
+        Summary "multiply"
+      }
+      Operation many {
+        Operands (xs: Variadic<!f32>, y: Optional<!i32>)
+        Successors (a, b)
+      }
+    }
+  )");
+  ASSERT_NE(M, nullptr) << Diags.renderAll();
+  std::string Text = printDialectSpec(*M->getDialects()[0]);
+  EXPECT_NE(Text.find("Dialect cm {"), std::string::npos);
+  EXPECT_NE(Text.find("Enum mode { A, B }"), std::string::npos);
+  EXPECT_NE(Text.find("Type complex {"), std::string::npos);
+  EXPECT_NE(Text.find("Parameters (e: AnyOf<!builtin.f32, "
+                      "!builtin.f64>)"),
+            std::string::npos);
+  EXPECT_NE(Text.find("ConstraintVars (!T: !cm.complex)"),
+            std::string::npos);
+  EXPECT_NE(Text.find("Operands (xs: Variadic<!builtin.f32>, "
+                      "y: Optional<"),
+            std::string::npos);
+  EXPECT_NE(Text.find("Successors (a, b)"), std::string::npos);
+  EXPECT_NE(Text.find("Summary \"multiply\""), std::string::npos);
+}
+
+TEST_F(SpecPrinterTest, PrintedSpecReloads) {
+  IRContext Ctx;
+  auto M = load(Ctx, R"(
+    Dialect rt {
+      Enum mode { Fast, Safe }
+      Type vec { Parameters (elem: !AnyType, n: uint32_t) }
+      Attribute flag { Parameters (v: string) }
+      Operation combine {
+        ConstraintVars (T: !AnyType)
+        Operands (a: !vec<!T, uint32_t>, b: Variadic<!f32>)
+        Results (r: !T)
+        Attributes (f: #flag)
+        Summary "combines things"
+      }
+      Operation looped {
+        Region body { Arguments (iv: !i32) Terminator looped_end }
+      }
+      Operation looped_end { Successors () }
+    }
+  )");
+  ASSERT_NE(M, nullptr) << Diags.renderAll();
+  std::string Text = printDialectSpec(*M->getDialects()[0]);
+
+  // Reload into a fresh context (the printed form is valid IRDL).
+  IRContext Ctx2;
+  auto M2 = load(Ctx2, Text);
+  ASSERT_NE(M2, nullptr) << Text << "\n" << Diags.renderAll();
+  const DialectSpec *D2 = M2->lookupDialect("rt");
+  ASSERT_NE(D2, nullptr);
+  EXPECT_EQ(D2->Ops.size(), 3u);
+  EXPECT_EQ(D2->Types.size(), 1u);
+  EXPECT_EQ(D2->Attrs.size(), 1u);
+  EXPECT_EQ(D2->Enums.size(), 1u);
+
+  // Printing again is a fixed point.
+  std::string Text2 = printDialectSpec(*M2->getDialects()[0]);
+  EXPECT_EQ(Text, Text2);
+}
+
+TEST_F(SpecPrinterTest, CppConstraintsSurvive) {
+  IRContext Ctx;
+  auto M = load(Ctx, R"(
+    Dialect cc {
+      Type bounded { Parameters (n: uint32_t)
+                     CppConstraint "$_self.n <= 32" }
+      Operation op {
+        Operands (a: !bounded)
+        CppConstraint "$_self.numOperands == 1"
+      }
+    }
+  )");
+  ASSERT_NE(M, nullptr) << Diags.renderAll();
+  std::string Text = printDialectSpec(*M->getDialects()[0]);
+  EXPECT_NE(Text.find("CppConstraint \"$_self.n <= 32\""),
+            std::string::npos);
+  EXPECT_NE(Text.find("CppConstraint \"$_self.numOperands == 1\""),
+            std::string::npos);
+
+  IRContext Ctx2;
+  auto M2 = load(Ctx2, Text);
+  ASSERT_NE(M2, nullptr) << Text << "\n" << Diags.renderAll();
+  EXPECT_TRUE(M2->lookupDialect("cc")->Ops[0].requiresCppVerifier());
+}
+
+} // namespace

