@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_attr_expressibility"
+  "../bench/fig10_attr_expressibility.pdb"
+  "CMakeFiles/fig10_attr_expressibility.dir/fig10_attr_expressibility.cpp.o"
+  "CMakeFiles/fig10_attr_expressibility.dir/fig10_attr_expressibility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_attr_expressibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_op_expressibility"
+  "../bench/fig11_op_expressibility.pdb"
+  "CMakeFiles/fig11_op_expressibility.dir/fig11_op_expressibility.cpp.o"
+  "CMakeFiles/fig11_op_expressibility.dir/fig11_op_expressibility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_op_expressibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

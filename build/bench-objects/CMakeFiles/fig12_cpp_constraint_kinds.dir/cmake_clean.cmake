@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_cpp_constraint_kinds"
+  "../bench/fig12_cpp_constraint_kinds.pdb"
+  "CMakeFiles/fig12_cpp_constraint_kinds.dir/fig12_cpp_constraint_kinds.cpp.o"
+  "CMakeFiles/fig12_cpp_constraint_kinds.dir/fig12_cpp_constraint_kinds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cpp_constraint_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

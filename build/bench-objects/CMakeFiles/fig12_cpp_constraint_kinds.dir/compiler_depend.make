@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_cpp_constraint_kinds.
+# This may be replaced when dependencies are built.

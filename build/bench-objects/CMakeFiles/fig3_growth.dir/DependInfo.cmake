@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_growth.cpp" "bench-objects/CMakeFiles/fig3_growth.dir/fig3_growth.cpp.o" "gcc" "bench-objects/CMakeFiles/fig3_growth.dir/fig3_growth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/irdl_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/irdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/irdl/CMakeFiles/irdl_irdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/irdl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/irdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_growth"
+  "../bench/fig3_growth.pdb"
+  "CMakeFiles/fig3_growth.dir/fig3_growth.cpp.o"
+  "CMakeFiles/fig3_growth.dir/fig3_growth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_ops_per_dialect"
+  "../bench/fig4_ops_per_dialect.pdb"
+  "CMakeFiles/fig4_ops_per_dialect.dir/fig4_ops_per_dialect.cpp.o"
+  "CMakeFiles/fig4_ops_per_dialect.dir/fig4_ops_per_dialect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ops_per_dialect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_operands"
+  "../bench/fig5_operands.pdb"
+  "CMakeFiles/fig5_operands.dir/fig5_operands.cpp.o"
+  "CMakeFiles/fig5_operands.dir/fig5_operands.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_operands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_results"
+  "../bench/fig6_results.pdb"
+  "CMakeFiles/fig6_results.dir/fig6_results.cpp.o"
+  "CMakeFiles/fig6_results.dir/fig6_results.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_attrs_regions"
+  "../bench/fig7_attrs_regions.pdb"
+  "CMakeFiles/fig7_attrs_regions.dir/fig7_attrs_regions.cpp.o"
+  "CMakeFiles/fig7_attrs_regions.dir/fig7_attrs_regions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_attrs_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

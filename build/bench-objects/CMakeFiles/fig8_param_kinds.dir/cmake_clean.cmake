@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_param_kinds"
+  "../bench/fig8_param_kinds.pdb"
+  "CMakeFiles/fig8_param_kinds.dir/fig8_param_kinds.cpp.o"
+  "CMakeFiles/fig8_param_kinds.dir/fig8_param_kinds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_param_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_type_expressibility"
+  "../bench/fig9_type_expressibility.pdb"
+  "CMakeFiles/fig9_type_expressibility.dir/fig9_type_expressibility.cpp.o"
+  "CMakeFiles/fig9_type_expressibility.dir/fig9_type_expressibility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_type_expressibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_all"
+  "../bench/fig_all.pdb"
+  "CMakeFiles/fig_all.dir/fig_all.cpp.o"
+  "CMakeFiles/fig_all.dir/fig_all.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_constraints"
+  "../bench/perf_constraints.pdb"
+  "CMakeFiles/perf_constraints.dir/perf_constraints.cpp.o"
+  "CMakeFiles/perf_constraints.dir/perf_constraints.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

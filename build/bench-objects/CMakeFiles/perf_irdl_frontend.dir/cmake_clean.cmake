@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_irdl_frontend"
+  "../bench/perf_irdl_frontend.pdb"
+  "CMakeFiles/perf_irdl_frontend.dir/perf_irdl_frontend.cpp.o"
+  "CMakeFiles/perf_irdl_frontend.dir/perf_irdl_frontend.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_irdl_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

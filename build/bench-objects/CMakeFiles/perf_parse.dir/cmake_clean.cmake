@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_parse"
+  "../bench/perf_parse.pdb"
+  "CMakeFiles/perf_parse.dir/perf_parse.cpp.o"
+  "CMakeFiles/perf_parse.dir/perf_parse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_rewrite"
+  "../bench/perf_rewrite.pdb"
+  "CMakeFiles/perf_rewrite.dir/perf_rewrite.cpp.o"
+  "CMakeFiles/perf_rewrite.dir/perf_rewrite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

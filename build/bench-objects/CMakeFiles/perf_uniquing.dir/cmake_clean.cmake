@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_uniquing"
+  "../bench/perf_uniquing.pdb"
+  "CMakeFiles/perf_uniquing.dir/perf_uniquing.cpp.o"
+  "CMakeFiles/perf_uniquing.dir/perf_uniquing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_uniquing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

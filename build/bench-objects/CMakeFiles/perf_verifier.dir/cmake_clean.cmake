@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_verifier"
+  "../bench/perf_verifier.pdb"
+  "CMakeFiles/perf_verifier.dir/perf_verifier.cpp.o"
+  "CMakeFiles/perf_verifier.dir/perf_verifier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

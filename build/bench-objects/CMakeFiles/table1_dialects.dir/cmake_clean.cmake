@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_dialects"
+  "../bench/table1_dialects.pdb"
+  "CMakeFiles/table1_dialects.dir/table1_dialects.cpp.o"
+  "CMakeFiles/table1_dialects.dir/table1_dialects.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dialects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

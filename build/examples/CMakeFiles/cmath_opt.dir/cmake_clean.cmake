@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmath_opt.dir/cmath_opt.cpp.o"
+  "CMakeFiles/cmath_opt.dir/cmath_opt.cpp.o.d"
+  "cmath_opt"
+  "cmath_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmath_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

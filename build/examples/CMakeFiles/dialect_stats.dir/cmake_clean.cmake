@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialect_stats.dir/dialect_stats.cpp.o"
+  "CMakeFiles/dialect_stats.dir/dialect_stats.cpp.o.d"
+  "dialect_stats"
+  "dialect_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialect_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdl_doc.dir/irdl_doc.cpp.o"
+  "CMakeFiles/irdl_doc.dir/irdl_doc.cpp.o.d"
+  "irdl_doc"
+  "irdl_doc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdl_doc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdl_lint.dir/irdl_lint.cpp.o"
+  "CMakeFiles/irdl_lint.dir/irdl_lint.cpp.o.d"
+  "irdl_lint"
+  "irdl_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdl_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

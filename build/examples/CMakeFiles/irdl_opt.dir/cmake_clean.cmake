@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdl_opt.dir/irdl_opt.cpp.o"
+  "CMakeFiles/irdl_opt.dir/irdl_opt.cpp.o.d"
+  "irdl_opt"
+  "irdl_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdl_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_loops.dir/region_loops.cpp.o"
+  "CMakeFiles/region_loops.dir/region_loops.cpp.o.d"
+  "region_loops"
+  "region_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdl_analysis.dir/DialectStatistics.cpp.o"
+  "CMakeFiles/irdl_analysis.dir/DialectStatistics.cpp.o.d"
+  "CMakeFiles/irdl_analysis.dir/Render.cpp.o"
+  "CMakeFiles/irdl_analysis.dir/Render.cpp.o.d"
+  "libirdl_analysis.a"
+  "libirdl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

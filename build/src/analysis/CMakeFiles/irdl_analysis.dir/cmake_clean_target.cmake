@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libirdl_analysis.a"
+)

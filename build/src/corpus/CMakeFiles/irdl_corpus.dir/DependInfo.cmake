@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/Corpus.cpp" "src/corpus/CMakeFiles/irdl_corpus.dir/Corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/irdl_corpus.dir/Corpus.cpp.o.d"
+  "/root/repo/src/corpus/CorpusData.cpp" "src/corpus/CMakeFiles/irdl_corpus.dir/CorpusData.cpp.o" "gcc" "src/corpus/CMakeFiles/irdl_corpus.dir/CorpusData.cpp.o.d"
+  "/root/repo/src/corpus/Synthesizer.cpp" "src/corpus/CMakeFiles/irdl_corpus.dir/Synthesizer.cpp.o" "gcc" "src/corpus/CMakeFiles/irdl_corpus.dir/Synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/irdl/CMakeFiles/irdl_irdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/irdl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/irdl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/irdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

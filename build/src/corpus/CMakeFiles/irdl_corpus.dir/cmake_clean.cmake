@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdl_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/irdl_corpus.dir/Corpus.cpp.o.d"
+  "CMakeFiles/irdl_corpus.dir/CorpusData.cpp.o"
+  "CMakeFiles/irdl_corpus.dir/CorpusData.cpp.o.d"
+  "CMakeFiles/irdl_corpus.dir/Synthesizer.cpp.o"
+  "CMakeFiles/irdl_corpus.dir/Synthesizer.cpp.o.d"
+  "libirdl_corpus.a"
+  "libirdl_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdl_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

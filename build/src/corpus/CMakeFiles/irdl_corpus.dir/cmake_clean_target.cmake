@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libirdl_corpus.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for irdl_corpus.
+# This may be replaced when dependencies are built.

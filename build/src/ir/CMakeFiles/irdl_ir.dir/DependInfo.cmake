@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Block.cpp" "src/ir/CMakeFiles/irdl_ir.dir/Block.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/Block.cpp.o.d"
+  "/root/repo/src/ir/BuiltinOps.cpp" "src/ir/CMakeFiles/irdl_ir.dir/BuiltinOps.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/BuiltinOps.cpp.o.d"
+  "/root/repo/src/ir/Cloning.cpp" "src/ir/CMakeFiles/irdl_ir.dir/Cloning.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/Cloning.cpp.o.d"
+  "/root/repo/src/ir/Context.cpp" "src/ir/CMakeFiles/irdl_ir.dir/Context.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/Context.cpp.o.d"
+  "/root/repo/src/ir/Dialect.cpp" "src/ir/CMakeFiles/irdl_ir.dir/Dialect.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/Dialect.cpp.o.d"
+  "/root/repo/src/ir/IRLexer.cpp" "src/ir/CMakeFiles/irdl_ir.dir/IRLexer.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/IRLexer.cpp.o.d"
+  "/root/repo/src/ir/IRParser.cpp" "src/ir/CMakeFiles/irdl_ir.dir/IRParser.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/IRParser.cpp.o.d"
+  "/root/repo/src/ir/Operation.cpp" "src/ir/CMakeFiles/irdl_ir.dir/Operation.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/Operation.cpp.o.d"
+  "/root/repo/src/ir/Pass.cpp" "src/ir/CMakeFiles/irdl_ir.dir/Pass.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/Pass.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/irdl_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Region.cpp" "src/ir/CMakeFiles/irdl_ir.dir/Region.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/Region.cpp.o.d"
+  "/root/repo/src/ir/Rewrite.cpp" "src/ir/CMakeFiles/irdl_ir.dir/Rewrite.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/Rewrite.cpp.o.d"
+  "/root/repo/src/ir/Types.cpp" "src/ir/CMakeFiles/irdl_ir.dir/Types.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/Types.cpp.o.d"
+  "/root/repo/src/ir/Value.cpp" "src/ir/CMakeFiles/irdl_ir.dir/Value.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/Value.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/irdl_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/irdl_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/irdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdl_ir.dir/Block.cpp.o"
+  "CMakeFiles/irdl_ir.dir/Block.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/BuiltinOps.cpp.o"
+  "CMakeFiles/irdl_ir.dir/BuiltinOps.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/Cloning.cpp.o"
+  "CMakeFiles/irdl_ir.dir/Cloning.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/Context.cpp.o"
+  "CMakeFiles/irdl_ir.dir/Context.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/Dialect.cpp.o"
+  "CMakeFiles/irdl_ir.dir/Dialect.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/IRLexer.cpp.o"
+  "CMakeFiles/irdl_ir.dir/IRLexer.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/IRParser.cpp.o"
+  "CMakeFiles/irdl_ir.dir/IRParser.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/Operation.cpp.o"
+  "CMakeFiles/irdl_ir.dir/Operation.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/Pass.cpp.o"
+  "CMakeFiles/irdl_ir.dir/Pass.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/Printer.cpp.o"
+  "CMakeFiles/irdl_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/Region.cpp.o"
+  "CMakeFiles/irdl_ir.dir/Region.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/Rewrite.cpp.o"
+  "CMakeFiles/irdl_ir.dir/Rewrite.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/Types.cpp.o"
+  "CMakeFiles/irdl_ir.dir/Types.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/Value.cpp.o"
+  "CMakeFiles/irdl_ir.dir/Value.cpp.o.d"
+  "CMakeFiles/irdl_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/irdl_ir.dir/Verifier.cpp.o.d"
+  "libirdl_ir.a"
+  "libirdl_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdl_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

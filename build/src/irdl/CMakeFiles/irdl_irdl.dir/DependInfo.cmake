@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/irdl/Constraint.cpp" "src/irdl/CMakeFiles/irdl_irdl.dir/Constraint.cpp.o" "gcc" "src/irdl/CMakeFiles/irdl_irdl.dir/Constraint.cpp.o.d"
+  "/root/repo/src/irdl/CppExpr.cpp" "src/irdl/CMakeFiles/irdl_irdl.dir/CppExpr.cpp.o" "gcc" "src/irdl/CMakeFiles/irdl_irdl.dir/CppExpr.cpp.o.d"
+  "/root/repo/src/irdl/Format.cpp" "src/irdl/CMakeFiles/irdl_irdl.dir/Format.cpp.o" "gcc" "src/irdl/CMakeFiles/irdl_irdl.dir/Format.cpp.o.d"
+  "/root/repo/src/irdl/IRDLLoader.cpp" "src/irdl/CMakeFiles/irdl_irdl.dir/IRDLLoader.cpp.o" "gcc" "src/irdl/CMakeFiles/irdl_irdl.dir/IRDLLoader.cpp.o.d"
+  "/root/repo/src/irdl/IRDLParser.cpp" "src/irdl/CMakeFiles/irdl_irdl.dir/IRDLParser.cpp.o" "gcc" "src/irdl/CMakeFiles/irdl_irdl.dir/IRDLParser.cpp.o.d"
+  "/root/repo/src/irdl/Registration.cpp" "src/irdl/CMakeFiles/irdl_irdl.dir/Registration.cpp.o" "gcc" "src/irdl/CMakeFiles/irdl_irdl.dir/Registration.cpp.o.d"
+  "/root/repo/src/irdl/Sema.cpp" "src/irdl/CMakeFiles/irdl_irdl.dir/Sema.cpp.o" "gcc" "src/irdl/CMakeFiles/irdl_irdl.dir/Sema.cpp.o.d"
+  "/root/repo/src/irdl/Spec.cpp" "src/irdl/CMakeFiles/irdl_irdl.dir/Spec.cpp.o" "gcc" "src/irdl/CMakeFiles/irdl_irdl.dir/Spec.cpp.o.d"
+  "/root/repo/src/irdl/SpecPrinter.cpp" "src/irdl/CMakeFiles/irdl_irdl.dir/SpecPrinter.cpp.o" "gcc" "src/irdl/CMakeFiles/irdl_irdl.dir/SpecPrinter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/irdl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/irdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

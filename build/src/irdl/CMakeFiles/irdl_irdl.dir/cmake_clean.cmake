@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdl_irdl.dir/Constraint.cpp.o"
+  "CMakeFiles/irdl_irdl.dir/Constraint.cpp.o.d"
+  "CMakeFiles/irdl_irdl.dir/CppExpr.cpp.o"
+  "CMakeFiles/irdl_irdl.dir/CppExpr.cpp.o.d"
+  "CMakeFiles/irdl_irdl.dir/Format.cpp.o"
+  "CMakeFiles/irdl_irdl.dir/Format.cpp.o.d"
+  "CMakeFiles/irdl_irdl.dir/IRDLLoader.cpp.o"
+  "CMakeFiles/irdl_irdl.dir/IRDLLoader.cpp.o.d"
+  "CMakeFiles/irdl_irdl.dir/IRDLParser.cpp.o"
+  "CMakeFiles/irdl_irdl.dir/IRDLParser.cpp.o.d"
+  "CMakeFiles/irdl_irdl.dir/Registration.cpp.o"
+  "CMakeFiles/irdl_irdl.dir/Registration.cpp.o.d"
+  "CMakeFiles/irdl_irdl.dir/Sema.cpp.o"
+  "CMakeFiles/irdl_irdl.dir/Sema.cpp.o.d"
+  "CMakeFiles/irdl_irdl.dir/Spec.cpp.o"
+  "CMakeFiles/irdl_irdl.dir/Spec.cpp.o.d"
+  "CMakeFiles/irdl_irdl.dir/SpecPrinter.cpp.o"
+  "CMakeFiles/irdl_irdl.dir/SpecPrinter.cpp.o.d"
+  "libirdl_irdl.a"
+  "libirdl_irdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdl_irdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdl_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/irdl_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/irdl_support.dir/SourceMgr.cpp.o"
+  "CMakeFiles/irdl_support.dir/SourceMgr.cpp.o.d"
+  "CMakeFiles/irdl_support.dir/StringExtras.cpp.o"
+  "CMakeFiles/irdl_support.dir/StringExtras.cpp.o.d"
+  "libirdl_support.a"
+  "libirdl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

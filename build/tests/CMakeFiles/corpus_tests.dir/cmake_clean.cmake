@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_tests.dir/corpus/CorpusRoundTripTest.cpp.o"
+  "CMakeFiles/corpus_tests.dir/corpus/CorpusRoundTripTest.cpp.o.d"
+  "CMakeFiles/corpus_tests.dir/corpus/CorpusTest.cpp.o"
+  "CMakeFiles/corpus_tests.dir/corpus/CorpusTest.cpp.o.d"
+  "corpus_tests"
+  "corpus_tests.pdb"
+  "corpus_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

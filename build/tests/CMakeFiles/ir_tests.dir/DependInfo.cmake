@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/AttrTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/AttrTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/AttrTest.cpp.o.d"
+  "/root/repo/tests/ir/BlockRegionTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/BlockRegionTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/BlockRegionTest.cpp.o.d"
+  "/root/repo/tests/ir/BuilderTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/BuilderTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/BuilderTest.cpp.o.d"
+  "/root/repo/tests/ir/BuiltinOpsTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/BuiltinOpsTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/BuiltinOpsTest.cpp.o.d"
+  "/root/repo/tests/ir/CloningTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/CloningTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/CloningTest.cpp.o.d"
+  "/root/repo/tests/ir/ContextTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/ContextTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/ContextTest.cpp.o.d"
+  "/root/repo/tests/ir/DominanceEdgeTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/DominanceEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/DominanceEdgeTest.cpp.o.d"
+  "/root/repo/tests/ir/IRLexerTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/IRLexerTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/IRLexerTest.cpp.o.d"
+  "/root/repo/tests/ir/OperationTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/OperationTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/OperationTest.cpp.o.d"
+  "/root/repo/tests/ir/ParamRoundTripTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/ParamRoundTripTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/ParamRoundTripTest.cpp.o.d"
+  "/root/repo/tests/ir/ParserErrorTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/ParserErrorTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/ParserErrorTest.cpp.o.d"
+  "/root/repo/tests/ir/ParserTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/ParserTest.cpp.o.d"
+  "/root/repo/tests/ir/PassTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/PassTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/PassTest.cpp.o.d"
+  "/root/repo/tests/ir/PrinterTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/PrinterTest.cpp.o.d"
+  "/root/repo/tests/ir/RandomRoundTripTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/RandomRoundTripTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/RandomRoundTripTest.cpp.o.d"
+  "/root/repo/tests/ir/RewriteTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/RewriteTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/RewriteTest.cpp.o.d"
+  "/root/repo/tests/ir/RoundTripTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/RoundTripTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/RoundTripTest.cpp.o.d"
+  "/root/repo/tests/ir/TypeTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/TypeTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/TypeTest.cpp.o.d"
+  "/root/repo/tests/ir/UseDefTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/UseDefTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/UseDefTest.cpp.o.d"
+  "/root/repo/tests/ir/VerifierTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/VerifierTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/irdl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/irdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/irdl/ConstraintPropertyTest.cpp" "tests/CMakeFiles/irdl_tests.dir/irdl/ConstraintPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/irdl_tests.dir/irdl/ConstraintPropertyTest.cpp.o.d"
+  "/root/repo/tests/irdl/ConstraintTest.cpp" "tests/CMakeFiles/irdl_tests.dir/irdl/ConstraintTest.cpp.o" "gcc" "tests/CMakeFiles/irdl_tests.dir/irdl/ConstraintTest.cpp.o.d"
+  "/root/repo/tests/irdl/CppExprTest.cpp" "tests/CMakeFiles/irdl_tests.dir/irdl/CppExprTest.cpp.o" "gcc" "tests/CMakeFiles/irdl_tests.dir/irdl/CppExprTest.cpp.o.d"
+  "/root/repo/tests/irdl/DialectFilesTest.cpp" "tests/CMakeFiles/irdl_tests.dir/irdl/DialectFilesTest.cpp.o" "gcc" "tests/CMakeFiles/irdl_tests.dir/irdl/DialectFilesTest.cpp.o.d"
+  "/root/repo/tests/irdl/FormatTest.cpp" "tests/CMakeFiles/irdl_tests.dir/irdl/FormatTest.cpp.o" "gcc" "tests/CMakeFiles/irdl_tests.dir/irdl/FormatTest.cpp.o.d"
+  "/root/repo/tests/irdl/IRDLParserTest.cpp" "tests/CMakeFiles/irdl_tests.dir/irdl/IRDLParserTest.cpp.o" "gcc" "tests/CMakeFiles/irdl_tests.dir/irdl/IRDLParserTest.cpp.o.d"
+  "/root/repo/tests/irdl/LoadTest.cpp" "tests/CMakeFiles/irdl_tests.dir/irdl/LoadTest.cpp.o" "gcc" "tests/CMakeFiles/irdl_tests.dir/irdl/LoadTest.cpp.o.d"
+  "/root/repo/tests/irdl/SegmentsTest.cpp" "tests/CMakeFiles/irdl_tests.dir/irdl/SegmentsTest.cpp.o" "gcc" "tests/CMakeFiles/irdl_tests.dir/irdl/SegmentsTest.cpp.o.d"
+  "/root/repo/tests/irdl/SemaErrorTest.cpp" "tests/CMakeFiles/irdl_tests.dir/irdl/SemaErrorTest.cpp.o" "gcc" "tests/CMakeFiles/irdl_tests.dir/irdl/SemaErrorTest.cpp.o.d"
+  "/root/repo/tests/irdl/SemaTest.cpp" "tests/CMakeFiles/irdl_tests.dir/irdl/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/irdl_tests.dir/irdl/SemaTest.cpp.o.d"
+  "/root/repo/tests/irdl/SpecPrinterTest.cpp" "tests/CMakeFiles/irdl_tests.dir/irdl/SpecPrinterTest.cpp.o" "gcc" "tests/CMakeFiles/irdl_tests.dir/irdl/SpecPrinterTest.cpp.o.d"
+  "/root/repo/tests/irdl/UnificationTest.cpp" "tests/CMakeFiles/irdl_tests.dir/irdl/UnificationTest.cpp.o" "gcc" "tests/CMakeFiles/irdl_tests.dir/irdl/UnificationTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/irdl/CMakeFiles/irdl_irdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/irdl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/irdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

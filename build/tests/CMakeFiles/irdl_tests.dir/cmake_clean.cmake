@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdl_tests.dir/irdl/ConstraintPropertyTest.cpp.o"
+  "CMakeFiles/irdl_tests.dir/irdl/ConstraintPropertyTest.cpp.o.d"
+  "CMakeFiles/irdl_tests.dir/irdl/ConstraintTest.cpp.o"
+  "CMakeFiles/irdl_tests.dir/irdl/ConstraintTest.cpp.o.d"
+  "CMakeFiles/irdl_tests.dir/irdl/CppExprTest.cpp.o"
+  "CMakeFiles/irdl_tests.dir/irdl/CppExprTest.cpp.o.d"
+  "CMakeFiles/irdl_tests.dir/irdl/DialectFilesTest.cpp.o"
+  "CMakeFiles/irdl_tests.dir/irdl/DialectFilesTest.cpp.o.d"
+  "CMakeFiles/irdl_tests.dir/irdl/FormatTest.cpp.o"
+  "CMakeFiles/irdl_tests.dir/irdl/FormatTest.cpp.o.d"
+  "CMakeFiles/irdl_tests.dir/irdl/IRDLParserTest.cpp.o"
+  "CMakeFiles/irdl_tests.dir/irdl/IRDLParserTest.cpp.o.d"
+  "CMakeFiles/irdl_tests.dir/irdl/LoadTest.cpp.o"
+  "CMakeFiles/irdl_tests.dir/irdl/LoadTest.cpp.o.d"
+  "CMakeFiles/irdl_tests.dir/irdl/SegmentsTest.cpp.o"
+  "CMakeFiles/irdl_tests.dir/irdl/SegmentsTest.cpp.o.d"
+  "CMakeFiles/irdl_tests.dir/irdl/SemaErrorTest.cpp.o"
+  "CMakeFiles/irdl_tests.dir/irdl/SemaErrorTest.cpp.o.d"
+  "CMakeFiles/irdl_tests.dir/irdl/SemaTest.cpp.o"
+  "CMakeFiles/irdl_tests.dir/irdl/SemaTest.cpp.o.d"
+  "CMakeFiles/irdl_tests.dir/irdl/SpecPrinterTest.cpp.o"
+  "CMakeFiles/irdl_tests.dir/irdl/SpecPrinterTest.cpp.o.d"
+  "CMakeFiles/irdl_tests.dir/irdl/UnificationTest.cpp.o"
+  "CMakeFiles/irdl_tests.dir/irdl/UnificationTest.cpp.o.d"
+  "irdl_tests"
+  "irdl_tests.pdb"
+  "irdl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/CastingTest.cpp" "tests/CMakeFiles/support_tests.dir/support/CastingTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/CastingTest.cpp.o.d"
+  "/root/repo/tests/support/DiagnosticsTest.cpp" "tests/CMakeFiles/support_tests.dir/support/DiagnosticsTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/DiagnosticsTest.cpp.o.d"
+  "/root/repo/tests/support/IntrusiveListTest.cpp" "tests/CMakeFiles/support_tests.dir/support/IntrusiveListTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/IntrusiveListTest.cpp.o.d"
+  "/root/repo/tests/support/SourceMgrTest.cpp" "tests/CMakeFiles/support_tests.dir/support/SourceMgrTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/SourceMgrTest.cpp.o.d"
+  "/root/repo/tests/support/StringExtrasTest.cpp" "tests/CMakeFiles/support_tests.dir/support/StringExtrasTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/StringExtrasTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/irdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
