@@ -1,0 +1,90 @@
+//===- PerfHarness.h - Shared main() for the perf_* suites ------*- C++ -*-===//
+///
+/// \file
+/// Wraps the google-benchmark suites with the instrumentation layer
+/// (support/Timing.h, support/Statistic.h): before the registered
+/// benchmarks run, a phase-breakdown callback executes a representative
+/// workload under an active TimerGroup, and the harness prints the
+/// resulting timing tree and statistics table to stderr — so a perf run
+/// reports *where* time goes, not one opaque number.
+///
+/// Flags handled before google-benchmark sees the command line:
+///   --json        print the machine-readable summary (timing tree +
+///                 statistics) to stdout and exit without running the
+///                 google-benchmark suites (stdout stays pure JSON)
+///   --json=FILE   write the summary to FILE, then run the suites
+///
+/// The JSON shape, for BENCH_*.json trajectory tracking:
+///   {"bench": NAME, "timing": <TimerGroup::renderJsonSummary()>,
+///    "statistics": <StatisticRegistry::renderJson()>}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_BENCH_PERFHARNESS_H
+#define IRDL_BENCH_PERFHARNESS_H
+
+#include "support/Statistic.h"
+#include "support/Timing.h"
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace irdl {
+
+inline int runPerfMain(int argc, char **argv, const char *BenchName,
+                       const std::function<void()> &PhaseBreakdown) {
+  bool JsonToStdout = false;
+  std::string JsonFile;
+  std::vector<char *> BenchArgs{argv[0]};
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--json")
+      JsonToStdout = true;
+    else if (Arg.rfind("--json=", 0) == 0)
+      JsonFile = Arg.substr(std::string("--json=").size());
+    else
+      BenchArgs.push_back(argv[I]);
+  }
+
+  TimerGroup Timers(BenchName);
+  StatisticRegistry::instance().resetAll();
+  setActiveTimerGroup(&Timers);
+  PhaseBreakdown();
+  setActiveTimerGroup(nullptr);
+
+  std::string Summary = std::string("{\"bench\":\"") + BenchName +
+                        "\",\"timing\":" + Timers.renderJsonSummary() +
+                        ",\"statistics\":" +
+                        StatisticRegistry::instance().renderJson() + "}\n";
+  if (JsonToStdout) {
+    std::cout << Summary;
+    return 0;
+  }
+  std::cerr << Timers.renderTree()
+            << StatisticRegistry::instance().renderTable();
+  if (!JsonFile.empty()) {
+    std::ofstream Out(JsonFile);
+    if (!Out) {
+      std::cerr << "cannot write " << JsonFile << "\n";
+      return 1;
+    }
+    Out << Summary;
+  }
+
+  int BenchArgc = (int)BenchArgs.size();
+  benchmark::Initialize(&BenchArgc, BenchArgs.data());
+  if (benchmark::ReportUnrecognizedArguments(BenchArgc, BenchArgs.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace irdl
+
+#endif // IRDL_BENCH_PERFHARNESS_H

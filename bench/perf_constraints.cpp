@@ -3,6 +3,8 @@
 /// Ablation (DESIGN.md): AnyOf short-circuiting (match position matters)
 /// and the cost of constraint-variable binding with backtracking.
 
+#include "PerfHarness.h"
+
 #include "irdl/Constraint.h"
 
 #include <benchmark/benchmark.h>
@@ -109,6 +111,55 @@ void BM_AnyOf_BacktrackingWithVars(benchmark::State &State) {
 }
 BENCHMARK(BM_AnyOf_BacktrackingWithVars);
 
+/// Phase breakdown (PerfHarness.h): each ablation scenario runs a fixed
+/// number of evaluations under its own timing scope; the statistics
+/// table then shows per-kind eval counts, variable bindings, and AnyOf
+/// rollbacks for the whole run.
+void runPhaseBreakdown() {
+  Fixture F;
+  ConstraintPtr AnyOfC = Constraint::anyOf(F.Branches);
+  auto RunMatches = [](const char *Phase, const ConstraintPtr &C,
+                       const ParamValue &V,
+                       const std::vector<ConstraintPtr> *Vars) {
+    (void)Phase; // unused when IRDL_ENABLE_TIMING=0
+    IRDL_TIME_SCOPE(Phase);
+    for (int I = 0; I != 1000; ++I) {
+      MatchContext MC(Vars);
+      bool R = C->matches(V, MC);
+      benchmark::DoNotOptimize(R);
+    }
+  };
+  RunMatches("anyof-match-first-x1000", AnyOfC,
+             ParamValue(F.Ctx.getIntegerType(1)), nullptr);
+  RunMatches("anyof-match-last-x1000", AnyOfC,
+             ParamValue(F.Ctx.getIntegerType(16)), nullptr);
+  RunMatches("anyof-no-match-x1000", AnyOfC,
+             ParamValue(F.Ctx.getFloatType(32)), nullptr);
+
+  std::vector<ConstraintPtr> Vars = {Constraint::anyType()};
+  RunMatches("var-bind-first-use-x1000", Constraint::var(0, "T"),
+             ParamValue(F.Ctx.getIntegerType(32)), &Vars);
+
+  {
+    // The backtracking scenario of BM_AnyOf_BacktrackingWithVars.
+    Dialect *D = F.Ctx.getOrCreateDialect("bt");
+    TypeDefinition *Pair = D->addType("pair");
+    Pair->setParamNames({"a", "b"});
+    ConstraintPtr T = Constraint::var(0, "T");
+    std::vector<ConstraintPtr> Branches;
+    for (unsigned W = 1; W <= 8; ++W)
+      Branches.push_back(Constraint::typeConstraint(
+          Pair, {T, Constraint::typeEq(F.Ctx.getIntegerType(W))},
+          /*BaseOnly=*/false));
+    ConstraintPtr C = Constraint::anyOf(Branches);
+    Type V = F.Ctx.getType(Pair, {ParamValue(F.Ctx.getFloatType(32)),
+                                  ParamValue(F.Ctx.getIntegerType(8))});
+    RunMatches("anyof-backtracking-vars-x1000", C, ParamValue(V), &Vars);
+  }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return runPerfMain(argc, argv, "perf_constraints", runPhaseBreakdown);
+}

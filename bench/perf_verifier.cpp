@@ -4,6 +4,8 @@
 /// variable unification included), constraint matching, and the IRDL-C++
 /// expression interpreter.
 
+#include "PerfHarness.h"
+
 #include "ir/Block.h"
 #include "ir/IRParser.h"
 #include "ir/Region.h"
@@ -104,6 +106,47 @@ void BM_TypeVerifier_Checked(benchmark::State &State) {
 }
 BENCHMARK(BM_TypeVerifier_Checked);
 
+/// Phase breakdown (PerfHarness.h): runs each measured path a fixed
+/// number of times under named timing scopes. The library's own scopes
+/// (irdl-frontend, ir-parse, verify) nest inside.
+void runPhaseBreakdown() {
+  std::unique_ptr<Fixture> F;
+  {
+    IRDL_TIME_SCOPE("fixture-setup");
+    F = std::make_unique<Fixture>();
+  }
+  {
+    IRDL_TIME_SCOPE("op-verifier-x1000");
+    const auto &Verifier = F->Mul->getDef()->getVerifier();
+    for (int I = 0; I != 1000; ++I) {
+      DiagnosticEngine Diags;
+      LogicalResult R = Verifier(F->Mul, Diags);
+      benchmark::DoNotOptimize(R);
+    }
+  }
+  {
+    IRDL_TIME_SCOPE("module-verify-x1000");
+    for (int I = 0; I != 1000; ++I) {
+      DiagnosticEngine Diags;
+      LogicalResult R = F->IR->verify(Diags);
+      benchmark::DoNotOptimize(R);
+    }
+  }
+  {
+    IRDL_TIME_SCOPE("constraint-match-x1000");
+    const DialectSpec *Cmath = F->Module->lookupDialect("cmath");
+    const OpSpec *Norm = Cmath->lookupOp("norm");
+    ParamValue V(F->Mul->getOperand(0).getType());
+    for (int I = 0; I != 1000; ++I) {
+      MatchContext MC(&Norm->VarConstraints);
+      bool R = Norm->Operands[0].Constr->matches(V, MC);
+      benchmark::DoNotOptimize(R);
+    }
+  }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return runPerfMain(argc, argv, "perf_verifier", runPhaseBreakdown);
+}

@@ -7,13 +7,21 @@
 ///
 /// Usage:
 ///   irdl_opt [--dialect file.irdl]... [--pass dce|conorm]...
-///            [--generic] [input.mlir]
+///            [--generic] [--verify-each=0|1]
+///            [--timing] [--stats] [--trace-json=FILE] [input.mlir]
 ///
 /// With no --dialect, loads dialects/cmath.irdl. With no input, reads
-/// stdin. Examples:
+/// stdin. Unknown flags and unknown pass names are hard errors. The
+/// observability flags (docs/observability.md):
+///
+///   --timing           print a hierarchical wall-time tree (stderr)
+///   --stats            print the statistics registry (stderr)
+///   --trace-json=FILE  write a chrome://tracing / Perfetto trace
+///
+/// Examples:
 ///
 ///   echo '%c = std.constant 1.5 : f32' | build/examples/irdl_opt
-///   build/examples/irdl_opt --pass conorm --pass dce test.mlir
+///   build/examples/irdl_opt --timing --pass conorm --pass dce test.mlir
 
 #include "ir/Block.h"
 #include "ir/IRParser.h"
@@ -21,6 +29,8 @@
 #include "ir/Printer.h"
 #include "ir/Region.h"
 #include "irdl/IRDL.h"
+#include "support/Statistic.h"
+#include "support/Timing.h"
 
 #include <fstream>
 #include <iostream>
@@ -65,7 +75,11 @@ int main(int argc, char **argv) {
   std::vector<std::string> DialectFiles;
   std::vector<std::string> PassNames;
   std::string InputFile;
+  std::string TraceJsonFile;
   bool Generic = false;
+  bool Timing = false;
+  bool Stats = false;
+  bool VerifyEach = true;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -82,12 +96,40 @@ int main(int argc, char **argv) {
       PassNames.push_back(NextValue());
     else if (Arg == "--generic")
       Generic = true;
-    else if (Arg == "--help" || Arg == "-h") {
+    else if (Arg == "--timing")
+      Timing = true;
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (Arg.rfind("--trace-json=", 0) == 0 ||
+             Arg == "--trace-json") {
+      TraceJsonFile =
+          Arg == "--trace-json"
+              ? NextValue()
+              : Arg.substr(std::string("--trace-json=").size());
+      if (TraceJsonFile.empty()) {
+        std::cerr << "--trace-json requires a file name\n";
+        return 1;
+      }
+    }
+    else if (Arg.rfind("--verify-each=", 0) == 0) {
+      std::string V = Arg.substr(std::string("--verify-each=").size());
+      if (V == "1" || V == "true")
+        VerifyEach = true;
+      else if (V == "0" || V == "false")
+        VerifyEach = false;
+      else {
+        std::cerr << "invalid value '" << V
+                  << "' for --verify-each (expected 0 or 1)\n";
+        return 1;
+      }
+    } else if (Arg == "--help" || Arg == "-h") {
       std::cout << "usage: irdl_opt [--dialect f.irdl]... "
-                   "[--pass dce|conorm]... [--generic] [input]\n";
+                   "[--pass dce|conorm]... [--generic]\n"
+                   "                [--verify-each=0|1] [--timing] "
+                   "[--stats] [--trace-json=FILE] [input]\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
-      std::cerr << "unknown option " << Arg << "\n";
+      std::cerr << "unknown option " << Arg << " (see --help)\n";
       return 1;
     } else {
       InputFile = Arg;
@@ -97,14 +139,49 @@ int main(int argc, char **argv) {
     DialectFiles.push_back(std::string(IRDL_DIALECTS_DIR) +
                            "/cmath.irdl");
 
+  // Install the timer group before any timed work so the frontend,
+  // parser, pipeline, and verifier scopes all land in one tree.
+  TimerGroup Timers("irdl_opt");
+  bool WantTiming = Timing || !TraceJsonFile.empty();
+  if (WantTiming) {
+    setActiveTimerGroup(&Timers);
+#if !IRDL_ENABLE_TIMING
+    std::cerr << "warning: built with IRDL_ENABLE_TIMING=OFF; timing "
+                 "report and trace will be empty\n";
+#endif
+  }
+  // Emit reports on every exit path (including early errors).
+  struct ReportGuard {
+    TimerGroup &Timers;
+    bool Timing, Stats;
+    std::string TraceJsonFile;
+    ~ReportGuard() {
+      setActiveTimerGroup(nullptr);
+      if (Timing)
+        std::cerr << Timers.renderTree();
+      if (Stats)
+        std::cerr << StatisticRegistry::instance().renderTable();
+      if (!TraceJsonFile.empty()) {
+        std::ofstream Out(TraceJsonFile);
+        if (!Out)
+          std::cerr << "cannot write trace to " << TraceJsonFile << "\n";
+        else
+          Out << Timers.renderTraceJson("irdl_opt");
+      }
+    }
+  } Guard{Timers, Timing, Stats, TraceJsonFile};
+
   IRContext Ctx;
   SourceMgr SrcMgr;
   DiagnosticEngine Diags(&SrcMgr);
 
-  for (const std::string &Path : DialectFiles) {
-    if (!loadIRDLFile(Ctx, Path, SrcMgr, Diags)) {
-      std::cerr << Diags.renderAll();
-      return 1;
+  {
+    IRDL_TIME_SCOPE("load-dialects");
+    for (const std::string &Path : DialectFiles) {
+      if (!loadIRDLFile(Ctx, Path, SrcMgr, Diags)) {
+        std::cerr << Diags.renderAll();
+        return 1;
+      }
     }
   }
 
@@ -133,6 +210,9 @@ int main(int argc, char **argv) {
   }
 
   PassManager PM(&Ctx);
+  PM.enableVerifier(VerifyEach);
+  if (WantTiming)
+    PM.addInstrumentation<PassTimingInstrumentation>(&Timers);
   for (const std::string &Name : PassNames) {
     if (Name == "dce") {
       PM.addPass<DeadCodeEliminationPass>(
@@ -154,8 +234,11 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  PrintOptions Opts;
-  Opts.GenericForm = Generic;
-  std::cout << printOpToString(M.get(), Opts) << "\n";
+  {
+    IRDL_TIME_SCOPE("print-output");
+    PrintOptions Opts;
+    Opts.GenericForm = Generic;
+    std::cout << printOpToString(M.get(), Opts) << "\n";
+  }
   return 0;
 }

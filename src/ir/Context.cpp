@@ -2,7 +2,18 @@
 
 #include "ir/Context.h"
 
+#include "support/Statistic.h"
+
 using namespace irdl;
+
+IRDL_STATISTIC(Uniquing, NumTypeUniqueHits,
+               "type uniquing requests served from the pool");
+IRDL_STATISTIC(Uniquing, NumTypeUniqueMisses,
+               "type uniquing requests that allocated storage");
+IRDL_STATISTIC(Uniquing, NumAttrUniqueHits,
+               "attribute uniquing requests served from the pool");
+IRDL_STATISTIC(Uniquing, NumAttrUniqueMisses,
+               "attribute uniquing requests that allocated storage");
 
 // Implemented in BuiltinOps.cpp; registers module/func/return/arith ops.
 namespace irdl {
@@ -121,8 +132,11 @@ Type IRContext::getType(const TypeDefinition *Def,
   size_t H = hashDefAndParams(Def, Params);
   auto [It, End] = TypePool.equal_range(H);
   for (; It != End; ++It)
-    if (It->second->Def == Def && It->second->Params == Params)
+    if (It->second->Def == Def && It->second->Params == Params) {
+      ++NumTypeUniqueHits;
       return Type(It->second.get());
+    }
+  ++NumTypeUniqueMisses;
 
 #ifndef NDEBUG
   if (const auto &Verifier = Def->getVerifier()) {
@@ -148,8 +162,11 @@ Type IRContext::getTypeChecked(const TypeDefinition *Def,
   size_t H = hashDefAndParams(Def, Params);
   auto [It, End] = TypePool.equal_range(H);
   for (; It != End; ++It)
-    if (It->second->Def == Def && It->second->Params == Params)
+    if (It->second->Def == Def && It->second->Params == Params) {
+      ++NumTypeUniqueHits;
       return Type(It->second.get());
+    }
+  ++NumTypeUniqueMisses;
 
   if (const auto &Verifier = Def->getVerifier())
     if (failed(Verifier(Params, Diags, Loc)))
@@ -169,8 +186,11 @@ Attribute IRContext::getAttr(const AttrDefinition *Def,
   size_t H = hashDefAndParams(Def, Params);
   auto [It, End] = AttrPool.equal_range(H);
   for (; It != End; ++It)
-    if (It->second->Def == Def && It->second->Params == Params)
+    if (It->second->Def == Def && It->second->Params == Params) {
+      ++NumAttrUniqueHits;
       return Attribute(It->second.get());
+    }
+  ++NumAttrUniqueMisses;
 
 #ifndef NDEBUG
   if (const auto &Verifier = Def->getVerifier()) {
@@ -196,8 +216,11 @@ Attribute IRContext::getAttrChecked(const AttrDefinition *Def,
   size_t H = hashDefAndParams(Def, Params);
   auto [It, End] = AttrPool.equal_range(H);
   for (; It != End; ++It)
-    if (It->second->Def == Def && It->second->Params == Params)
+    if (It->second->Def == Def && It->second->Params == Params) {
+      ++NumAttrUniqueHits;
       return Attribute(It->second.get());
+    }
+  ++NumAttrUniqueMisses;
 
   if (const auto &Verifier = Def->getVerifier())
     if (failed(Verifier(Params, Diags, Loc)))

@@ -5,13 +5,18 @@
 #include "ir/Block.h"
 #include "ir/Context.h"
 #include "ir/Region.h"
+#include "support/Statistic.h"
 #include "support/StringExtras.h"
+#include "support/Timing.h"
 
 #include <cmath>
 #include <cstdlib>
 #include <map>
 
 using namespace irdl;
+
+IRDL_STATISTIC(IRParser, NumBuffersParsed,
+               "textual IR buffers parsed end to end");
 
 namespace irdl {
 
@@ -1113,6 +1118,8 @@ OwningOpRef irdl::parseSourceString(IRContext &Ctx, std::string_view Source,
                                     SourceMgr &SrcMgr,
                                     DiagnosticEngine &Diags,
                                     std::string BufferName) {
+  IRDL_TIME_SCOPE("ir-parse");
+  ++NumBuffersParsed;
   unsigned Id =
       SrcMgr.addBuffer(std::string(Source), std::move(BufferName));
   if (!Diags.getSourceMgr())

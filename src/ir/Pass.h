@@ -12,6 +12,7 @@
 #ifndef IRDL_IR_PASS_H
 #define IRDL_IR_PASS_H
 
+#include "ir/PassInstrumentation.h"
 #include "ir/Rewrite.h"
 
 #include <memory>
@@ -32,7 +33,8 @@ public:
   virtual LogicalResult run(Operation *Root, DiagnosticEngine &Diags) = 0;
 };
 
-/// Statistics of a pipeline run.
+/// Statistics of a pipeline run. Collected through a bundled
+/// PassInstrumentation; kept as a plain struct for existing consumers.
 struct PassPipelineStatistics {
   unsigned PassesRun = 0;
   bool VerificationFailed = false;
@@ -57,6 +59,18 @@ public:
   }
 
   void enableVerifier(bool Enable = true) { VerifyEach = Enable; }
+  bool isVerifierEnabled() const { return VerifyEach; }
+
+  /// Attaches an observer notified around passes and verifier runs; see
+  /// PassInstrumentation.h for the hook order guarantees.
+  void addInstrumentation(std::unique_ptr<PassInstrumentation> PI) {
+    Instrumentations.push_back(std::move(PI));
+  }
+  template <typename InstT, typename... Args>
+  void addInstrumentation(Args &&...CtorArgs) {
+    Instrumentations.push_back(
+        std::make_unique<InstT>(std::forward<Args>(CtorArgs)...));
+  }
 
   size_t size() const { return Passes.size(); }
   const std::vector<std::unique_ptr<Pass>> &getPasses() const {
@@ -70,6 +84,7 @@ public:
 private:
   IRContext *Ctx;
   std::vector<std::unique_ptr<Pass>> Passes;
+  std::vector<std::unique_ptr<PassInstrumentation>> Instrumentations;
   bool VerifyEach = true;
 };
 

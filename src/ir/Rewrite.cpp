@@ -4,12 +4,21 @@
 
 #include "ir/Block.h"
 #include "ir/Region.h"
+#include "support/Statistic.h"
+#include "support/Timing.h"
 
 #include <algorithm>
 #include <deque>
 #include <unordered_set>
 
 using namespace irdl;
+
+IRDL_STATISTIC(Rewrite, NumGreedyIterations,
+               "greedy rewriter worklist sweeps");
+IRDL_STATISTIC(Rewrite, NumPatternRewrites,
+               "successful pattern applications");
+IRDL_STATISTIC(Rewrite, NumPatternMatchFailures,
+               "pattern matchAndRewrite attempts that failed");
 
 PatternRewriter::~PatternRewriter() = default;
 RewritePattern::~RewritePattern() = default;
@@ -51,9 +60,11 @@ public:
   }
 
   RewriteStatistics run(Operation *Root, unsigned MaxIterations) {
+    IRDL_TIME_SCOPE("greedy-rewrite");
     RewriteStatistics Stats;
     for (unsigned Iter = 0; Iter != MaxIterations; ++Iter) {
       ++Stats.NumIterations;
+      ++NumGreedyIterations;
       seedWorklist(Root);
       bool Changed = processWorklist(Stats);
       if (!Changed)
@@ -103,9 +114,11 @@ private:
         setInsertionPoint(Op);
         if (succeeded(P->matchAndRewrite(Op, *this))) {
           ++Stats.NumRewrites;
+          ++NumPatternRewrites;
           Changed = true;
           break; // Op may be gone; revisit via worklist updates.
         }
+        ++NumPatternMatchFailures;
       }
     }
     // Forget erased pointers; they may be reused by the allocator.

@@ -5,10 +5,17 @@
 #include "ir/Block.h"
 #include "ir/Context.h"
 #include "ir/Region.h"
+#include "support/Statistic.h"
+#include "support/Timing.h"
 
 #include <algorithm>
 
 using namespace irdl;
+
+IRDL_STATISTIC(Verifier, NumVerifierRuns,
+               "entry-point structural verifications");
+IRDL_STATISTIC(Verifier, NumOpsVerified,
+               "operations structurally verified");
 
 //===----------------------------------------------------------------------===//
 // DominanceInfo
@@ -178,6 +185,7 @@ public:
 
 private:
   LogicalResult verifyOpItself(Operation *Op) {
+    ++NumOpsVerified;
     IRContext *Ctx = nullptr;
     for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I)
       if (!Op->getResult(I).getType()) {
@@ -284,6 +292,8 @@ private:
 } // namespace
 
 LogicalResult irdl::verifyOp(Operation *Op, DiagnosticEngine &Diags) {
+  IRDL_TIME_SCOPE("verify");
+  ++NumVerifierRuns;
   return Verifier(Diags).verify(Op);
 }
 

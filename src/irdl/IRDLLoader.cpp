@@ -5,11 +5,20 @@
 #include "irdl/IRDLParser.h"
 #include "irdl/Registration.h"
 #include "irdl/Sema.h"
+#include "support/Statistic.h"
+#include "support/Timing.h"
 
 #include <fstream>
 #include <sstream>
 
 using namespace irdl;
+
+IRDL_STATISTIC(IRDLFrontend, NumBuffersLoaded,
+               "IRDL buffers run through the frontend");
+IRDL_STATISTIC(IRDLFrontend, NumDialectsRegistered,
+               "dialects registered from IRDL specs");
+IRDL_STATISTIC(IRDLFrontend, NumOpsRegistered,
+               "operations registered from IRDL specs");
 
 size_t IRDLModule::getNumOps() const {
   size_t N = 0;
@@ -36,28 +45,46 @@ std::unique_ptr<IRDLModule>
 irdl::loadIRDL(IRContext &Ctx, std::string_view Source, SourceMgr &SrcMgr,
                DiagnosticEngine &Diags, const IRDLLoadOptions &Opts,
                std::string BufferName) {
+  IRDL_TIME_SCOPE("irdl-frontend");
+  ++NumBuffersLoaded;
   unsigned Id = SrcMgr.addBuffer(std::string(Source), std::move(BufferName));
   if (!Diags.getSourceMgr())
     Diags.setSourceMgr(&SrcMgr);
 
   unsigned ErrorsBefore = Diags.getNumErrors();
-  std::vector<ast::DialectDecl> Decls =
-      parseIRDL(SrcMgr.getBufferContents(Id), Diags);
+  std::vector<ast::DialectDecl> Decls;
+  {
+    // The IRDL lexer runs on demand inside the parser, so one phase
+    // covers both.
+    IRDL_TIME_SCOPE("lex+parse");
+    Decls = parseIRDL(SrcMgr.getBufferContents(Id), Diags);
+  }
   if (Diags.getNumErrors() != ErrorsBefore)
     return nullptr;
 
   Sema S(Ctx, Diags, Opts);
-  for (const ast::DialectDecl &Decl : Decls)
-    if (failed(S.declareDialect(Decl)))
-      return nullptr;
+  {
+    IRDL_TIME_SCOPE("sema");
+    for (const ast::DialectDecl &Decl : Decls)
+      if (failed(S.declareDialect(Decl)))
+        return nullptr;
+  }
 
   auto Module = std::make_unique<IRDLModule>();
   for (const ast::DialectDecl &Decl : Decls) {
     auto Spec = std::make_shared<DialectSpec>();
-    if (failed(S.resolveDialect(Decl, *Spec)))
-      return nullptr;
-    if (failed(registerDialectSpec(Spec, Ctx, Diags, Opts)))
-      return nullptr;
+    {
+      IRDL_TIME_SCOPE("sema");
+      if (failed(S.resolveDialect(Decl, *Spec)))
+        return nullptr;
+    }
+    {
+      IRDL_TIME_SCOPE("register");
+      if (failed(registerDialectSpec(Spec, Ctx, Diags, Opts)))
+        return nullptr;
+    }
+    ++NumDialectsRegistered;
+    NumOpsRegistered += Spec->Ops.size();
     Module->Dialects.push_back(std::move(Spec));
   }
   return Module;
@@ -67,12 +94,15 @@ std::unique_ptr<IRDLModule>
 irdl::loadIRDLFile(IRContext &Ctx, const std::string &Path,
                    SourceMgr &SrcMgr, DiagnosticEngine &Diags,
                    const IRDLLoadOptions &Opts) {
-  std::ifstream In(Path);
-  if (!In) {
-    Diags.emitError(SMLoc(), "cannot open IRDL file '" + Path + "'");
-    return nullptr;
-  }
   std::ostringstream Contents;
-  Contents << In.rdbuf();
+  {
+    IRDL_TIME_SCOPE("read-irdl-file");
+    std::ifstream In(Path);
+    if (!In) {
+      Diags.emitError(SMLoc(), "cannot open IRDL file '" + Path + "'");
+      return nullptr;
+    }
+    Contents << In.rdbuf();
+  }
   return loadIRDL(Ctx, Contents.str(), SrcMgr, Diags, Opts, Path);
 }

@@ -1,0 +1,89 @@
+//===- StatisticTest.cpp - Statistic registry ------------------------===//
+
+#include "support/Statistic.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+using namespace irdl;
+
+// File-scope counters, the way instrumented code declares them.
+IRDL_STATISTIC(StatisticTest, TestCounterA, "a test counter");
+IRDL_STATISTIC(StatisticTest, TestCounterB, "another test counter");
+
+namespace {
+
+TEST(StatisticTest, RegistersAndLooksUp) {
+  Statistic *S =
+      StatisticRegistry::instance().lookup("StatisticTest", "TestCounterA");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S, &TestCounterA);
+  EXPECT_STREQ(S->getDesc(), "a test counter");
+  EXPECT_EQ(StatisticRegistry::instance().lookup("StatisticTest", "Nope"),
+            nullptr);
+}
+
+TEST(StatisticTest, IncrementAndAdd) {
+  TestCounterA.reset();
+  ++TestCounterA;
+  TestCounterA += 41;
+  EXPECT_EQ(TestCounterA.get(), 42u);
+  TestCounterA.reset();
+  EXPECT_EQ(TestCounterA.get(), 0u);
+}
+
+TEST(StatisticTest, AtomicUnderConcurrentIncrements) {
+  TestCounterB.reset();
+  constexpr int NumThreads = 8;
+  constexpr int IncsPerThread = 20000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([] {
+      for (int I = 0; I != IncsPerThread; ++I)
+        ++TestCounterB;
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(TestCounterB.get(),
+            (uint64_t)NumThreads * (uint64_t)IncsPerThread);
+}
+
+TEST(StatisticTest, GetAllIsSortedByGroupThenName) {
+  auto All = StatisticRegistry::instance().getAll();
+  ASSERT_GE(All.size(), 2u);
+  for (size_t I = 1; I != All.size(); ++I) {
+    int G = std::strcmp(All[I - 1]->getGroup(), All[I]->getGroup());
+    EXPECT_TRUE(G < 0 ||
+                (G == 0 && std::strcmp(All[I - 1]->getName(),
+                                       All[I]->getName()) <= 0))
+        << All[I - 1]->getGroup() << "." << All[I - 1]->getName()
+        << " vs " << All[I]->getGroup() << "." << All[I]->getName();
+  }
+}
+
+TEST(StatisticTest, RenderTableSkipsZerosByDefault) {
+  TestCounterA.reset();
+  TestCounterB.reset();
+  ++TestCounterA;
+  std::string Table = StatisticRegistry::instance().renderTable();
+  EXPECT_NE(Table.find("StatisticTest.TestCounterA"), std::string::npos);
+  EXPECT_EQ(Table.find("StatisticTest.TestCounterB"), std::string::npos);
+  std::string Full =
+      StatisticRegistry::instance().renderTable(/*IncludeZero=*/true);
+  EXPECT_NE(Full.find("StatisticTest.TestCounterB"), std::string::npos);
+  TestCounterA.reset();
+}
+
+TEST(StatisticTest, RenderJsonContainsEntries) {
+  TestCounterA.reset();
+  TestCounterA += 7;
+  std::string Json = StatisticRegistry::instance().renderJson();
+  EXPECT_NE(Json.find("{\"group\":\"StatisticTest\",\"name\":"
+                      "\"TestCounterA\",\"value\":7,"),
+            std::string::npos);
+  TestCounterA.reset();
+}
+
+} // namespace
