@@ -1,0 +1,207 @@
+//===- perf_bytecode.cpp - Bytecode vs textual loading ------------------===//
+///
+/// The serialization ablation (docs/serialization.md): loading a module
+/// from `.irbc` bytecode vs parsing its textual form, and loading dialect
+/// specs from bytecode vs running the full IRDL frontend. Modules come
+/// from the deterministic synthesizer over corpus dialects, so the
+/// encoded surface covers parametric types, attributes, regions, and
+/// block arguments at realistic shapes.
+
+#include "PerfHarness.h"
+
+#include "bytecode/Bytecode.h"
+#include "corpus/Corpus.h"
+#include "corpus/ModuleSynthesizer.h"
+#include "ir/Block.h"
+#include "ir/IRParser.h"
+#include "ir/Printer.h"
+#include "ir/Region.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace irdl;
+
+namespace {
+
+/// One context holding the whole synthetic corpus, a synthesized module
+/// over its dialects, and both serialized forms of that module.
+struct Fixture {
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags{&SrcMgr};
+  CorpusLoadResult Corpus;
+  OwningOpRef M;
+  std::string Text;
+  std::string Bytes;
+  std::string SpecText;
+  std::string SpecBytes;
+
+  Fixture() {
+    Corpus = loadSyntheticCorpus(Ctx, SrcMgr, Diags);
+    // One parent module holding a synthesized module per corpus dialect
+    // (nested whole so block-argument operands stay owned).
+    M = parseSourceString(Ctx, "builtin.module {\n}\n", SrcMgr, Diags);
+    if (M->getRegion(0).empty())
+      M->getRegion(0).push_back(new Block());
+    Block *Body = &M->getRegion(0).front();
+    for (size_t I = 0, N = Corpus.Module->getDialects().size(); I != N;
+         ++I) {
+      OwningOpRef Part =
+          synthesizeModule(Ctx, *Corpus.Module->getDialects()[I],
+                           {/*Seed=*/I + 1});
+      Body->push_back(Part.release());
+    }
+
+    PrintOptions Generic;
+    Generic.GenericForm = true;
+    Text = printOpToString(M.get(), Generic);
+
+    BytecodeWriter Writer;
+    Writer.setModule(M.get());
+    Bytes = Writer.write();
+
+    SpecText = synthesizeCorpusIRDL();
+    BytecodeWriter SpecWriter;
+    SpecWriter.addModuleSpecs(*Corpus.Module);
+    SpecBytes = SpecWriter.write();
+  }
+};
+
+Fixture &fixture() {
+  static Fixture F;
+  return F;
+}
+
+void BM_LoadModule_TextualParse(benchmark::State &State) {
+  Fixture &F = fixture();
+  for (auto _ : State) {
+    SourceMgr SM;
+    DiagnosticEngine Diags(&SM);
+    OwningOpRef M = parseSourceString(F.Ctx, F.Text, SM, Diags);
+    benchmark::DoNotOptimize(M.get());
+  }
+  State.SetBytesProcessed(State.iterations() * F.Text.size());
+}
+BENCHMARK(BM_LoadModule_TextualParse)->Unit(benchmark::kMillisecond);
+
+void BM_LoadModule_Bytecode(benchmark::State &State) {
+  Fixture &F = fixture();
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    BytecodeReader Reader(F.Ctx, Diags);
+    BytecodeReadResult Result;
+    LogicalResult R = Reader.read(F.Bytes, Result);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetBytesProcessed(State.iterations() * F.Bytes.size());
+}
+BENCHMARK(BM_LoadModule_Bytecode)->Unit(benchmark::kMillisecond);
+
+void BM_WriteModule_Bytecode(benchmark::State &State) {
+  Fixture &F = fixture();
+  for (auto _ : State) {
+    BytecodeWriter Writer;
+    Writer.setModule(F.M.get());
+    std::string Bytes = Writer.write();
+    benchmark::DoNotOptimize(Bytes);
+  }
+}
+BENCHMARK(BM_WriteModule_Bytecode)->Unit(benchmark::kMillisecond);
+
+void BM_PrintModule_Textual(benchmark::State &State) {
+  Fixture &F = fixture();
+  PrintOptions Generic;
+  Generic.GenericForm = true;
+  for (auto _ : State) {
+    std::string Text = printOpToString(F.M.get(), Generic);
+    benchmark::DoNotOptimize(Text);
+  }
+}
+BENCHMARK(BM_PrintModule_Textual)->Unit(benchmark::kMillisecond);
+
+void BM_LoadSpecs_IRDLFrontend(benchmark::State &State) {
+  Fixture &F = fixture();
+  for (auto _ : State) {
+    IRContext Ctx;
+    SourceMgr SM;
+    DiagnosticEngine Diags(&SM);
+    auto Module =
+        loadIRDL(Ctx, F.SpecText, SM, Diags, corpusNativeOptions());
+    benchmark::DoNotOptimize(Module);
+  }
+  State.SetBytesProcessed(State.iterations() * F.SpecText.size());
+}
+BENCHMARK(BM_LoadSpecs_IRDLFrontend)->Unit(benchmark::kMillisecond);
+
+void BM_LoadSpecs_Bytecode(benchmark::State &State) {
+  Fixture &F = fixture();
+  for (auto _ : State) {
+    IRContext Ctx;
+    DiagnosticEngine Diags;
+    BytecodeReader Reader(Ctx, Diags, corpusNativeOptions());
+    BytecodeReadResult Result;
+    LogicalResult R = Reader.read(F.SpecBytes, Result);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetBytesProcessed(State.iterations() * F.SpecBytes.size());
+}
+BENCHMARK(BM_LoadSpecs_Bytecode)->Unit(benchmark::kMillisecond);
+
+/// Phase breakdown (PerfHarness.h): both load paths under named timing
+/// scopes; the bytecode library's own scopes (bytecode-read, read-specs,
+/// read-pool, read-ir) nest inside, and the Bytecode statistics group
+/// reports op/pool/byte counts.
+void runPhaseBreakdown() {
+  Fixture *F;
+  {
+    IRDL_TIME_SCOPE("fixture-setup");
+    F = &fixture();
+  }
+  {
+    IRDL_TIME_SCOPE("textual-parse-x20");
+    for (int I = 0; I != 20; ++I) {
+      SourceMgr SM;
+      DiagnosticEngine Diags(&SM);
+      OwningOpRef M = parseSourceString(F->Ctx, F->Text, SM, Diags);
+      benchmark::DoNotOptimize(M.get());
+    }
+  }
+  {
+    IRDL_TIME_SCOPE("bytecode-load-x20");
+    for (int I = 0; I != 20; ++I) {
+      DiagnosticEngine Diags;
+      BytecodeReader Reader(F->Ctx, Diags);
+      BytecodeReadResult Result;
+      LogicalResult R = Reader.read(F->Bytes, Result);
+      benchmark::DoNotOptimize(R);
+    }
+  }
+  {
+    IRDL_TIME_SCOPE("spec-frontend-x3");
+    for (int I = 0; I != 3; ++I) {
+      IRContext Ctx;
+      SourceMgr SM;
+      DiagnosticEngine Diags(&SM);
+      auto Module =
+          loadIRDL(Ctx, F->SpecText, SM, Diags, corpusNativeOptions());
+      benchmark::DoNotOptimize(Module);
+    }
+  }
+  {
+    IRDL_TIME_SCOPE("spec-bytecode-x3");
+    for (int I = 0; I != 3; ++I) {
+      IRContext Ctx;
+      DiagnosticEngine Diags;
+      BytecodeReader Reader(Ctx, Diags, corpusNativeOptions());
+      BytecodeReadResult Result;
+      LogicalResult R = Reader.read(F->SpecBytes, Result);
+      benchmark::DoNotOptimize(R);
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  return runPerfMain(argc, argv, "perf_bytecode", runPhaseBreakdown);
+}

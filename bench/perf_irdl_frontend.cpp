@@ -4,6 +4,8 @@
 /// dialect loading (sema + verifier compilation + registration), and
 /// synthesizing/loading the whole 28-dialect corpus.
 
+#include "PerfHarness.h"
+
 #include "analysis/DialectStatistics.h"
 #include "corpus/Corpus.h"
 #include "irdl/IRDLParser.h"
@@ -82,6 +84,48 @@ void BM_AnalyzeCorpus(benchmark::State &State) {
 }
 BENCHMARK(BM_AnalyzeCorpus);
 
+/// Phase breakdown (PerfHarness.h): the full frontend flow under named
+/// timing scopes; the library's own irdl-frontend scopes nest inside.
+void runPhaseBreakdown() {
+  std::string Source = readCmath();
+  {
+    IRDL_TIME_SCOPE("parse-irdl-x100");
+    for (int I = 0; I != 100; ++I) {
+      DiagnosticEngine Diags;
+      auto Ast = parseIRDL(Source, Diags);
+      benchmark::DoNotOptimize(Ast);
+    }
+  }
+  {
+    IRDL_TIME_SCOPE("load-dialect-x100");
+    for (int I = 0; I != 100; ++I) {
+      IRContext Ctx;
+      SourceMgr SrcMgr;
+      DiagnosticEngine Diags(&SrcMgr);
+      auto Module = loadIRDL(Ctx, Source, SrcMgr, Diags);
+      benchmark::DoNotOptimize(Module);
+    }
+  }
+  std::string Corpus;
+  {
+    IRDL_TIME_SCOPE("synthesize-corpus");
+    Corpus = synthesizeCorpusIRDL();
+  }
+  {
+    IRDL_TIME_SCOPE("load-corpus-x3");
+    for (int I = 0; I != 3; ++I) {
+      IRContext Ctx;
+      SourceMgr SrcMgr;
+      DiagnosticEngine Diags(&SrcMgr);
+      auto Module =
+          loadIRDL(Ctx, Corpus, SrcMgr, Diags, corpusNativeOptions());
+      benchmark::DoNotOptimize(Module);
+    }
+  }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return runPerfMain(argc, argv, "perf_irdl_frontend", runPhaseBreakdown);
+}

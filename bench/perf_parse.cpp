@@ -3,6 +3,8 @@
 /// Ablation (DESIGN.md): declarative-format parsing (with type inference
 /// through constraint variables) vs the generic syntax, plus printing.
 
+#include "PerfHarness.h"
+
 #include "ir/IRParser.h"
 #include "ir/Printer.h"
 #include "irdl/IRDL.h"
@@ -111,6 +113,47 @@ void BM_ParseType_Nested(benchmark::State &State) {
 }
 BENCHMARK(BM_ParseType_Nested);
 
+/// Phase breakdown (PerfHarness.h): the measured paths under named timing
+/// scopes; the library's own ir-parse scopes nest inside.
+void runPhaseBreakdown() {
+  std::unique_ptr<Fixture> F;
+  {
+    IRDL_TIME_SCOPE("fixture-setup");
+    F = std::make_unique<Fixture>();
+  }
+  {
+    IRDL_TIME_SCOPE("parse-custom-x100");
+    for (int I = 0; I != 100; ++I) {
+      SourceMgr SM;
+      DiagnosticEngine Diags(&SM);
+      OwningOpRef M = parseSourceString(F->Ctx, F->CustomText, SM, Diags);
+      benchmark::DoNotOptimize(M.get());
+    }
+  }
+  {
+    IRDL_TIME_SCOPE("parse-generic-x100");
+    for (int I = 0; I != 100; ++I) {
+      SourceMgr SM;
+      DiagnosticEngine Diags(&SM);
+      OwningOpRef M =
+          parseSourceString(F->Ctx, F->GenericText, SM, Diags);
+      benchmark::DoNotOptimize(M.get());
+    }
+  }
+  {
+    IRDL_TIME_SCOPE("print-x100");
+    SourceMgr SM;
+    DiagnosticEngine Diags(&SM);
+    OwningOpRef M = parseSourceString(F->Ctx, F->CustomText, SM, Diags);
+    for (int I = 0; I != 100; ++I) {
+      std::string Text = printOpToString(M.get());
+      benchmark::DoNotOptimize(Text);
+    }
+  }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return runPerfMain(argc, argv, "perf_parse", runPhaseBreakdown);
+}

@@ -4,6 +4,8 @@
 /// conorm peephole applied over chains of norm/mul operations defined by a
 /// dynamically loaded dialect.
 
+#include "PerfHarness.h"
+
 #include "ir/Block.h"
 #include "ir/IRParser.h"
 #include "ir/Region.h"
@@ -116,6 +118,41 @@ void BM_OpCreateErase(benchmark::State &State) {
 }
 BENCHMARK(BM_OpCreateErase);
 
+/// Phase breakdown (PerfHarness.h): dialect load, parse, and the greedy
+/// rewrite driver over a 64-element conorm chain.
+void runPhaseBreakdown() {
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags(&SrcMgr);
+  {
+    IRDL_TIME_SCOPE("load-dialect");
+    auto Module = loadIRDLFile(
+        Ctx, std::string(IRDL_DIALECTS_DIR) + "/cmath.irdl", SrcMgr,
+        Diags);
+    benchmark::DoNotOptimize(Module);
+  }
+  std::string Text = buildConormChain(64);
+  for (int I = 0; I != 20; ++I) {
+    OwningOpRef M;
+    {
+      IRDL_TIME_SCOPE("parse-chain-64");
+      SourceMgr SM;
+      DiagnosticEngine D(&SM);
+      M = parseSourceString(Ctx, Text, SM, D);
+    }
+    {
+      IRDL_TIME_SCOPE("greedy-rewrite-64");
+      RewritePatternSet Patterns(&Ctx);
+      Patterns.add<ConormPattern>();
+      RewriteStatistics Stats = applyPatternsGreedily(M.get(), Patterns);
+      eraseDeadOps(M.get(), {"cmath.norm", "cmath.mul", "std.mulf"});
+      benchmark::DoNotOptimize(Stats.NumRewrites);
+    }
+  }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return runPerfMain(argc, argv, "perf_rewrite", runPhaseBreakdown);
+}

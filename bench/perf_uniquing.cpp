@@ -5,6 +5,8 @@
 /// (pointer equality); the miss path pays hashing + verification +
 /// allocation once per distinct type.
 
+#include "PerfHarness.h"
+
 #include "ir/Context.h"
 
 #include <benchmark/benchmark.h>
@@ -73,6 +75,41 @@ void BM_NestedTypeUniquing_Hit(benchmark::State &State) {
 }
 BENCHMARK(BM_NestedTypeUniquing_Hit);
 
+/// Phase breakdown (PerfHarness.h): hit and miss paths of the uniquer
+/// under named timing scopes.
+void runPhaseBreakdown() {
+  {
+    IRDL_TIME_SCOPE("type-hit-x100k");
+    IRContext Ctx;
+    Ctx.getIntegerType(32);
+    for (int I = 0; I != 100000; ++I) {
+      Type T = Ctx.getIntegerType(32);
+      benchmark::DoNotOptimize(T);
+    }
+  }
+  {
+    IRDL_TIME_SCOPE("type-miss-128-x100");
+    for (int I = 0; I != 100; ++I) {
+      IRContext Ctx;
+      for (unsigned W = 1; W <= 128; ++W) {
+        Type T = Ctx.getIntegerType(W);
+        benchmark::DoNotOptimize(T);
+      }
+    }
+  }
+  {
+    IRDL_TIME_SCOPE("attr-hit-x100k");
+    IRContext Ctx;
+    Ctx.getIntegerAttr(42, 32);
+    for (int I = 0; I != 100000; ++I) {
+      Attribute A = Ctx.getIntegerAttr(42, 32);
+      benchmark::DoNotOptimize(A);
+    }
+  }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return runPerfMain(argc, argv, "perf_uniquing", runPhaseBreakdown);
+}

@@ -7,28 +7,38 @@
 ///
 /// Usage:
 ///   irdl_opt [--dialect file.irdl]... [--pass dce|conorm]...
-///            [--generic] [--verify-each=0|1]
+///            [--generic] [--verify-each=0|1] [--emit-bytecode[=FILE]]
 ///            [--timing] [--stats] [--trace-json=FILE] [input.mlir]
 ///
 /// With no --dialect, loads dialects/cmath.irdl. With no input, reads
-/// stdin. Unknown flags and unknown pass names are hard errors. The
-/// observability flags (docs/observability.md):
+/// stdin. Unknown flags and unknown pass names are hard errors. Both
+/// --dialect files and the input may be binary `.irbc` bytecode
+/// (docs/serialization.md) — the format is sniffed from the buffer's
+/// magic, never from the file extension. The observability flags
+/// (docs/observability.md):
 ///
 ///   --timing           print a hierarchical wall-time tree (stderr)
 ///   --stats            print the statistics registry (stderr)
 ///   --trace-json=FILE  write a chrome://tracing / Perfetto trace
+///   --emit-bytecode    write the result module (plus every dialect
+///                      loaded from text) as bytecode instead of text;
+///                      with =FILE to disk, otherwise to stdout
 ///
 /// Examples:
 ///
 ///   echo '%c = std.constant 1.5 : f32' | build/examples/irdl_opt
 ///   build/examples/irdl_opt --timing --pass conorm --pass dce test.mlir
+///   build/examples/irdl_opt --emit-bytecode=out.irbc test.mlir
+///   build/examples/irdl_opt out.irbc   # reads dialects + IR back
 
+#include "bytecode/Bytecode.h"
 #include "ir/Block.h"
 #include "ir/IRParser.h"
 #include "ir/Pass.h"
 #include "ir/Printer.h"
 #include "ir/Region.h"
 #include "irdl/IRDL.h"
+#include "support/File.h"
 #include "support/Statistic.h"
 #include "support/Timing.h"
 
@@ -76,6 +86,8 @@ int main(int argc, char **argv) {
   std::vector<std::string> PassNames;
   std::string InputFile;
   std::string TraceJsonFile;
+  std::string BytecodeFile;
+  bool EmitBytecode = false;
   bool Generic = false;
   bool Timing = false;
   bool Stats = false;
@@ -111,6 +123,16 @@ int main(int argc, char **argv) {
         return 1;
       }
     }
+    else if (Arg == "--emit-bytecode")
+      EmitBytecode = true;
+    else if (Arg.rfind("--emit-bytecode=", 0) == 0) {
+      EmitBytecode = true;
+      BytecodeFile = Arg.substr(std::string("--emit-bytecode=").size());
+      if (BytecodeFile.empty()) {
+        std::cerr << "--emit-bytecode= requires a file name\n";
+        return 1;
+      }
+    }
     else if (Arg.rfind("--verify-each=", 0) == 0) {
       std::string V = Arg.substr(std::string("--verify-each=").size());
       if (V == "1" || V == "true")
@@ -125,8 +147,10 @@ int main(int argc, char **argv) {
     } else if (Arg == "--help" || Arg == "-h") {
       std::cout << "usage: irdl_opt [--dialect f.irdl]... "
                    "[--pass dce|conorm]... [--generic]\n"
-                   "                [--verify-each=0|1] [--timing] "
-                   "[--stats] [--trace-json=FILE] [input]\n";
+                   "                [--verify-each=0|1] "
+                   "[--emit-bytecode[=FILE]] [--timing]\n"
+                   "                [--stats] [--trace-json=FILE] "
+                   "[input]\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "unknown option " << Arg << " (see --help)\n";
@@ -135,7 +159,21 @@ int main(int argc, char **argv) {
       InputFile = Arg;
     }
   }
-  if (DialectFiles.empty())
+  // Read the input up front: bytecode buffers carry their own dialect
+  // specs, so the cmath.irdl default only applies to textual input.
+  std::string Input;
+  if (InputFile.empty()) {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Input = SS.str();
+  } else {
+    std::string Error;
+    if (failed(readFileToString(InputFile, Input, Error))) {
+      std::cerr << "cannot read " << InputFile << ": " << Error << "\n";
+      return 1;
+    }
+  }
+  if (DialectFiles.empty() && !isBytecodeBuffer(Input))
     DialectFiles.push_back(std::string(IRDL_DIALECTS_DIR) +
                            "/cmath.irdl");
 
@@ -175,35 +213,58 @@ int main(int argc, char **argv) {
   SourceMgr SrcMgr;
   DiagnosticEngine Diags(&SrcMgr);
 
+  // Dialects loaded from textual IRDL are re-emitted by --emit-bytecode
+  // so the resulting .irbc is self-contained.
+  IRDLModule LoadedSpecs;
   {
     IRDL_TIME_SCOPE("load-dialects");
     for (const std::string &Path : DialectFiles) {
-      if (!loadIRDLFile(Ctx, Path, SrcMgr, Diags)) {
+      std::string Buffer, Error;
+      if (failed(readFileToString(Path, Buffer, Error))) {
+        std::cerr << "cannot read dialect file " << Path << ": " << Error
+                  << "\n";
+        return 1;
+      }
+      if (isBytecodeBuffer(Buffer)) {
+        BytecodeReader Reader(Ctx, Diags);
+        BytecodeReadResult Result;
+        if (failed(Reader.read(Buffer, Result))) {
+          std::cerr << Diags.renderAll();
+          return 1;
+        }
+        if (Result.Specs)
+          LoadedSpecs.append(std::move(*Result.Specs));
+        continue;
+      }
+      auto Loaded = loadIRDL(Ctx, Buffer, SrcMgr, Diags, {}, Path);
+      if (!Loaded) {
         std::cerr << Diags.renderAll();
         return 1;
       }
+      LoadedSpecs.append(std::move(*Loaded));
     }
   }
 
-  std::string Input;
-  if (InputFile.empty()) {
-    std::ostringstream SS;
-    SS << std::cin.rdbuf();
-    Input = SS.str();
-  } else {
-    std::ifstream In(InputFile);
-    if (!In) {
-      std::cerr << "cannot open " << InputFile << "\n";
+  OwningOpRef M;
+  if (isBytecodeBuffer(Input)) {
+    BytecodeReader Reader(Ctx, Diags);
+    BytecodeReadResult Result;
+    if (failed(Reader.read(Input, Result))) {
+      std::cerr << Diags.renderAll();
       return 1;
     }
-    std::ostringstream SS;
-    SS << In.rdbuf();
-    Input = SS.str();
+    if (!Result.Module) {
+      std::cerr << (InputFile.empty() ? "<stdin>" : InputFile)
+                << ": bytecode buffer contains no IR module\n";
+      return 1;
+    }
+    if (Result.Specs)
+      LoadedSpecs.append(std::move(*Result.Specs));
+    M = std::move(Result.Module);
+  } else {
+    M = parseSourceString(Ctx, Input, SrcMgr, Diags,
+                          InputFile.empty() ? "<stdin>" : InputFile);
   }
-
-  OwningOpRef M = parseSourceString(Ctx, Input, SrcMgr, Diags,
-                                    InputFile.empty() ? "<stdin>"
-                                                      : InputFile);
   if (!M) {
     std::cerr << Diags.renderAll();
     return 1;
@@ -232,6 +293,24 @@ int main(int argc, char **argv) {
   if (failed(PM.run(M.get(), PipelineDiags))) {
     std::cerr << PipelineDiags.renderAll();
     return 1;
+  }
+
+  if (EmitBytecode) {
+    IRDL_TIME_SCOPE("emit-bytecode");
+    if (!BytecodeFile.empty()) {
+      DiagnosticEngine WriteDiags;
+      if (failed(writeBytecodeFile(BytecodeFile, M.get(), &LoadedSpecs,
+                                   WriteDiags))) {
+        std::cerr << WriteDiags.renderAll();
+        return 1;
+      }
+    } else {
+      BytecodeWriter Writer;
+      Writer.addModuleSpecs(LoadedSpecs);
+      Writer.setModule(M.get());
+      std::cout << Writer.write();
+    }
+    return 0;
   }
 
   {

@@ -1,0 +1,248 @@
+//===- StructuralCompare.cpp ----------------------------------------===//
+
+#include "ir/StructuralCompare.h"
+
+#include "ir/Block.h"
+#include "ir/Region.h"
+
+#include <unordered_map>
+
+using namespace irdl;
+
+bool irdl::isStructurallyEquivalent(const ParamValue &A,
+                                    const ParamValue &B) {
+  if (A.getKind() != B.getKind())
+    return false;
+  switch (A.getKind()) {
+  case ParamValue::Kind::Empty:
+    return true;
+  case ParamValue::Kind::Type:
+    return isStructurallyEquivalent(A.getType(), B.getType());
+  case ParamValue::Kind::Attr:
+    return isStructurallyEquivalent(A.getAttr(), B.getAttr());
+  case ParamValue::Kind::Int:
+    return A.getInt() == B.getInt();
+  case ParamValue::Kind::Float:
+    return A.getFloat() == B.getFloat();
+  case ParamValue::Kind::String:
+    return A.getString() == B.getString();
+  case ParamValue::Kind::Enum:
+    // Enum definitions live in their context; compare by name + index.
+    return A.getEnum().Index == B.getEnum().Index &&
+           A.getEnum().Def->getFullName() == B.getEnum().Def->getFullName();
+  case ParamValue::Kind::Array: {
+    const auto &EA = A.getArray(), &EB = B.getArray();
+    if (EA.size() != EB.size())
+      return false;
+    for (size_t I = 0; I != EA.size(); ++I)
+      if (!isStructurallyEquivalent(EA[I], EB[I]))
+        return false;
+    return true;
+  }
+  case ParamValue::Kind::Opaque:
+    return A.getOpaque() == B.getOpaque();
+  }
+  return false;
+}
+
+static bool paramsEquivalent(const std::vector<ParamValue> &A,
+                             const std::vector<ParamValue> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (!isStructurallyEquivalent(A[I], B[I]))
+      return false;
+  return true;
+}
+
+bool irdl::isStructurallyEquivalent(Type A, Type B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  return A.getDef()->getFullName() == B.getDef()->getFullName() &&
+         paramsEquivalent(A.getParams(), B.getParams());
+}
+
+bool irdl::isStructurallyEquivalent(Attribute A, Attribute B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  return A.getDef()->getFullName() == B.getDef()->getFullName() &&
+         paramsEquivalent(A.getParams(), B.getParams());
+}
+
+namespace {
+
+/// Lockstep comparator. The walk maps every value and block of A to its
+/// positional counterpart in B; operand checks are deferred to the end so
+/// forward references (graph regions, CFG back-edges) resolve.
+class Comparator {
+public:
+  explicit Comparator(std::string *WhyNot) : WhyNot(WhyNot) {}
+
+  bool run(Operation *A, Operation *B) {
+    if (!compareOps(A, B, "root"))
+      return false;
+    for (const auto &[OpA, OpB, Where] : DeferredOperands) {
+      for (unsigned I = 0, N = OpA->getNumOperands(); I != N; ++I) {
+        auto It = ValueMap.find(OpA->getOperand(I).getImpl());
+        if (It == ValueMap.end() ||
+            It->second != OpB->getOperand(I).getImpl())
+          return fail(Where, "operand " + std::to_string(I) +
+                                 " refers to a different value");
+      }
+    }
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Where, const std::string &Message) {
+    if (WhyNot)
+      *WhyNot = Where + ": " + Message;
+    return false;
+  }
+
+  bool compareOps(Operation *A, Operation *B, const std::string &Where) {
+    if (A->getName().str() != B->getName().str())
+      return fail(Where, "op name '" + A->getName().str() + "' vs '" +
+                             B->getName().str() + "'");
+    if (A->getNumResults() != B->getNumResults())
+      return fail(Where, "result count " +
+                             std::to_string(A->getNumResults()) + " vs " +
+                             std::to_string(B->getNumResults()));
+    for (unsigned I = 0, N = A->getNumResults(); I != N; ++I) {
+      if (!isStructurallyEquivalent(A->getResult(I).getType(),
+                                    B->getResult(I).getType()))
+        return fail(Where, "result " + std::to_string(I) + " type '" +
+                               A->getResult(I).getType().str() + "' vs '" +
+                               B->getResult(I).getType().str() + "'");
+      ValueMap.emplace(A->getResult(I).getImpl(), B->getResult(I).getImpl());
+    }
+
+    if (A->getNumOperands() != B->getNumOperands())
+      return fail(Where, "operand count " +
+                             std::to_string(A->getNumOperands()) + " vs " +
+                             std::to_string(B->getNumOperands()));
+    if (A->getNumOperands())
+      DeferredOperands.push_back({A, B, Where});
+
+    const NamedAttrList &AttrsA = A->getAttrs();
+    const NamedAttrList &AttrsB = B->getAttrs();
+    if (AttrsA.size() != AttrsB.size())
+      return fail(Where, "attribute count " +
+                             std::to_string(AttrsA.size()) + " vs " +
+                             std::to_string(AttrsB.size()));
+    // NamedAttrList is name-sorted, so lockstep iteration is positional.
+    auto ItB = AttrsB.begin();
+    for (const NamedAttribute &NA : AttrsA) {
+      if (NA.Name != ItB->Name)
+        return fail(Where, "attribute '" + NA.Name + "' vs '" + ItB->Name +
+                               "'");
+      if (!isStructurallyEquivalent(NA.Attr, ItB->Attr))
+        return fail(Where, "attribute '" + NA.Name + "' value '" +
+                               NA.Attr.str() + "' vs '" + ItB->Attr.str() +
+                               "'");
+      ++ItB;
+    }
+
+    if (A->getNumSuccessors() != B->getNumSuccessors())
+      return fail(Where, "successor count " +
+                             std::to_string(A->getNumSuccessors()) + " vs " +
+                             std::to_string(B->getNumSuccessors()));
+    for (unsigned I = 0, N = A->getNumSuccessors(); I != N; ++I) {
+      auto It = BlockMap.find(A->getSuccessor(I));
+      if (It == BlockMap.end() || It->second != B->getSuccessor(I))
+        return fail(Where, "successor " + std::to_string(I) +
+                               " refers to a different block");
+    }
+
+    if (A->getNumRegions() != B->getNumRegions())
+      return fail(Where, "region count " +
+                             std::to_string(A->getNumRegions()) + " vs " +
+                             std::to_string(B->getNumRegions()));
+    for (unsigned I = 0, N = A->getNumRegions(); I != N; ++I)
+      if (!compareRegions(A->getRegion(I), B->getRegion(I),
+                          Where + " / region " + std::to_string(I)))
+        return false;
+    return true;
+  }
+
+  bool compareRegions(Region &A, Region &B, const std::string &Where) {
+    if (A.getNumBlocks() != B.getNumBlocks())
+      return fail(Where, "block count " +
+                             std::to_string(A.getNumBlocks()) + " vs " +
+                             std::to_string(B.getNumBlocks()));
+    // Map all blocks and their arguments first: successor references and
+    // operand uses of arguments may point forward.
+    auto ItB = B.begin();
+    for (Block &BA : A) {
+      Block &BB = *ItB++;
+      BlockMap.emplace(&BA, &BB);
+      if (BA.getNumArguments() != BB.getNumArguments())
+        return fail(Where, "block argument count " +
+                               std::to_string(BA.getNumArguments()) +
+                               " vs " +
+                               std::to_string(BB.getNumArguments()));
+      for (unsigned I = 0, N = BA.getNumArguments(); I != N; ++I) {
+        if (!isStructurallyEquivalent(BA.getArgument(I).getType(),
+                                      BB.getArgument(I).getType()))
+          return fail(Where, "block argument " + std::to_string(I) +
+                                 " type '" +
+                                 BA.getArgument(I).getType().str() +
+                                 "' vs '" +
+                                 BB.getArgument(I).getType().str() + "'");
+        ValueMap.emplace(BA.getArgument(I).getImpl(),
+                         BB.getArgument(I).getImpl());
+      }
+    }
+    ItB = B.begin();
+    unsigned BlockIndex = 0;
+    for (Block &BA : A) {
+      Block &BB = *ItB++;
+      std::string BlockWhere =
+          Where + " / block " + std::to_string(BlockIndex++);
+      if (BA.getNumOps() != BB.getNumOps())
+        return fail(BlockWhere, "op count " +
+                                    std::to_string(BA.getNumOps()) +
+                                    " vs " +
+                                    std::to_string(BB.getNumOps()));
+      auto OpItB = BB.begin();
+      unsigned OpIndex = 0;
+      for (Operation &OpA : BA) {
+        Operation &OpB = *OpItB++;
+        if (!compareOps(&OpA, &OpB,
+                        BlockWhere + " / op " + std::to_string(OpIndex++) +
+                            " (" + OpA.getName().str() + ")"))
+          return false;
+      }
+    }
+    return true;
+  }
+
+  std::string *WhyNot;
+  std::unordered_map<const detail::ValueImpl *, const detail::ValueImpl *>
+      ValueMap;
+  std::unordered_map<const Block *, const Block *> BlockMap;
+  struct Deferred {
+    Operation *A;
+    Operation *B;
+    std::string Where;
+  };
+  std::vector<Deferred> DeferredOperands;
+};
+
+} // namespace
+
+bool irdl::isStructurallyEquivalent(Operation *A, Operation *B,
+                                    std::string *WhyNot) {
+  if (A == B)
+    return true;
+  if (!A || !B) {
+    if (WhyNot)
+      *WhyNot = "one operation is null";
+    return false;
+  }
+  return Comparator(WhyNot).run(A, B);
+}

@@ -1,0 +1,41 @@
+//===- StructuralCompare.h - Structural IR equivalence ------------*- C++ -*-===//
+///
+/// \file
+/// Structural (cross-context) equivalence of IR: two operations are
+/// equivalent when their names, result types, attributes, operand
+/// wiring, successor wiring, and nested regions/blocks/arguments all
+/// match, with types and attributes compared by definition name and
+/// parameters rather than by uniqued pointer — so a module roundtripped
+/// through text or bytecode into a *different* IRContext still compares
+/// equal. This is the oracle shared by the print→reparse and bytecode
+/// roundtrip tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IR_STRUCTURALCOMPARE_H
+#define IRDL_IR_STRUCTURALCOMPARE_H
+
+#include "ir/Operation.h"
+
+#include <string>
+
+namespace irdl {
+
+/// Structural equivalence of types/attributes/parameter values across
+/// contexts: definition full names and parameters, recursively.
+bool isStructurallyEquivalent(Type A, Type B);
+bool isStructurallyEquivalent(Attribute A, Attribute B);
+bool isStructurallyEquivalent(const ParamValue &A, const ParamValue &B);
+
+/// Structural equivalence of two operation trees. Operand and successor
+/// wiring is compared through a value/block correspondence built during
+/// the lockstep walk, so SSA names and pointer identity are irrelevant.
+/// When the operations differ and \p WhyNot is non-null, it receives a
+/// one-line description of the first difference, with a path to the
+/// offending op (e.g. "region 0 / block 1 / op 2 (cmath.add): ...").
+bool isStructurallyEquivalent(Operation *A, Operation *B,
+                              std::string *WhyNot = nullptr);
+
+} // namespace irdl
+
+#endif // IRDL_IR_STRUCTURALCOMPARE_H

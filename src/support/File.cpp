@@ -1,0 +1,37 @@
+//===- File.cpp -----------------------------------------------------===//
+
+#include "support/File.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace irdl;
+
+LogicalResult irdl::readFileToString(const std::string &Path,
+                                     std::string &Out, std::string &Error) {
+  std::error_code EC;
+  std::filesystem::file_status Status = std::filesystem::status(Path, EC);
+  if (EC || Status.type() == std::filesystem::file_type::not_found) {
+    Error = "cannot open '" + Path + "': no such file";
+    return failure();
+  }
+  if (std::filesystem::is_directory(Status)) {
+    Error = "cannot read '" + Path + "': is a directory";
+    return failure();
+  }
+
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return failure();
+  }
+  std::ostringstream Contents;
+  Contents << In.rdbuf();
+  if (In.bad()) {
+    Error = "error reading '" + Path + "'";
+    return failure();
+  }
+  Out = Contents.str();
+  return success();
+}

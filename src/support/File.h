@@ -1,0 +1,28 @@
+//===- File.h - Robust whole-file reading ------------------------*- C++ -*-===//
+///
+/// \file
+/// One shared helper for slurping a file into memory with real error
+/// reporting. `std::ifstream` alone is not enough: opening a directory
+/// "succeeds" on POSIX and only the subsequent reads fail, which used to
+/// surface as a silently empty module in drivers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_SUPPORT_FILE_H
+#define IRDL_SUPPORT_FILE_H
+
+#include "support/LogicalResult.h"
+
+#include <string>
+
+namespace irdl {
+
+/// Reads the file at \p Path into \p Out (binary, exact bytes). On
+/// failure returns failure() and fills \p Error with a human-readable
+/// reason ("no such file", "is a directory", "read error").
+LogicalResult readFileToString(const std::string &Path, std::string &Out,
+                               std::string &Error);
+
+} // namespace irdl
+
+#endif // IRDL_SUPPORT_FILE_H

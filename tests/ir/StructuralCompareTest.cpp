@@ -1,0 +1,193 @@
+//===- StructuralCompareTest.cpp - isStructurallyEquivalent -------------===//
+///
+/// The shared structural-equality helper used by the print→reparse and
+/// bytecode roundtrip suites: value wiring is compared positionally, types
+/// and attributes structurally (so modules from different contexts
+/// compare equal), and mismatches report a path through the IR.
+
+#include "ir/StructuralCompare.h"
+
+#include "ir/Block.h"
+#include "ir/Context.h"
+#include "ir/IRParser.h"
+#include "ir/Region.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class StructuralCompareTest : public ::testing::Test {
+protected:
+  StructuralCompareTest() : Diags(&SrcMgr) {}
+
+  OwningOpRef parse(std::string_view Src) {
+    return parseSourceString(Ctx, Src, SrcMgr, Diags);
+  }
+
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags;
+};
+
+constexpr const char *FuncText = R"(
+  std.func @f(%a: f32, %b: f32) -> f32 {
+    %0 = std.mulf %a, %b : f32
+    %1 = std.addf %0, %a : f32
+    std.return %1 : f32
+  }
+)";
+
+TEST_F(StructuralCompareTest, IdenticalModulesCompareEqual) {
+  OwningOpRef A = parse(FuncText);
+  OwningOpRef B = parse(FuncText);
+  ASSERT_TRUE(A && B) << Diags.renderAll();
+  std::string WhyNot;
+  EXPECT_TRUE(isStructurallyEquivalent(A.get(), B.get(), &WhyNot))
+      << WhyNot;
+}
+
+TEST_F(StructuralCompareTest, SameOperationComparesEqual) {
+  OwningOpRef A = parse(FuncText);
+  ASSERT_TRUE(A);
+  EXPECT_TRUE(isStructurallyEquivalent(A.get(), A.get()));
+}
+
+TEST_F(StructuralCompareTest, CrossContextModulesCompareEqual) {
+  OwningOpRef A = parse(FuncText);
+  IRContext Ctx2;
+  SourceMgr SM2;
+  DiagnosticEngine Diags2(&SM2);
+  OwningOpRef B = parseSourceString(Ctx2, FuncText, SM2, Diags2);
+  ASSERT_TRUE(A && B);
+  std::string WhyNot;
+  EXPECT_TRUE(isStructurallyEquivalent(A.get(), B.get(), &WhyNot))
+      << WhyNot;
+}
+
+TEST_F(StructuralCompareTest, DifferentAttributeValue) {
+  OwningOpRef A = parse("%c = std.constant 1.0 : f32");
+  OwningOpRef B = parse("%c = std.constant 2.0 : f32");
+  ASSERT_TRUE(A && B);
+  std::string WhyNot;
+  EXPECT_FALSE(isStructurallyEquivalent(A.get(), B.get(), &WhyNot));
+  EXPECT_NE(WhyNot.find("attribute"), std::string::npos) << WhyNot;
+}
+
+TEST_F(StructuralCompareTest, DifferentResultType) {
+  OwningOpRef A = parse("%c = std.constant 1 : i32");
+  OwningOpRef B = parse("%c = std.constant 1 : i64");
+  ASSERT_TRUE(A && B);
+  EXPECT_FALSE(isStructurallyEquivalent(A.get(), B.get()));
+}
+
+TEST_F(StructuralCompareTest, DifferentOperandWiring) {
+  OwningOpRef A = parse(R"(
+    std.func @f(%a: f32, %b: f32) -> f32 {
+      %0 = std.mulf %a, %b : f32
+      std.return %0 : f32
+    }
+  )");
+  OwningOpRef B = parse(R"(
+    std.func @f(%a: f32, %b: f32) -> f32 {
+      %0 = std.mulf %b, %a : f32
+      std.return %0 : f32
+    }
+  )");
+  ASSERT_TRUE(A && B) << Diags.renderAll();
+  std::string WhyNot;
+  EXPECT_FALSE(isStructurallyEquivalent(A.get(), B.get(), &WhyNot));
+  EXPECT_NE(WhyNot.find("operand"), std::string::npos) << WhyNot;
+}
+
+TEST_F(StructuralCompareTest, DifferentOpCount) {
+  OwningOpRef A = parse("%c = std.constant 1.0 : f32");
+  OwningOpRef B = parse(R"(
+    %c = std.constant 1.0 : f32
+    %d = std.constant 1.0 : f32
+  )");
+  ASSERT_TRUE(A && B);
+  std::string WhyNot;
+  EXPECT_FALSE(isStructurallyEquivalent(A.get(), B.get(), &WhyNot));
+  EXPECT_NE(WhyNot.find("op count"), std::string::npos) << WhyNot;
+}
+
+TEST_F(StructuralCompareTest, DifferentSuccessorWiring) {
+  constexpr const char *Cfg = R"(
+    std.func @f(%c: i1) {
+      "std.cond_br"(%c)[^then, ^else] : (i1) -> ()
+    ^then:
+      "std.return"() : () -> ()
+    ^else:
+      "std.return"() : () -> ()
+    }
+  )";
+  constexpr const char *CfgSwapped = R"(
+    std.func @f(%c: i1) {
+      "std.cond_br"(%c)[^else, ^then] : (i1) -> ()
+    ^then:
+      "std.return"() : () -> ()
+    ^else:
+      "std.return"() : () -> ()
+    }
+  )";
+  OwningOpRef A = parse(Cfg);
+  OwningOpRef B = parse(Cfg);
+  OwningOpRef C = parse(CfgSwapped);
+  ASSERT_TRUE(A && B && C) << Diags.renderAll();
+  std::string WhyNot;
+  EXPECT_TRUE(isStructurallyEquivalent(A.get(), B.get(), &WhyNot))
+      << WhyNot;
+  EXPECT_FALSE(isStructurallyEquivalent(A.get(), C.get(), &WhyNot));
+  EXPECT_NE(WhyNot.find("successor"), std::string::npos) << WhyNot;
+}
+
+TEST_F(StructuralCompareTest, WhyNotReportsPath) {
+  OwningOpRef A = parse(FuncText);
+  OwningOpRef B = parse(R"(
+    std.func @f(%a: f32, %b: f32) -> f32 {
+      %0 = std.mulf %a, %b : f32
+      %1 = std.mulf %0, %a : f32
+      std.return %1 : f32
+    }
+  )");
+  ASSERT_TRUE(A && B) << Diags.renderAll();
+  std::string WhyNot;
+  EXPECT_FALSE(isStructurallyEquivalent(A.get(), B.get(), &WhyNot));
+  // The mismatching op is nested: root / region 0 / block 0 / op 0
+  // (std.func) / region 0 / block 0 / op 1.
+  EXPECT_NE(WhyNot.find("region 0"), std::string::npos) << WhyNot;
+  EXPECT_NE(WhyNot.find("op 1"), std::string::npos) << WhyNot;
+}
+
+TEST_F(StructuralCompareTest, ParamValues) {
+  EXPECT_TRUE(isStructurallyEquivalent(
+      ParamValue(IntVal{32, Signedness::Signless, 7}),
+      ParamValue(IntVal{32, Signedness::Signless, 7})));
+  EXPECT_FALSE(isStructurallyEquivalent(
+      ParamValue(IntVal{32, Signedness::Signless, 7}),
+      ParamValue(IntVal{32, Signedness::Signless, 8})));
+  EXPECT_FALSE(isStructurallyEquivalent(
+      ParamValue(IntVal{32, Signedness::Signless, 7}),
+      ParamValue(std::string("7"))));
+  EXPECT_TRUE(isStructurallyEquivalent(ParamValue(std::string("x")),
+                                       ParamValue(std::string("x"))));
+
+  IRContext CtxA, CtxB;
+  EXPECT_TRUE(isStructurallyEquivalent(CtxA.getFloatType(32),
+                                       CtxB.getFloatType(32)));
+  EXPECT_FALSE(isStructurallyEquivalent(CtxA.getFloatType(32),
+                                        CtxB.getFloatType(64)));
+}
+
+TEST_F(StructuralCompareTest, NullOperands) {
+  OwningOpRef A = parse(FuncText);
+  ASSERT_TRUE(A);
+  std::string WhyNot;
+  EXPECT_FALSE(isStructurallyEquivalent(A.get(), nullptr, &WhyNot));
+  EXPECT_FALSE(WhyNot.empty());
+  EXPECT_TRUE(isStructurallyEquivalent(nullptr, nullptr));
+}
+
+} // namespace
