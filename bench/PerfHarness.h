@@ -13,6 +13,9 @@
 ///                 statistics) to stdout and exit without running the
 ///                 google-benchmark suites (stdout stays pure JSON)
 ///   --json=FILE   write the summary to FILE, then run the suites
+///   --mt=N        set the global thread count before anything runs
+///                 (0 = auto, 1 = disable multithreading); applies to the
+///                 phase breakdown and the google-benchmark suites
 ///
 /// The JSON shape, for BENCH_*.json trajectory tracking:
 ///   {"bench": NAME, "timing": <TimerGroup::renderJsonSummary()>,
@@ -24,6 +27,7 @@
 #define IRDL_BENCH_PERFHARNESS_H
 
 #include "support/Statistic.h"
+#include "support/Threading.h"
 #include "support/Timing.h"
 
 #include <benchmark/benchmark.h>
@@ -47,7 +51,14 @@ inline int runPerfMain(int argc, char **argv, const char *BenchName,
       JsonToStdout = true;
     else if (Arg.rfind("--json=", 0) == 0)
       JsonFile = Arg.substr(std::string("--json=").size());
-    else
+    else if (Arg.rfind("--mt=", 0) == 0) {
+      auto N = parseThreadCountValue(Arg.substr(std::string("--mt=").size()));
+      if (!N) {
+        std::cerr << "invalid thread count in '" << Arg << "'\n";
+        return 1;
+      }
+      setGlobalThreadCount(*N);
+    } else
       BenchArgs.push_back(argv[I]);
   }
 

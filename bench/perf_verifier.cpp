@@ -44,6 +44,45 @@ struct Fixture {
   }
 };
 
+/// Builds the textual form of a module with \p NumFuncs functions, each a
+/// chain of \p ChainLen cmath.mul ops. The workload for the multithreaded
+/// verifier: many isolated single-block functions of equal weight.
+std::string makeLargeModuleText(unsigned NumFuncs, unsigned ChainLen) {
+  std::string Text;
+  Text.reserve(NumFuncs * (ChainLen + 3) * 48);
+  for (unsigned F = 0; F != NumFuncs; ++F) {
+    Text += "std.func @f" + std::to_string(F) +
+            "(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>)"
+            " -> !cmath.complex<f32> {\n";
+    std::string Prev = "%p";
+    for (unsigned I = 0; I != ChainLen; ++I) {
+      std::string Cur = "%v" + std::to_string(I);
+      Text += "  " + Cur + " = cmath.mul " + Prev + ", %q : f32\n";
+      Prev = Cur;
+    }
+    Text += "  std.return " + Prev + " : !cmath.complex<f32>\n}\n";
+  }
+  return Text;
+}
+
+/// A module large enough that verification dominates thread-pool
+/// overhead: 64 functions x 64 ops.
+struct LargeModuleFixture {
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags{&SrcMgr};
+  std::unique_ptr<IRDLModule> Module;
+  OwningOpRef IR;
+
+  LargeModuleFixture(unsigned NumFuncs = 64, unsigned ChainLen = 64) {
+    Module = loadIRDLFile(Ctx, std::string(IRDL_DIALECTS_DIR) +
+                                   "/cmath.irdl",
+                          SrcMgr, Diags);
+    IR = parseSourceString(Ctx, makeLargeModuleText(NumFuncs, ChainLen),
+                           SrcMgr, Diags);
+  }
+};
+
 void BM_VerifyOp_CmathMul(benchmark::State &State) {
   Fixture F;
   const auto &Verifier = F.Mul->getDef()->getVerifier();
@@ -64,6 +103,18 @@ void BM_VerifyModule_Recursive(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_VerifyModule_Recursive);
+
+/// The headline --mt workload: run with --mt=1 and --mt=$(nproc) to
+/// compare sequential and parallel verification of the same module.
+void BM_VerifyLargeModule(benchmark::State &State) {
+  LargeModuleFixture F;
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    LogicalResult R = F.IR->verify(Diags);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_VerifyLargeModule)->Unit(benchmark::kMillisecond);
 
 void BM_ConstraintMatch_Parametric(benchmark::State &State) {
   Fixture F;
@@ -129,6 +180,19 @@ void runPhaseBreakdown() {
     for (int I = 0; I != 1000; ++I) {
       DiagnosticEngine Diags;
       LogicalResult R = F->IR->verify(Diags);
+      benchmark::DoNotOptimize(R);
+    }
+  }
+  {
+    std::unique_ptr<LargeModuleFixture> LF;
+    {
+      IRDL_TIME_SCOPE("large-module-setup");
+      LF = std::make_unique<LargeModuleFixture>();
+    }
+    IRDL_TIME_SCOPE("large-module-verify-x10");
+    for (int I = 0; I != 10; ++I) {
+      DiagnosticEngine Diags;
+      LogicalResult R = LF->IR->verify(Diags);
       benchmark::DoNotOptimize(R);
     }
   }

@@ -8,7 +8,8 @@
 /// Usage:
 ///   irdl_opt [--dialect file.irdl]... [--pass dce|conorm]...
 ///            [--generic] [--verify-each=0|1] [--emit-bytecode[=FILE]]
-///            [--timing] [--stats] [--trace-json=FILE] [input.mlir]
+///            [--mt=0|1|N] [--timing] [--stats] [--trace-json=FILE]
+///            [input.mlir]
 ///
 /// With no --dialect, loads dialects/cmath.irdl. With no input, reads
 /// stdin. Unknown flags and unknown pass names are hard errors. Both
@@ -17,6 +18,9 @@
 /// magic, never from the file extension. The observability flags
 /// (docs/observability.md):
 ///
+///   --mt=0|1|N         thread count for verification and function
+///                      passes (0 = auto, 1 = off; overrides the
+///                      IRDL_NUM_THREADS environment variable)
 ///   --timing           print a hierarchical wall-time tree (stderr)
 ///   --stats            print the statistics registry (stderr)
 ///   --trace-json=FILE  write a chrome://tracing / Perfetto trace
@@ -40,6 +44,7 @@
 #include "irdl/IRDL.h"
 #include "support/File.h"
 #include "support/Statistic.h"
+#include "support/Threading.h"
 #include "support/Timing.h"
 
 #include <fstream>
@@ -133,6 +138,16 @@ int main(int argc, char **argv) {
         return 1;
       }
     }
+    else if (Arg.rfind("--mt=", 0) == 0) {
+      auto N = parseThreadCountValue(Arg.substr(std::string("--mt=").size()));
+      if (!N) {
+        std::cerr << "invalid value '"
+                  << Arg.substr(std::string("--mt=").size())
+                  << "' for --mt (expected a non-negative integer)\n";
+        return 1;
+      }
+      setGlobalThreadCount(*N);
+    }
     else if (Arg.rfind("--verify-each=", 0) == 0) {
       std::string V = Arg.substr(std::string("--verify-each=").size());
       if (V == "1" || V == "true")
@@ -148,9 +163,9 @@ int main(int argc, char **argv) {
       std::cout << "usage: irdl_opt [--dialect f.irdl]... "
                    "[--pass dce|conorm]... [--generic]\n"
                    "                [--verify-each=0|1] "
-                   "[--emit-bytecode[=FILE]] [--timing]\n"
-                   "                [--stats] [--trace-json=FILE] "
-                   "[input]\n";
+                   "[--emit-bytecode[=FILE]] [--mt=0|1|N]\n"
+                   "                [--timing] [--stats] "
+                   "[--trace-json=FILE] [input]\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "unknown option " << Arg << " (see --help)\n";

@@ -28,6 +28,7 @@ IRContext::IRContext() {
 IRContext::~IRContext() = default;
 
 Dialect *IRContext::getOrCreateDialect(std::string_view Namespace) {
+  std::unique_lock<std::shared_mutex> Lock(DialectsMu);
   auto It = Dialects.find(Namespace);
   if (It != Dialects.end())
     return It->second.get();
@@ -38,11 +39,13 @@ Dialect *IRContext::getOrCreateDialect(std::string_view Namespace) {
 }
 
 Dialect *IRContext::lookupDialect(std::string_view Namespace) const {
+  std::shared_lock<std::shared_mutex> Lock(DialectsMu);
   auto It = Dialects.find(Namespace);
   return It == Dialects.end() ? nullptr : It->second.get();
 }
 
 std::vector<Dialect *> IRContext::getDialects() const {
+  std::shared_lock<std::shared_mutex> Lock(DialectsMu);
   std::vector<Dialect *> Result;
   Result.reserve(Dialects.size());
   for (const auto &[Name, D] : Dialects)
@@ -126,33 +129,77 @@ static size_t hashDefAndParams(const void *Def,
   return Seed;
 }
 
+namespace {
+/// Scans \p Pool for an existing storage with the same key; caller holds
+/// the shard lock (shared or exclusive).
+template <typename StorageT, typename DefT>
+StorageT *findStorage(
+    const std::unordered_multimap<size_t, std::unique_ptr<StorageT>> &Pool,
+    size_t H, const DefT *Def, const std::vector<ParamValue> &Params) {
+  auto [It, End] = Pool.equal_range(H);
+  for (; It != End; ++It)
+    if (It->second->Def == Def && It->second->Params == Params)
+      return It->second.get();
+  return nullptr;
+}
+} // namespace
+
+/// The shared uniquing path: shared-locked lookup, then (on miss) the
+/// verifier runs *outside* any lock — it may recursively unique nested
+/// types — and the insert re-checks under the exclusive lock, so two
+/// threads racing on the same key converge on one storage (pointer
+/// identity holds under concurrency). \p Verify returns failure to
+/// abort construction (the checked entry points).
+template <typename StorageT, typename DefT, typename VerifyFn>
+static StorageT *
+uniqueStorage(detail::UniquerShard<StorageT> &Shard, const DefT *Def,
+              std::vector<ParamValue> &&Params, size_t H,
+              Statistic &Hits, Statistic &Misses, VerifyFn &&Verify) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(Shard.Mu);
+    if (StorageT *Existing = findStorage(Shard.Pool, H, Def, Params)) {
+      ++Hits;
+      return Existing;
+    }
+  }
+  ++Misses;
+
+  if (failed(Verify(Params)))
+    return nullptr;
+
+  auto Storage = std::make_unique<StorageT>();
+  Storage->Def = Def;
+  Storage->Params = std::move(Params);
+
+  std::unique_lock<std::shared_mutex> Lock(Shard.Mu);
+  if (StorageT *Existing =
+          findStorage(Shard.Pool, H, Def, Storage->Params))
+    return Existing; // lost the insertion race; equal key wins
+  StorageT *Raw = Storage.get();
+  Shard.Pool.emplace(H, std::move(Storage));
+  return Raw;
+}
+
 Type IRContext::getType(const TypeDefinition *Def,
                         std::vector<ParamValue> Params) {
   assert(Def && "null type definition");
   size_t H = hashDefAndParams(Def, Params);
-  auto [It, End] = TypePool.equal_range(H);
-  for (; It != End; ++It)
-    if (It->second->Def == Def && It->second->Params == Params) {
-      ++NumTypeUniqueHits;
-      return Type(It->second.get());
-    }
-  ++NumTypeUniqueMisses;
-
+  TypeStorage *S = uniqueStorage(
+      TypeShards[H % NumUniquerShards], Def, std::move(Params), H,
+      NumTypeUniqueHits, NumTypeUniqueMisses,
+      [&](const std::vector<ParamValue> &P) -> LogicalResult {
+        (void)P;
 #ifndef NDEBUG
-  if (const auto &Verifier = Def->getVerifier()) {
-    DiagnosticEngine Scratch;
-    assert(succeeded(Verifier(Params, Scratch, SMLoc())) &&
-           "type parameters rejected by definition verifier; use "
-           "getTypeChecked for fallible construction");
-  }
+        if (const auto &Verifier = Def->getVerifier()) {
+          DiagnosticEngine Scratch;
+          assert(succeeded(Verifier(P, Scratch, SMLoc())) &&
+                 "type parameters rejected by definition verifier; use "
+                 "getTypeChecked for fallible construction");
+        }
 #endif
-
-  auto Storage = std::make_unique<TypeStorage>();
-  Storage->Def = Def;
-  Storage->Params = std::move(Params);
-  Type Result(Storage.get());
-  TypePool.emplace(H, std::move(Storage));
-  return Result;
+        return success();
+      });
+  return Type(S);
 }
 
 Type IRContext::getTypeChecked(const TypeDefinition *Def,
@@ -160,53 +207,37 @@ Type IRContext::getTypeChecked(const TypeDefinition *Def,
                                DiagnosticEngine &Diags, SMLoc Loc) {
   assert(Def && "null type definition");
   size_t H = hashDefAndParams(Def, Params);
-  auto [It, End] = TypePool.equal_range(H);
-  for (; It != End; ++It)
-    if (It->second->Def == Def && It->second->Params == Params) {
-      ++NumTypeUniqueHits;
-      return Type(It->second.get());
-    }
-  ++NumTypeUniqueMisses;
-
-  if (const auto &Verifier = Def->getVerifier())
-    if (failed(Verifier(Params, Diags, Loc)))
-      return Type();
-
-  auto Storage = std::make_unique<TypeStorage>();
-  Storage->Def = Def;
-  Storage->Params = std::move(Params);
-  Type Result(Storage.get());
-  TypePool.emplace(H, std::move(Storage));
-  return Result;
+  TypeStorage *S = uniqueStorage(
+      TypeShards[H % NumUniquerShards], Def, std::move(Params), H,
+      NumTypeUniqueHits, NumTypeUniqueMisses,
+      [&](const std::vector<ParamValue> &P) -> LogicalResult {
+        if (const auto &Verifier = Def->getVerifier())
+          return Verifier(P, Diags, Loc);
+        return success();
+      });
+  return S ? Type(S) : Type();
 }
 
 Attribute IRContext::getAttr(const AttrDefinition *Def,
                              std::vector<ParamValue> Params) {
   assert(Def && "null attribute definition");
   size_t H = hashDefAndParams(Def, Params);
-  auto [It, End] = AttrPool.equal_range(H);
-  for (; It != End; ++It)
-    if (It->second->Def == Def && It->second->Params == Params) {
-      ++NumAttrUniqueHits;
-      return Attribute(It->second.get());
-    }
-  ++NumAttrUniqueMisses;
-
+  AttrStorage *S = uniqueStorage(
+      AttrShards[H % NumUniquerShards], Def, std::move(Params), H,
+      NumAttrUniqueHits, NumAttrUniqueMisses,
+      [&](const std::vector<ParamValue> &P) -> LogicalResult {
+        (void)P;
 #ifndef NDEBUG
-  if (const auto &Verifier = Def->getVerifier()) {
-    DiagnosticEngine Scratch;
-    assert(succeeded(Verifier(Params, Scratch, SMLoc())) &&
-           "attribute parameters rejected by definition verifier; use "
-           "getAttrChecked for fallible construction");
-  }
+        if (const auto &Verifier = Def->getVerifier()) {
+          DiagnosticEngine Scratch;
+          assert(succeeded(Verifier(P, Scratch, SMLoc())) &&
+                 "attribute parameters rejected by definition verifier; "
+                 "use getAttrChecked for fallible construction");
+        }
 #endif
-
-  auto Storage = std::make_unique<AttrStorage>();
-  Storage->Def = Def;
-  Storage->Params = std::move(Params);
-  Attribute Result(Storage.get());
-  AttrPool.emplace(H, std::move(Storage));
-  return Result;
+        return success();
+      });
+  return Attribute(S);
 }
 
 Attribute IRContext::getAttrChecked(const AttrDefinition *Def,
@@ -214,24 +245,33 @@ Attribute IRContext::getAttrChecked(const AttrDefinition *Def,
                                     DiagnosticEngine &Diags, SMLoc Loc) {
   assert(Def && "null attribute definition");
   size_t H = hashDefAndParams(Def, Params);
-  auto [It, End] = AttrPool.equal_range(H);
-  for (; It != End; ++It)
-    if (It->second->Def == Def && It->second->Params == Params) {
-      ++NumAttrUniqueHits;
-      return Attribute(It->second.get());
-    }
-  ++NumAttrUniqueMisses;
+  AttrStorage *S = uniqueStorage(
+      AttrShards[H % NumUniquerShards], Def, std::move(Params), H,
+      NumAttrUniqueHits, NumAttrUniqueMisses,
+      [&](const std::vector<ParamValue> &P) -> LogicalResult {
+        if (const auto &Verifier = Def->getVerifier())
+          return Verifier(P, Diags, Loc);
+        return success();
+      });
+  return S ? Attribute(S) : Attribute();
+}
 
-  if (const auto &Verifier = Def->getVerifier())
-    if (failed(Verifier(Params, Diags, Loc)))
-      return Attribute();
+size_t IRContext::getNumUniquedTypes() const {
+  size_t N = 0;
+  for (const auto &Shard : TypeShards) {
+    std::shared_lock<std::shared_mutex> Lock(Shard.Mu);
+    N += Shard.Pool.size();
+  }
+  return N;
+}
 
-  auto Storage = std::make_unique<AttrStorage>();
-  Storage->Def = Def;
-  Storage->Params = std::move(Params);
-  Attribute Result(Storage.get());
-  AttrPool.emplace(H, std::move(Storage));
-  return Result;
+size_t IRContext::getNumUniquedAttrs() const {
+  size_t N = 0;
+  for (const auto &Shard : AttrShards) {
+    std::shared_lock<std::shared_mutex> Lock(Shard.Mu);
+    N += Shard.Pool.size();
+  }
+  return N;
 }
 
 //===----------------------------------------------------------------------===//
@@ -468,11 +508,16 @@ Attribute IRContext::getArrayAttr(std::vector<Attribute> Elements) {
 
 void IRContext::registerOpaqueParamCodec(std::string ParamTypeName,
                                          OpaqueParamCodec Codec) {
+  std::unique_lock<std::shared_mutex> Lock(CodecsMu);
   OpaqueCodecs[std::move(ParamTypeName)] = std::move(Codec);
 }
 
 const OpaqueParamCodec *
 IRContext::lookupOpaqueParamCodec(std::string_view ParamTypeName) const {
+  std::shared_lock<std::shared_mutex> Lock(CodecsMu);
+  // Node-based map: the pointer stays valid after the lock drops as long
+  // as codecs are only registered (never erased), and registration
+  // happens in the single-threaded setup phase.
   auto It = OpaqueCodecs.find(ParamTypeName);
   return It == OpaqueCodecs.end() ? nullptr : &It->second;
 }

@@ -14,12 +14,24 @@
 
 #include "ir/Dialect.h"
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 
 namespace irdl {
+
+namespace detail {
+/// One shard of the context's type/attribute uniquer: an open multimap
+/// keyed by the (definition, params) hash, guarded by a reader/writer
+/// lock. See the thread-safety note on IRContext.
+template <typename StorageT> struct UniquerShard {
+  mutable std::shared_mutex Mu;
+  std::unordered_multimap<size_t, std::unique_ptr<StorageT>> Pool;
+};
+} // namespace detail
 
 /// Parses and prints the payload of an opaque parameter kind.
 struct OpaqueParamCodec {
@@ -29,6 +41,13 @@ struct OpaqueParamCodec {
   std::function<std::optional<std::string>(std::string_view)> Parse;
 };
 
+/// Thread-safety: IRContext is safe to share across the threads of the
+/// parallel verifier and pass drivers. Type/attribute uniquing goes
+/// through hash-sharded pools behind shared_mutexes, and the dialect and
+/// codec registries are reader/writer-locked. Registration (loading IRDL
+/// dialects, adding ops/types, installing codecs) is expected to happen
+/// in a setup phase; concurrent *lookups* during the parallel phase are
+/// lock-protected and cheap. See docs/threading.md.
 class IRContext {
 public:
   IRContext();
@@ -84,8 +103,8 @@ public:
                            DiagnosticEngine &Diags, SMLoc Loc = SMLoc());
 
   /// Number of distinct uniqued types/attributes (introspection, tests).
-  size_t getNumUniquedTypes() const { return TypePool.size(); }
-  size_t getNumUniquedAttrs() const { return AttrPool.size(); }
+  size_t getNumUniquedTypes() const;
+  size_t getNumUniquedAttrs() const;
 
   //===------------------------------------------------------------------===//
   // Builtin shorthands
@@ -139,15 +158,22 @@ public:
 private:
   void registerBuiltinDialect();
 
-  struct StorageKeyHash;
-  struct StorageKeyEq;
-
+  mutable std::shared_mutex DialectsMu;
   std::map<std::string, std::unique_ptr<Dialect>, std::less<>> Dialects;
 
-  using TypeKey = std::pair<const TypeDefinition *, size_t>;
-  std::unordered_multimap<size_t, std::unique_ptr<TypeStorage>> TypePool;
-  std::unordered_multimap<size_t, std::unique_ptr<AttrStorage>> AttrPool;
+  /// The uniquer pools are sharded by hash so concurrent verification
+  /// threads creating types/attrs rarely contend on the same lock.
+  /// Lookups take a shard's shared side; the insert-on-miss path
+  /// re-checks under the exclusive side, so two racing creators agree on
+  /// the first inserted storage (pointer-identity of equal keys holds
+  /// under concurrency).
+  static constexpr size_t NumUniquerShards = 16;
+  std::array<detail::UniquerShard<TypeStorage>, NumUniquerShards>
+      TypeShards;
+  std::array<detail::UniquerShard<AttrStorage>, NumUniquerShards>
+      AttrShards;
 
+  mutable std::shared_mutex CodecsMu;
   std::map<std::string, OpaqueParamCodec, std::less<>> OpaqueCodecs;
 
   bool AllowUnregisteredOps = false;

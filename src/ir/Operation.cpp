@@ -172,6 +172,35 @@ void Operation::walk(const std::function<void(Operation *)> &Callback) {
         Op.walk(Callback);
 }
 
+bool Operation::isIsolatedFromAbove() const {
+  bool Isolated = true;
+  const_cast<Operation *>(this)->walk([&](Operation *Nested) {
+    // The op's own operands come from the enclosing scope by definition;
+    // isolation is about what the *body* reaches.
+    if (!Isolated || Nested == this)
+      return;
+    for (unsigned I = 0, E = Nested->getNumOperands(); I != E; ++I) {
+      Value V = Nested->getOperand(I);
+      Block *DefBlock = V ? V.getParentBlock() : nullptr;
+      if (!DefBlock) {
+        Isolated = false; // detached or null value: be conservative
+        return;
+      }
+      bool Inside = false;
+      for (Operation *P = DefBlock->getParentOp(); P; P = P->getParentOp())
+        if (P == this) {
+          Inside = true;
+          break;
+        }
+      if (!Inside) {
+        Isolated = false;
+        return;
+      }
+    }
+  });
+  return Isolated;
+}
+
 std::string Operation::str() const {
   return printOpToString(const_cast<Operation *>(this));
 }

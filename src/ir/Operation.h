@@ -253,6 +253,12 @@ public:
   /// Visits this op and all nested ops, pre-order.
   void walk(const std::function<void(Operation *)> &Callback);
 
+  /// True if no operation nested within this op uses a value defined
+  /// outside of it (MLIR's IsolatedFromAbove, computed structurally).
+  /// Isolated ops are the unit of parallel pass execution: transforming
+  /// them concurrently cannot race on shared use-def chains.
+  bool isIsolatedFromAbove() const;
+
   /// Runs structural verification and all registered verifiers on this op
   /// and everything nested in it.
   LogicalResult verify(DiagnosticEngine &Diags);

@@ -6,6 +6,7 @@
 #include "ir/Region.h"
 #include "ir/Verifier.h"
 #include "support/Statistic.h"
+#include "support/Threading.h"
 
 #include <algorithm>
 
@@ -15,9 +16,66 @@ IRDL_STATISTIC(Pass, NumPassesRun, "passes run to completion");
 IRDL_STATISTIC(Pass, NumPassFailures, "passes that returned failure");
 IRDL_STATISTIC(Pass, NumInterPassVerifications,
                "inter-pass verifier runs by the pass manager");
+IRDL_STATISTIC(Pass, NumParallelFunctionPassRuns,
+               "function-pass runs that fanned out over threads");
+IRDL_STATISTIC(Pass, NumFunctionsProcessed,
+               "function roots processed by function passes");
 IRDL_STATISTIC(DCE, NumOpsErased, "operations erased by dce");
 
 Pass::~Pass() = default;
+
+//===----------------------------------------------------------------------===//
+// FunctionPass
+//===----------------------------------------------------------------------===//
+
+LogicalResult FunctionPass::run(Operation *Root, DiagnosticEngine &Diags) {
+  std::vector<Operation *> Funcs;
+  for (auto &R : Root->getRegions())
+    for (Block &B : *R)
+      for (Operation &Op : B)
+        if (isFunctionLike(&Op))
+          Funcs.push_back(&Op);
+
+  NumFunctionsProcessed += Funcs.size();
+
+  if (!isMultithreadingEnabled() || Funcs.size() < 2) {
+    for (Operation *F : Funcs)
+      if (failed(runOnFunction(F, Diags)))
+        return failure();
+    return success();
+  }
+
+  // Only isolated-from-above functions may be mutated concurrently; the
+  // rest run sequentially afterwards. Results are replayed in source
+  // order either way, so the diagnostic stream matches a sequential run
+  // up to (and including) the first failing function.
+  std::vector<size_t> Isolated, Sequential;
+  for (size_t I = 0, E = Funcs.size(); I != E; ++I)
+    (Funcs[I]->isIsolatedFromAbove() ? Isolated : Sequential).push_back(I);
+
+  std::vector<DiagnosticEngine> Engines(Funcs.size());
+  std::vector<char> Failed(Funcs.size(), 0);
+
+  if (Isolated.size() >= 2) {
+    ++NumParallelFunctionPassRuns;
+    parallelFor(0, Isolated.size(), [&](size_t I) {
+      size_t Idx = Isolated[I];
+      Failed[Idx] = failed(runOnFunction(Funcs[Idx], Engines[Idx]));
+    });
+  } else {
+    for (size_t Idx : Isolated)
+      Failed[Idx] = failed(runOnFunction(Funcs[Idx], Engines[Idx]));
+  }
+  for (size_t Idx : Sequential)
+    Failed[Idx] = failed(runOnFunction(Funcs[Idx], Engines[Idx]));
+
+  for (size_t I = 0, E = Funcs.size(); I != E; ++I) {
+    Diags.replayAll(Engines[I]);
+    if (Failed[I])
+      return failure();
+  }
+  return success();
+}
 
 //===----------------------------------------------------------------------===//
 // PassInstrumentation

@@ -15,6 +15,7 @@
 #include "ir/PassInstrumentation.h"
 #include "ir/Rewrite.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +32,51 @@ public:
 
   /// Transforms \p Root in place. Failure aborts the pipeline.
   virtual LogicalResult run(Operation *Root, DiagnosticEngine &Diags) = 0;
+};
+
+/// A pass that runs independently on each "function" directly under the
+/// root (by default: any direct child op with at least one region). When
+/// multithreading is enabled, functions that are isolated from above are
+/// transformed concurrently on the global thread pool; each task writes
+/// into a private DiagnosticEngine, and the engines are replayed in
+/// source order so the diagnostic stream is byte-identical to a
+/// sequential run. Non-isolated functions (their bodies reach values
+/// defined outside) are run sequentially afterwards — mutating them in
+/// parallel could race on shared use-def chains.
+class FunctionPass : public Pass {
+public:
+  /// Transforms one function root. Must not touch IR outside \p Func and
+  /// must be safe to call concurrently on distinct isolated functions.
+  virtual LogicalResult runOnFunction(Operation *Func,
+                                      DiagnosticEngine &Diags) = 0;
+
+  /// Which direct children of the pipeline root count as functions.
+  /// Defaults to "has a region".
+  virtual bool isFunctionLike(Operation *Op) const {
+    return Op->getNumRegions() != 0;
+  }
+
+  /// Drives runOnFunction over the root's functions; not overridable.
+  LogicalResult run(Operation *Root, DiagnosticEngine &Diags) final;
+};
+
+/// Wraps a callable as a FunctionPass (handy in tests and tools).
+class LambdaFunctionPass : public FunctionPass {
+public:
+  using FnT = std::function<LogicalResult(Operation *, DiagnosticEngine &)>;
+
+  LambdaFunctionPass(std::string PassName, FnT Fn)
+      : PassName(std::move(PassName)), Fn(std::move(Fn)) {}
+
+  std::string_view getName() const override { return PassName; }
+  LogicalResult runOnFunction(Operation *Func,
+                              DiagnosticEngine &Diags) override {
+    return Fn(Func, Diags);
+  }
+
+private:
+  std::string PassName;
+  FnT Fn;
 };
 
 /// Statistics of a pipeline run. Collected through a bundled

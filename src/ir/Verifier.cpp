@@ -6,6 +6,7 @@
 #include "ir/Context.h"
 #include "ir/Region.h"
 #include "support/Statistic.h"
+#include "support/Threading.h"
 #include "support/Timing.h"
 
 #include <algorithm>
@@ -16,6 +17,8 @@ IRDL_STATISTIC(Verifier, NumVerifierRuns,
                "entry-point structural verifications");
 IRDL_STATISTIC(Verifier, NumOpsVerified,
                "operations structurally verified");
+IRDL_STATISTIC(Verifier, NumParallelVerifierRuns,
+               "entry-point verifications that fanned out over threads");
 
 //===----------------------------------------------------------------------===//
 // DominanceInfo
@@ -183,6 +186,10 @@ public:
     return success();
   }
 
+  /// Verifies \p Op without recursing into its regions (the parallel
+  /// driver checks the root itself first, then fans the children out).
+  LogicalResult verifyShallow(Operation *Op) { return verifyOpItself(Op); }
+
 private:
   LogicalResult verifyOpItself(Operation *Op) {
     ++NumOpsVerified;
@@ -289,11 +296,59 @@ private:
   DiagnosticEngine &Diags;
   DominanceInfo Dom;
 };
+
+/// The parallel driver preserves the sequential diagnostic stream only
+/// when the root's regions are single-block (no inter-block terminator
+/// checks interleave with child verification) and there is enough work
+/// to fan out.
+bool canVerifyChildrenInParallel(Operation *Op) {
+  size_t NumChildren = 0;
+  for (auto &R : Op->getRegions()) {
+    if (R->getNumBlocks() > 1)
+      return false;
+    if (!R->empty())
+      NumChildren += R->front().getNumOps();
+  }
+  return NumChildren >= 2;
+}
+
+/// Parallel verification at top-level-op granularity: the root is checked
+/// shallowly first (exactly what a sequential run does before recursing),
+/// then each direct child is verified recursively on the pool into a
+/// private DiagnosticEngine with its own DominanceInfo. Replaying the
+/// engines in child order — and stopping after the first failed child —
+/// reproduces the fail-fast sequential output byte for byte.
+LogicalResult verifyOpParallel(Operation *Root, DiagnosticEngine &Diags) {
+  ++NumParallelVerifierRuns;
+  if (failed(Verifier(Diags).verifyShallow(Root)))
+    return failure();
+
+  std::vector<Operation *> Children;
+  for (auto &R : Root->getRegions())
+    if (!R->empty())
+      for (Operation &Op : R->front())
+        Children.push_back(&Op);
+
+  std::vector<DiagnosticEngine> Engines(Children.size());
+  std::vector<char> Failed(Children.size(), 0);
+  parallelFor(0, Children.size(), [&](size_t I) {
+    Failed[I] = failed(Verifier(Engines[I]).verify(Children[I]));
+  });
+
+  for (size_t I = 0, E = Children.size(); I != E; ++I) {
+    Diags.replayAll(Engines[I]);
+    if (Failed[I])
+      return failure();
+  }
+  return success();
+}
 } // namespace
 
 LogicalResult irdl::verifyOp(Operation *Op, DiagnosticEngine &Diags) {
   IRDL_TIME_SCOPE("verify");
   ++NumVerifierRuns;
+  if (isMultithreadingEnabled() && canVerifyChildrenInParallel(Op))
+    return verifyOpParallel(Op, Diags);
   return Verifier(Diags).verify(Op);
 }
 

@@ -1,0 +1,250 @@
+//===- Threading.cpp -------------------------------------------------===//
+
+#include "support/Threading.h"
+
+#include "support/Statistic.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+using namespace irdl;
+
+IRDL_STATISTIC(Threading, NumParallelLoops,
+               "parallelFor loops dispatched to the thread pool");
+IRDL_STATISTIC(Threading, NumInlineLoops,
+               "parallelFor loops executed inline (mt disabled or nested)");
+IRDL_STATISTIC(Threading, NumParallelTasks,
+               "individual indices executed on pool workers");
+
+//===----------------------------------------------------------------------===//
+// Global configuration
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// 0 = auto (env, then hardware). Explicit setGlobalThreadCount overrides.
+std::atomic<unsigned> ConfiguredThreads{0};
+
+std::mutex GlobalPoolMu;
+std::shared_ptr<ThreadPool> GlobalPool;  // sized for the resolved count
+unsigned GlobalPoolSize = 0;
+
+thread_local bool InPoolWorker = false;
+
+unsigned hardwareThreads() {
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+/// The IRDL_NUM_THREADS environment override, read once.
+unsigned envThreads() {
+  static unsigned Cached = [] {
+    const char *Env = std::getenv("IRDL_NUM_THREADS");
+    if (!Env || !*Env)
+      return 0u;
+    char *End = nullptr;
+    unsigned long V = std::strtoul(Env, &End, 10);
+    if (End == Env || *End)
+      return 0u;
+    return (unsigned)V;
+  }();
+  return Cached;
+}
+} // namespace
+
+void irdl::setGlobalThreadCount(unsigned N) {
+  ConfiguredThreads.store(N, std::memory_order_relaxed);
+  // Drop the pool so the next loop rebuilds it at the new size. In-flight
+  // loops keep the old pool alive through their shared_ptr.
+  std::lock_guard<std::mutex> Lock(GlobalPoolMu);
+  GlobalPool.reset();
+  GlobalPoolSize = 0;
+}
+
+unsigned irdl::getGlobalThreadCount() {
+  unsigned N = ConfiguredThreads.load(std::memory_order_relaxed);
+  if (N == 0)
+    N = envThreads();
+  if (N == 0)
+    N = hardwareThreads();
+  return N;
+}
+
+bool irdl::isMultithreadingEnabled() { return getGlobalThreadCount() > 1; }
+
+std::optional<unsigned>
+irdl::parseThreadCountValue(std::string_view Value) {
+  if (Value.empty())
+    return std::nullopt;
+  unsigned Result = 0;
+  for (char C : Value) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    Result = Result * 10 + (unsigned)(C - '0');
+  }
+  return Result;
+}
+
+bool irdl::isThreadPoolWorker() { return InPoolWorker; }
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Task));
+  }
+  QueueCv.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  IdleCv.wait(Lock, [this] { return Queue.empty() && NumRunning == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  InPoolWorker = true;
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+    if (Queue.empty())
+      break; // Stopping, queue drained
+    std::function<void()> Task = std::move(Queue.front());
+    Queue.pop_front();
+    ++NumRunning;
+    Lock.unlock();
+    Task();
+    Lock.lock();
+    --NumRunning;
+    if (Queue.empty() && NumRunning == 0)
+      IdleCv.notify_all();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// parallelFor
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Returns the pool for the current resolved thread count, (re)building
+/// it when the configuration changed.
+std::shared_ptr<ThreadPool> acquireGlobalPool(unsigned Threads) {
+  std::lock_guard<std::mutex> Lock(GlobalPoolMu);
+  if (!GlobalPool || GlobalPoolSize != Threads) {
+    GlobalPool = std::make_shared<ThreadPool>(Threads);
+    GlobalPoolSize = Threads;
+  }
+  return GlobalPool;
+}
+
+/// Shared completion state of one parallelFor. Kept alive by shared_ptr:
+/// a worker can still be exiting its drain loop after the submitter saw
+/// Done == N and returned.
+struct LoopState {
+  explicit LoopState(size_t N, const std::function<void(size_t)> &Fn)
+      : N(N), Fn(Fn) {}
+  const size_t N;
+  const std::function<void(size_t)> &Fn;
+  std::atomic<size_t> Next{0};
+  std::atomic<size_t> Done{0};
+  /// Pool jobs that have fully finished (including their timer-frame
+  /// teardown). The submitter waits on this too: returning while a
+  /// worker is still popping its frame would let the caller destroy the
+  /// TimerGroup (or the loop body) under the worker's feet.
+  std::atomic<unsigned> JobsDone{0};
+  unsigned NumJobs = 0;
+  std::mutex DoneMu;
+  std::condition_variable DoneCv;
+
+  bool finished() const {
+    return Done.load(std::memory_order_acquire) == N &&
+           JobsDone.load(std::memory_order_acquire) == NumJobs;
+  }
+
+  void notifyDone() {
+    std::lock_guard<std::mutex> Lock(DoneMu);
+    DoneCv.notify_all();
+  }
+
+  /// Claims and runs indices until the range is exhausted.
+  void drain() {
+    while (true) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        break;
+      Fn(I);
+      ++NumParallelTasks;
+      if (Done.fetch_add(1, std::memory_order_acq_rel) + 1 == N)
+        notifyDone();
+    }
+  }
+};
+} // namespace
+
+void irdl::detail::parallelForImpl(size_t N,
+                                   const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  unsigned Threads = getGlobalThreadCount();
+  // Inline execution: multithreading off, a degenerate range, or a nested
+  // loop on a pool worker (waiting on the pool from a pool thread could
+  // deadlock, and the outer loop already owns the parallelism).
+  if (Threads <= 1 || N == 1 || isThreadPoolWorker()) {
+    ++NumInlineLoops;
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+  ++NumParallelLoops;
+
+  std::shared_ptr<ThreadPool> Pool = acquireGlobalPool(Threads);
+  auto State = std::make_shared<LoopState>(N, Fn);
+
+  // Merge worker-side TimingScopes into the submitting thread's tree
+  // position (per-thread timers, one tree: docs/observability.md).
+  TimerGroup *Group = getActiveTimerGroup();
+  TimerGroup::Node *Cursor = Group ? Group->currentThreadNode() : nullptr;
+
+  State->NumJobs =
+      (unsigned)std::min<size_t>(N - 1, Pool->getNumThreads());
+  for (unsigned I = 0; I != State->NumJobs; ++I)
+    Pool->submit([State, Group, Cursor] {
+      if (Group && Cursor)
+        Group->pushThreadFrame(Cursor);
+      State->drain();
+      if (Group && Cursor)
+        Group->popThreadFrame();
+      if (State->JobsDone.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          State->NumJobs)
+        State->notifyDone();
+    });
+
+  // The submitting thread participates instead of blocking idle, then
+  // waits for every job to wind down (not just for the last index): the
+  // loop body and the active TimerGroup may die with this frame.
+  State->drain();
+  std::unique_lock<std::mutex> Lock(State->DoneMu);
+  State->DoneCv.wait(Lock, [&] { return State->finished(); });
+}

@@ -119,6 +119,27 @@ void TimerGroup::endScope(Node *N, uint64_t StartNs) {
                     Elapsed, It->second});
 }
 
+TimerGroup::Node *TimerGroup::currentThreadNode() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Stacks.find(std::this_thread::get_id());
+  if (It == Stacks.end() || It->second.empty())
+    return nullptr;
+  return It->second.back();
+}
+
+void TimerGroup::pushThreadFrame(Node *Cursor) {
+  assert(Cursor && "cannot adopt a null cursor");
+  std::lock_guard<std::mutex> Lock(Mu);
+  Stacks[std::this_thread::get_id()].push_back(Cursor);
+}
+
+void TimerGroup::popThreadFrame() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<Node *> &Stack = Stacks[std::this_thread::get_id()];
+  assert(!Stack.empty() && "popThreadFrame without pushThreadFrame");
+  Stack.pop_back();
+}
+
 void TimerGroup::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   Root = std::make_unique<Node>();

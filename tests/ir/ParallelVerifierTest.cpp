@@ -1,0 +1,231 @@
+//===- ParallelVerifierTest.cpp - MT verification determinism ----------===//
+///
+/// The multithreaded verifier and function-pass driver must be
+/// observationally identical to the sequential paths: same verdict, and a
+/// byte-identical diagnostic stream. These tests run the same module with
+/// --mt=1 and --mt=4 semantics and compare the rendered output, and
+/// stress the sharded uniquer for pointer identity under concurrency.
+
+#include "ir/Block.h"
+#include "ir/Context.h"
+#include "ir/IRParser.h"
+#include "ir/Pass.h"
+#include "ir/Region.h"
+#include "ir/Verifier.h"
+#include "support/Threading.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+using namespace irdl;
+
+namespace {
+
+class ParallelVerifierTest : public ::testing::Test {
+protected:
+  ParallelVerifierTest() : Diags(&SrcMgr) {
+    Dialect *D = Ctx.getOrCreateDialect("test");
+    D->addOp("source");
+    D->addOp("sink");
+    D->addOp("wrap");
+  }
+
+  void TearDown() override { setGlobalThreadCount(0); }
+
+  OwningOpRef parse(std::string_view Src) {
+    return parseSourceString(Ctx, Src, SrcMgr, Diags);
+  }
+
+  /// A module of \p NumFuncs single-block functions.
+  std::string moduleText(unsigned NumFuncs) {
+    std::string Text;
+    for (unsigned F = 0; F != NumFuncs; ++F) {
+      Text += "std.func @f" + std::to_string(F) + "() {\n";
+      Text += "  %a = \"test.source\"() : () -> (f32)\n";
+      Text += "  \"test.sink\"(%a) : (f32) -> ()\n";
+      Text += "  \"std.return\"() : () -> ()\n";
+      Text += "}\n";
+    }
+    return Text;
+  }
+
+  /// Verifies \p M under \p Threads and returns {succeeded, rendered}.
+  std::pair<bool, std::string> verifyWith(OwningOpRef &M,
+                                          unsigned Threads) {
+    setGlobalThreadCount(Threads);
+    DiagnosticEngine VDiags(&SrcMgr);
+    bool Ok = succeeded(M->verify(VDiags));
+    return {Ok, VDiags.renderAll()};
+  }
+
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags;
+};
+
+TEST_F(ParallelVerifierTest, ValidModuleIdenticalAcrossThreadCounts) {
+  OwningOpRef M = parse(moduleText(16));
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+  auto [Ok1, Out1] = verifyWith(M, 1);
+  auto [Ok4, Out4] = verifyWith(M, 4);
+  EXPECT_TRUE(Ok1) << Out1;
+  EXPECT_TRUE(Ok4) << Out4;
+  EXPECT_EQ(Out1, Out4);
+}
+
+TEST_F(ParallelVerifierTest, InvalidModuleIdenticalDiagnostics) {
+  OwningOpRef M = parse(moduleText(16));
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+
+  // Break dominance inside function #5: move its sink before its source.
+  unsigned Index = 0;
+  Operation *Broken = nullptr;
+  for (Operation &Func : M->getRegion(0).front())
+    if (Index++ == 5)
+      Broken = &Func;
+  ASSERT_NE(Broken, nullptr);
+  Block &FuncBody = Broken->getRegion(0).front();
+  Operation &Source = FuncBody.front();
+  Operation &Sink = *std::next(Block::iterator(&Source));
+  Sink.removeFromBlock();
+  FuncBody.insert(Block::iterator(&Source), &Sink);
+
+  auto [Ok1, Out1] = verifyWith(M, 1);
+  auto [Ok4, Out4] = verifyWith(M, 4);
+  EXPECT_FALSE(Ok1);
+  EXPECT_FALSE(Ok4);
+  EXPECT_NE(Out1.find("does not dominate"), std::string::npos);
+  EXPECT_EQ(Out1, Out4);
+
+  // Restore so teardown destroys a consistent module.
+  Sink.removeFromBlock();
+  FuncBody.insert(std::next(Block::iterator(&Source)), &Sink);
+}
+
+TEST_F(ParallelVerifierTest, ConcurrentUniquingPointerIdentity) {
+  setGlobalThreadCount(8);
+  // All threads request the same handful of types; every equal request
+  // must come back as the same pointer (shard insert races converge).
+  constexpr size_t N = 256;
+  std::vector<Type> Same(N);
+  std::vector<Type> Varied(N);
+  parallelFor(0, N, [&](size_t I) {
+    Same[I] = Ctx.getIntegerType(17);
+    Varied[I] = Ctx.getIntegerType(1 + (unsigned)(I % 8));
+  });
+  for (size_t I = 1; I != N; ++I)
+    EXPECT_EQ(Same[0], Same[I]) << "index " << I;
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Varied[I], Varied[I % 8]);
+
+  // Attribute uniquing takes the same sharded path.
+  std::vector<Attribute> Attrs(N);
+  parallelFor(0, N, [&](size_t I) {
+    Attrs[I] = Ctx.getStringAttr("shared-key");
+  });
+  for (size_t I = 1; I != N; ++I)
+    EXPECT_EQ(Attrs[0], Attrs[I]);
+}
+
+TEST_F(ParallelVerifierTest, IsolatedFromAbove) {
+  OwningOpRef M = parse(R"(
+    %x = "test.source"() : () -> (f32)
+    std.func @f(%p: f32) {
+      "test.sink"(%p) : (f32) -> ()
+      "std.return"() : () -> ()
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+
+  Operation *Func = nullptr;
+  M->walk([&](Operation *Op) {
+    if (Op->getName().str() == "std.func")
+      Func = Op;
+  });
+  ASSERT_NE(Func, nullptr);
+  // The func's body only reaches its own block arguments.
+  EXPECT_TRUE(Func->isIsolatedFromAbove());
+  // The module's body reaches nothing outside the module.
+  EXPECT_TRUE(M->isIsolatedFromAbove());
+
+  // An op whose region uses a value defined outside it is not isolated.
+  Operation &Source = M->getRegion(0).front().front();
+  OperationState WrapState(Ctx.resolveOpDef("test.wrap"));
+  Region *R = WrapState.addRegion();
+  Block *B = new Block();
+  R->push_back(B);
+  OperationState SinkState(Ctx.resolveOpDef("test.sink"));
+  SinkState.Operands = {Source.getResult(0)};
+  B->push_back(Operation::create(SinkState));
+  Operation *Wrap = Operation::create(WrapState);
+  EXPECT_FALSE(Wrap->isIsolatedFromAbove());
+  Wrap->erase();
+}
+
+TEST_F(ParallelVerifierTest, FunctionPassIdenticalDiagnostics) {
+  OwningOpRef M = parse(moduleText(12));
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+
+  auto RunPass = [&](unsigned Threads) {
+    setGlobalThreadCount(Threads);
+    // Emits one warning per function; the combined stream must come out
+    // in source order regardless of execution order.
+    LambdaFunctionPass Pass("annotate", [](Operation *Func,
+                                           DiagnosticEngine &D) {
+      unsigned Ops = 0;
+      Func->walk([&](Operation *) { ++Ops; });
+      D.emitWarning(Func->getLoc(),
+                    "function has " + std::to_string(Ops) + " ops");
+      return success();
+    });
+    DiagnosticEngine PDiags(&SrcMgr);
+    bool Ok = succeeded(Pass.run(M.get(), PDiags));
+    return std::make_pair(Ok, PDiags.renderAll());
+  };
+
+  auto [Ok1, Out1] = RunPass(1);
+  auto [Ok4, Out4] = RunPass(4);
+  EXPECT_TRUE(Ok1);
+  EXPECT_TRUE(Ok4);
+  EXPECT_EQ(Out1, Out4);
+  // 12 functions -> 12 warnings, in order.
+  EXPECT_NE(Out1.find("function has"), std::string::npos);
+}
+
+TEST_F(ParallelVerifierTest, FunctionPassFailFastDiagnostics) {
+  OwningOpRef M = parse(moduleText(12));
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+
+  auto RunPass = [&](unsigned Threads) {
+    setGlobalThreadCount(Threads);
+    // Fails on the 4th function (source order); diagnostics after the
+    // failing function must not appear, matching a sequential run.
+    LambdaFunctionPass Pass("fail-at-3", [](Operation *Func,
+                                            DiagnosticEngine &D) {
+      std::string Name;
+      if (Attribute SymName = Func->getAttr("sym_name"))
+        Name = SymName.getParams()[0].getString();
+      D.emitWarning(Func->getLoc(), "visiting " + Name);
+      if (Name.find("f3") != std::string::npos) {
+        D.emitError(Func->getLoc(), "rejecting " + Name);
+        return failure();
+      }
+      return success();
+    });
+    DiagnosticEngine PDiags(&SrcMgr);
+    bool Ok = succeeded(Pass.run(M.get(), PDiags));
+    return std::make_pair(Ok, PDiags.renderAll());
+  };
+
+  auto [Ok1, Out1] = RunPass(1);
+  auto [Ok4, Out4] = RunPass(4);
+  EXPECT_FALSE(Ok1);
+  EXPECT_FALSE(Ok4);
+  EXPECT_EQ(Out1, Out4);
+  EXPECT_NE(Out1.find("rejecting"), std::string::npos);
+  // Nothing from the functions after the failing one leaks through.
+  EXPECT_EQ(Out1.find("f4"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- ThreadingTest.cpp - Thread pool and parallel loops --------------===//
+
+#include "support/Threading.h"
+
+#include "support/Timing.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace irdl;
+
+namespace {
+
+/// Every test runs with an explicit thread count and restores "auto"
+/// afterwards so the suites stay order-independent.
+class ThreadingTest : public ::testing::Test {
+protected:
+  void TearDown() override { setGlobalThreadCount(0); }
+};
+
+TEST_F(ThreadingTest, ParseThreadCountValue) {
+  EXPECT_EQ(parseThreadCountValue("0"), 0u);
+  EXPECT_EQ(parseThreadCountValue("1"), 1u);
+  EXPECT_EQ(parseThreadCountValue("16"), 16u);
+  EXPECT_FALSE(parseThreadCountValue(""));
+  EXPECT_FALSE(parseThreadCountValue("x"));
+  EXPECT_FALSE(parseThreadCountValue("4x"));
+  EXPECT_FALSE(parseThreadCountValue("-1"));
+}
+
+TEST_F(ThreadingTest, GlobalThreadCountConfiguration) {
+  setGlobalThreadCount(4);
+  EXPECT_EQ(getGlobalThreadCount(), 4u);
+  EXPECT_TRUE(isMultithreadingEnabled());
+
+  setGlobalThreadCount(1);
+  EXPECT_EQ(getGlobalThreadCount(), 1u);
+  EXPECT_FALSE(isMultithreadingEnabled());
+
+  setGlobalThreadCount(0); // auto: always resolves to >= 1
+  EXPECT_GE(getGlobalThreadCount(), 1u);
+}
+
+TEST_F(ThreadingTest, ThreadPoolRunsAllTasks) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.getNumThreads(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+
+  // The pool is reusable after a wait().
+  Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 101);
+}
+
+TEST_F(ThreadingTest, ParallelForCoversEveryIndexOnce) {
+  setGlobalThreadCount(4);
+  std::vector<std::atomic<int>> Hits(1000);
+  parallelFor(0, Hits.size(), [&](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I != Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST_F(ThreadingTest, ParallelForHonorsBeginOffset) {
+  setGlobalThreadCount(4);
+  std::vector<int> Out(10, 0);
+  parallelFor(3, 10, [&](size_t I) { Out[I] = (int)I; });
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_EQ(Out[I], 0);
+  for (size_t I = 3; I != 10; ++I)
+    EXPECT_EQ(Out[I], (int)I);
+}
+
+TEST_F(ThreadingTest, ParallelForEmptyRangeIsANoop) {
+  setGlobalThreadCount(4);
+  bool Ran = false;
+  parallelFor(5, 5, [&](size_t) { Ran = true; });
+  parallelFor(7, 3, [&](size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST_F(ThreadingTest, ParallelForEach) {
+  setGlobalThreadCount(4);
+  std::vector<int> In(64);
+  std::iota(In.begin(), In.end(), 0);
+  std::atomic<long> Sum{0};
+  parallelForEach(In, [&](int V) { Sum += V; });
+  EXPECT_EQ(Sum.load(), 64 * 63 / 2);
+}
+
+TEST_F(ThreadingTest, DeterministicResultOrderingAcrossModes) {
+  // The per-index-slot contract: results read back in index order must
+  // not depend on the thread count.
+  auto Run = [](unsigned Threads) {
+    setGlobalThreadCount(Threads);
+    std::vector<unsigned> Out(512);
+    parallelFor(0, Out.size(),
+                [&](size_t I) { Out[I] = (unsigned)(I * 2654435761u); });
+    return Out;
+  };
+  EXPECT_EQ(Run(1), Run(4));
+}
+
+TEST_F(ThreadingTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  setGlobalThreadCount(4);
+  std::vector<std::atomic<int>> Hits(16 * 16);
+  parallelFor(0, 16, [&](size_t I) {
+    // Workers must not resubmit to the pool they are draining.
+    parallelFor(0, 16, [&](size_t J) { ++Hits[I * 16 + J]; });
+  });
+  for (auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST_F(ThreadingTest, SingleThreadModeRunsInline) {
+  setGlobalThreadCount(1);
+  std::thread::id Caller = std::this_thread::get_id();
+  bool AllInline = true;
+  parallelFor(0, 32, [&](size_t) {
+    if (std::this_thread::get_id() != Caller)
+      AllInline = false;
+  });
+  EXPECT_TRUE(AllInline);
+  EXPECT_FALSE(isThreadPoolWorker());
+}
+
+#if IRDL_ENABLE_TIMING
+TEST_F(ThreadingTest, WorkerScopesMergeUnderSubmitterNode) {
+  setGlobalThreadCount(4);
+  TimerGroup Timers("test");
+  TimerGroup *Prev = setActiveTimerGroup(&Timers);
+  {
+    IRDL_TIME_SCOPE("outer");
+    parallelFor(0, 8, [&](size_t) { IRDL_TIME_SCOPE("inner"); });
+  }
+  setActiveTimerGroup(Prev);
+
+  const TimerGroup::Node *Outer = Timers.getRoot().findChild("outer");
+  ASSERT_NE(Outer, nullptr);
+  // Every worker's "inner" scope lands under "outer", not at the root.
+  const TimerGroup::Node *Inner = Outer->findChild("inner");
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->getCount(), 8u);
+  EXPECT_EQ(Timers.getRoot().findChild("inner"), nullptr);
+}
+#endif
+
+} // namespace
