@@ -16,6 +16,9 @@
 ///   --mt=N        set the global thread count before anything runs
 ///                 (0 = auto, 1 = disable multithreading); applies to the
 ///                 phase breakdown and the google-benchmark suites
+///   --compiled-constraints=0|1
+///                 select the constraint engine (1 = compiled programs,
+///                 the default; 0 = the tree interpreter oracle)
 ///
 /// The JSON shape, for BENCH_*.json trajectory tracking:
 ///   {"bench": NAME, "timing": <TimerGroup::renderJsonSummary()>,
@@ -26,6 +29,7 @@
 #ifndef IRDL_BENCH_PERFHARNESS_H
 #define IRDL_BENCH_PERFHARNESS_H
 
+#include "irdl/ConstraintCompiler.h"
 #include "support/Statistic.h"
 #include "support/Threading.h"
 #include "support/Timing.h"
@@ -58,6 +62,14 @@ inline int runPerfMain(int argc, char **argv, const char *BenchName,
         return 1;
       }
       setGlobalThreadCount(*N);
+    } else if (Arg.rfind("--compiled-constraints=", 0) == 0) {
+      std::string V = Arg.substr(std::string("--compiled-constraints=").size());
+      if (V != "0" && V != "1") {
+        std::cerr << "invalid value '" << V
+                  << "' for --compiled-constraints (expected 0 or 1)\n";
+        return 1;
+      }
+      setCompiledConstraintsEnabled(V == "1");
     } else
       BenchArgs.push_back(argv[I]);
   }

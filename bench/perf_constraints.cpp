@@ -1,11 +1,17 @@
 //===- perf_constraints.cpp - Constraint evaluation ablations -----------===//
 ///
-/// Ablation (DESIGN.md): AnyOf short-circuiting (match position matters)
-/// and the cost of constraint-variable binding with backtracking.
+/// Ablation (DESIGN.md): AnyOf short-circuiting (match position matters),
+/// the cost of constraint-variable binding with backtracking, and the
+/// compiled constraint engine (docs/constraint-compiler.md) against the
+/// tree interpreter on the same workloads. The phase breakdown emits
+/// paired `<workload>-interpreted` / `<workload>-compiled` timing nodes;
+/// tools/check_constraint_bench.py consumes the JSON and fails CI when
+/// the compiled engine stops being faster on the large workload.
 
 #include "PerfHarness.h"
 
 #include "irdl/Constraint.h"
+#include "irdl/ConstraintCompiler.h"
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +26,30 @@ struct Fixture {
   Fixture() {
     for (unsigned W = 1; W <= 16; ++W)
       Branches.push_back(Constraint::typeEq(Ctx.getIntegerType(W)));
+  }
+};
+
+/// An AnyOf-heavy fixture where every alternative is rooted in a
+/// *distinct* type definition, the shape dispatch tables are built for
+/// (a dialect's "one of our N types" constraint).
+struct DispatchFixture {
+  IRContext Ctx;
+  std::vector<TypeDefinition *> Defs;
+  std::vector<ConstraintPtr> Branches;
+  std::vector<Type> Values;
+
+  explicit DispatchFixture(unsigned N = 16) {
+    Dialect *D = Ctx.getOrCreateDialect("dsp");
+    for (unsigned I = 0; I != N; ++I) {
+      TypeDefinition *T = D->addType("t" + std::to_string(I));
+      T->setParamNames({"elem"});
+      Defs.push_back(T);
+      Branches.push_back(Constraint::typeConstraint(
+          T, {Constraint::typeEq(Ctx.getFloatType(32))},
+          /*BaseOnly=*/false));
+      Values.push_back(
+          Ctx.getType(T, {ParamValue(Ctx.getFloatType(32))}));
+    }
   }
 };
 
@@ -87,7 +117,7 @@ void BM_VarBind_UnifyThreeUses(benchmark::State &State) {
 BENCHMARK(BM_VarBind_UnifyThreeUses);
 
 void BM_AnyOf_BacktrackingWithVars(benchmark::State &State) {
-  // Branches that bind a var before failing exercise snapshot/rollback.
+  // Branches that bind a var before failing exercise the trail.
   Fixture F;
   Dialect *D = F.Ctx.getOrCreateDialect("bt");
   TypeDefinition *Pair = D->addType("pair");
@@ -111,10 +141,85 @@ void BM_AnyOf_BacktrackingWithVars(benchmark::State &State) {
 }
 BENCHMARK(BM_AnyOf_BacktrackingWithVars);
 
+//===----------------------------------------------------------------------===//
+// Compiled-engine counterparts
+//===----------------------------------------------------------------------===//
+
+void BM_Compiled_AnyOf_MatchLast(benchmark::State &State) {
+  Fixture F;
+  ConstraintProgramPtr P =
+      ConstraintCompiler::compile(Constraint::anyOf(F.Branches));
+  ParamValue V(F.Ctx.getIntegerType(16));
+  for (auto _ : State) {
+    MatchContext MC;
+    bool R = P->run(V, MC);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_Compiled_AnyOf_MatchLast);
+
+void BM_Compiled_DispatchTable_MatchLast(benchmark::State &State) {
+  DispatchFixture F;
+  ConstraintProgramPtr P =
+      ConstraintCompiler::compile(Constraint::anyOf(F.Branches));
+  ParamValue V(F.Values.back());
+  for (auto _ : State) {
+    MatchContext MC;
+    bool R = P->run(V, MC);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_Compiled_DispatchTable_MatchLast);
+
+void BM_Interpreted_DispatchShape_MatchLast(benchmark::State &State) {
+  DispatchFixture F;
+  ConstraintPtr C = Constraint::anyOf(F.Branches);
+  ParamValue V(F.Values.back());
+  for (auto _ : State) {
+    MatchContext MC;
+    bool R = C->matches(V, MC);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_Interpreted_DispatchShape_MatchLast);
+
+void BM_Compiled_AnyOf_BacktrackingWithVars(benchmark::State &State) {
+  Fixture F;
+  Dialect *D = F.Ctx.getOrCreateDialect("bt");
+  TypeDefinition *Pair = D->addType("pair");
+  Pair->setParamNames({"a", "b"});
+  std::vector<ConstraintPtr> Vars = {Constraint::anyType()};
+  ConstraintPtr T = Constraint::var(0, "T");
+  std::vector<ConstraintPtr> Branches;
+  for (unsigned W = 1; W <= 8; ++W)
+    Branches.push_back(Constraint::typeConstraint(
+        Pair, {T, Constraint::typeEq(F.Ctx.getIntegerType(W))},
+        /*BaseOnly=*/false));
+  ConstraintProgramPtr P = ConstraintCompiler::compile(
+      Constraint::anyOf(Branches),
+      ConstraintCompiler::compileVarPrograms(Vars));
+  Type V = F.Ctx.getType(Pair, {ParamValue(F.Ctx.getFloatType(32)),
+                                ParamValue(F.Ctx.getIntegerType(8))});
+  ParamValue PV(V);
+  for (auto _ : State) {
+    MatchContext MC(&Vars);
+    bool R = P->run(PV, MC);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_Compiled_AnyOf_BacktrackingWithVars);
+
+//===----------------------------------------------------------------------===//
+// Phase breakdown
+//===----------------------------------------------------------------------===//
+
 /// Phase breakdown (PerfHarness.h): each ablation scenario runs a fixed
 /// number of evaluations under its own timing scope; the statistics
-/// table then shows per-kind eval counts, variable bindings, and AnyOf
-/// rollbacks for the whole run.
+/// table then shows per-kind eval counts, variable bindings, AnyOf
+/// rollbacks, and the compiled engine's cache/dispatch counters for the
+/// whole run. The `*-interpreted` / `*-compiled` pairs run the *same*
+/// workload through both engines (tools/check_constraint_bench.py keys
+/// on these names).
 void runPhaseBreakdown() {
   Fixture F;
   ConstraintPtr AnyOfC = Constraint::anyOf(F.Branches);
@@ -155,6 +260,85 @@ void runPhaseBreakdown() {
     Type V = F.Ctx.getType(Pair, {ParamValue(F.Ctx.getFloatType(32)),
                                   ParamValue(F.Ctx.getIntegerType(8))});
     RunMatches("anyof-backtracking-vars-x1000", C, ParamValue(V), &Vars);
+  }
+
+  // Compiled-vs-interpreted pairs. Each pair evaluates the same values
+  // against the same constraint; only the engine differs.
+  auto RunPair = [](const char *Workload, const ConstraintPtr &C,
+                    const std::vector<ConstraintProgramPtr> &VarProgs,
+                    const std::vector<ParamValue> &Values,
+                    const std::vector<ConstraintPtr> *Vars, int Iters) {
+    ConstraintProgramPtr P = ConstraintCompiler::compile(C, VarProgs);
+    std::string Interp = std::string(Workload) + "-interpreted";
+    std::string Compiled = std::string(Workload) + "-compiled";
+    {
+      IRDL_TIME_SCOPE(Interp.c_str());
+      for (int I = 0; I != Iters; ++I)
+        for (const ParamValue &V : Values) {
+          MatchContext MC(Vars);
+          bool R = C->matches(V, MC);
+          benchmark::DoNotOptimize(R);
+        }
+    }
+    {
+      IRDL_TIME_SCOPE(Compiled.c_str());
+      for (int I = 0; I != Iters; ++I)
+        for (const ParamValue &V : Values) {
+          MatchContext MC(Vars);
+          bool R = P->run(V, MC);
+          benchmark::DoNotOptimize(R);
+        }
+    }
+  };
+
+  {
+    // AnyOf-heavy: 16 parametric alternatives over distinct definitions;
+    // the values rotate over every alternative plus a miss.
+    DispatchFixture DF;
+    std::vector<ParamValue> Values;
+    for (Type T : DF.Values)
+      Values.emplace_back(T);
+    Values.emplace_back(DF.Ctx.getFloatType(32));
+    RunPair("anyof-heavy", Constraint::anyOf(DF.Branches), {}, Values,
+            nullptr, 1000);
+  }
+
+  {
+    // Variable-heavy: every branch binds !T then mostly fails, with a
+    // var-free inner AnyOf the compiled engine can memoize.
+    Dialect *D = F.Ctx.getOrCreateDialect("vh");
+    TypeDefinition *Pair = D->addType("pair");
+    Pair->setParamNames({"a", "b"});
+    ConstraintPtr T = Constraint::var(0, "T");
+    ConstraintPtr Widths = Constraint::anyOf(F.Branches); // 16 int widths
+    std::vector<ConstraintPtr> Branches;
+    for (unsigned W = 1; W <= 8; ++W)
+      Branches.push_back(Constraint::typeConstraint(
+          Pair,
+          {T, Constraint::conjunction(
+                  {Constraint::typeEq(F.Ctx.getIntegerType(W)), Widths})},
+          /*BaseOnly=*/false));
+    ConstraintPtr C = Constraint::anyOf(Branches);
+    std::vector<ParamValue> Values;
+    for (unsigned W = 1; W <= 8; ++W)
+      Values.emplace_back(
+          F.Ctx.getType(Pair, {ParamValue(F.Ctx.getFloatType(32)),
+                               ParamValue(F.Ctx.getIntegerType(W))}));
+    std::vector<ConstraintProgramPtr> VarProgs =
+        ConstraintCompiler::compileVarPrograms(Vars);
+    RunPair("variable-heavy", C, VarProgs, Values, &Vars, 1000);
+  }
+
+  {
+    // Large: a 64-way dispatchable AnyOf over parametric types, every
+    // value hit repeatedly — the aggregate workload the CI regression
+    // guard compares across engines.
+    DispatchFixture DF(64);
+    std::vector<ParamValue> Values;
+    for (Type T : DF.Values)
+      Values.emplace_back(T);
+    RunPair("large", Constraint::anyOf(DF.Branches), {}, Values, nullptr,
+            500);
   }
 }
 

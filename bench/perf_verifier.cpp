@@ -9,6 +9,7 @@
 #include "ir/Block.h"
 #include "ir/IRParser.h"
 #include "ir/Region.h"
+#include "irdl/ConstraintCompiler.h"
 #include "irdl/IRDL.h"
 
 #include <benchmark/benchmark.h>
@@ -116,6 +117,21 @@ void BM_VerifyLargeModule(benchmark::State &State) {
 }
 BENCHMARK(BM_VerifyLargeModule)->Unit(benchmark::kMillisecond);
 
+/// The same large-module workload through the tree interpreter (the
+/// compiled engine is the default; this is the ablation baseline).
+void BM_VerifyLargeModule_Interpreted(benchmark::State &State) {
+  LargeModuleFixture F;
+  bool Prev = compiledConstraintsEnabled();
+  setCompiledConstraintsEnabled(false);
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    LogicalResult R = F.IR->verify(Diags);
+    benchmark::DoNotOptimize(R);
+  }
+  setCompiledConstraintsEnabled(Prev);
+}
+BENCHMARK(BM_VerifyLargeModule_Interpreted)->Unit(benchmark::kMillisecond);
+
 void BM_ConstraintMatch_Parametric(benchmark::State &State) {
   Fixture F;
   const DialectSpec *Cmath = F.Module->lookupDialect("cmath");
@@ -189,12 +205,37 @@ void runPhaseBreakdown() {
       IRDL_TIME_SCOPE("large-module-setup");
       LF = std::make_unique<LargeModuleFixture>();
     }
-    IRDL_TIME_SCOPE("large-module-verify-x10");
-    for (int I = 0; I != 10; ++I) {
-      DiagnosticEngine Diags;
-      LogicalResult R = LF->IR->verify(Diags);
-      benchmark::DoNotOptimize(R);
+    {
+      IRDL_TIME_SCOPE("large-module-verify-x10");
+      for (int I = 0; I != 10; ++I) {
+        DiagnosticEngine Diags;
+        LogicalResult R = LF->IR->verify(Diags);
+        benchmark::DoNotOptimize(R);
+      }
     }
+    // The same module through both constraint engines, for the
+    // compiled-vs-interpreted JSON fields (the default engine above is
+    // whatever --compiled-constraints selected).
+    bool Prev = compiledConstraintsEnabled();
+    {
+      setCompiledConstraintsEnabled(false);
+      IRDL_TIME_SCOPE("large-module-verify-interpreted-x30");
+      for (int I = 0; I != 30; ++I) {
+        DiagnosticEngine Diags;
+        LogicalResult R = LF->IR->verify(Diags);
+        benchmark::DoNotOptimize(R);
+      }
+    }
+    {
+      setCompiledConstraintsEnabled(true);
+      IRDL_TIME_SCOPE("large-module-verify-compiled-x30");
+      for (int I = 0; I != 30; ++I) {
+        DiagnosticEngine Diags;
+        LogicalResult R = LF->IR->verify(Diags);
+        benchmark::DoNotOptimize(R);
+      }
+    }
+    setCompiledConstraintsEnabled(Prev);
   }
   {
     IRDL_TIME_SCOPE("constraint-match-x1000");

@@ -8,8 +8,8 @@
 /// Usage:
 ///   irdl_opt [--dialect file.irdl]... [--pass dce|conorm]...
 ///            [--generic] [--verify-each=0|1] [--emit-bytecode[=FILE]]
-///            [--mt=0|1|N] [--timing] [--stats] [--trace-json=FILE]
-///            [input.mlir]
+///            [--mt=0|1|N] [--compiled-constraints=0|1] [--timing]
+///            [--stats] [--trace-json=FILE] [input.mlir]
 ///
 /// With no --dialect, loads dialects/cmath.irdl. With no input, reads
 /// stdin. Unknown flags and unknown pass names are hard errors. Both
@@ -21,6 +21,11 @@
 ///   --mt=0|1|N         thread count for verification and function
 ///                      passes (0 = auto, 1 = off; overrides the
 ///                      IRDL_NUM_THREADS environment variable)
+///   --compiled-constraints=0|1
+///                      constraint engine: 1 (default) verifies through
+///                      the compiled bytecode programs, 0 through the
+///                      reference tree interpreter (docs/constraint-
+///                      compiler.md)
 ///   --timing           print a hierarchical wall-time tree (stderr)
 ///   --stats            print the statistics registry (stderr)
 ///   --trace-json=FILE  write a chrome://tracing / Perfetto trace
@@ -41,6 +46,7 @@
 #include "ir/Pass.h"
 #include "ir/Printer.h"
 #include "ir/Region.h"
+#include "irdl/ConstraintCompiler.h"
 #include "irdl/IRDL.h"
 #include "support/File.h"
 #include "support/Statistic.h"
@@ -148,6 +154,16 @@ int main(int argc, char **argv) {
       }
       setGlobalThreadCount(*N);
     }
+    else if (Arg.rfind("--compiled-constraints=", 0) == 0) {
+      std::string V =
+          Arg.substr(std::string("--compiled-constraints=").size());
+      if (V != "0" && V != "1") {
+        std::cerr << "invalid value '" << V
+                  << "' for --compiled-constraints (expected 0 or 1)\n";
+        return 1;
+      }
+      setCompiledConstraintsEnabled(V == "1");
+    }
     else if (Arg.rfind("--verify-each=", 0) == 0) {
       std::string V = Arg.substr(std::string("--verify-each=").size());
       if (V == "1" || V == "true")
@@ -164,8 +180,9 @@ int main(int argc, char **argv) {
                    "[--pass dce|conorm]... [--generic]\n"
                    "                [--verify-each=0|1] "
                    "[--emit-bytecode[=FILE]] [--mt=0|1|N]\n"
-                   "                [--timing] [--stats] "
-                   "[--trace-json=FILE] [input]\n";
+                   "                [--compiled-constraints=0|1] "
+                   "[--timing] [--stats]\n"
+                   "                [--trace-json=FILE] [input]\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "unknown option " << Arg << " (see --help)\n";

@@ -68,14 +68,17 @@ static Statistic &kindStat(Constraint::Kind K) {
 
 ConstraintPtr Constraint::anyType() {
   MAKE(AnyType);
+  C->computeFlags();
   return C;
 }
 ConstraintPtr Constraint::anyAttr() {
   MAKE(AnyAttr);
+  C->computeFlags();
   return C;
 }
 ConstraintPtr Constraint::anyParam() {
   MAKE(AnyParam);
+  C->computeFlags();
   return C;
 }
 
@@ -89,6 +92,7 @@ ConstraintPtr Constraint::typeConstraint(const TypeDefinition *Def,
   C->TDef = Def;
   C->Children = std::move(Params);
   C->BaseOnly = BaseOnly;
+  C->computeFlags();
   return C;
 }
 
@@ -100,6 +104,7 @@ ConstraintPtr Constraint::attrConstraint(const AttrDefinition *Def,
   C->ADef = Def;
   C->Children = std::move(Params);
   C->BaseOnly = BaseOnly;
+  C->computeFlags();
   return C;
 }
 
@@ -139,41 +144,48 @@ ConstraintPtr Constraint::typeEq(Type T) {
 ConstraintPtr Constraint::intKind(unsigned Width, Signedness Sign) {
   MAKE(IntKind);
   C->IV = IntVal{static_cast<uint16_t>(Width), Sign, 0};
+  C->computeFlags();
   return C;
 }
 
 ConstraintPtr Constraint::intEq(IntVal V) {
   MAKE(IntEq);
   C->IV = V;
+  C->computeFlags();
   return C;
 }
 
 ConstraintPtr Constraint::floatKind(unsigned Width) {
   MAKE(FloatKind);
   C->FV = FloatVal{static_cast<uint16_t>(Width), 0.0};
+  C->computeFlags();
   return C;
 }
 
 ConstraintPtr Constraint::floatEq(FloatVal V) {
   MAKE(FloatEq);
   C->FV = V;
+  C->computeFlags();
   return C;
 }
 
 ConstraintPtr Constraint::stringKind() {
   MAKE(StringKind);
+  C->computeFlags();
   return C;
 }
 
 ConstraintPtr Constraint::stringEq(std::string S) {
   MAKE(StringEq);
   C->Str = std::move(S);
+  C->computeFlags();
   return C;
 }
 
 ConstraintPtr Constraint::enumKind(const EnumDef *Def) {
   MAKE(EnumKind);
   C->EDef = Def;
+  C->computeFlags();
   return C;
 }
 
@@ -181,47 +193,55 @@ ConstraintPtr Constraint::enumEq(EnumVal V) {
   MAKE(EnumEq);
   C->EV = V;
   C->EDef = V.Def;
+  C->computeFlags();
   return C;
 }
 
 ConstraintPtr Constraint::arrayOf(ConstraintPtr Elem) {
   MAKE(ArrayOf);
   C->Children.push_back(std::move(Elem));
+  C->computeFlags();
   return C;
 }
 
 ConstraintPtr Constraint::anyArray() {
   MAKE(ArrayOf);
+  C->computeFlags();
   return C;
 }
 
 ConstraintPtr Constraint::arrayExact(std::vector<ConstraintPtr> Elems) {
   MAKE(ArrayExact);
   C->Children = std::move(Elems);
+  C->computeFlags();
   return C;
 }
 
 ConstraintPtr Constraint::opaqueKind(std::string ParamTypeName) {
   MAKE(OpaqueKind);
   C->Str = std::move(ParamTypeName);
+  C->computeFlags();
   return C;
 }
 
 ConstraintPtr Constraint::anyOf(std::vector<ConstraintPtr> Cs) {
   MAKE(AnyOf);
   C->Children = std::move(Cs);
+  C->computeFlags();
   return C;
 }
 
 ConstraintPtr Constraint::conjunction(std::vector<ConstraintPtr> Cs) {
   MAKE(And);
   C->Children = std::move(Cs);
+  C->computeFlags();
   return C;
 }
 
 ConstraintPtr Constraint::negation(ConstraintPtr Inner) {
   MAKE(Not);
   C->Children.push_back(std::move(Inner));
+  C->computeFlags();
   return C;
 }
 
@@ -229,6 +249,7 @@ ConstraintPtr Constraint::var(unsigned Index, std::string Name) {
   MAKE(Var);
   C->VarIndex = Index;
   C->Str = std::move(Name);
+  C->computeFlags();
   return C;
 }
 
@@ -238,6 +259,7 @@ ConstraintPtr Constraint::cpp(ConstraintPtr Base, CppParamPredicate Pred,
   C->Children.push_back(std::move(Base));
   C->CppPred = std::move(Pred);
   C->Str = std::move(Source);
+  C->computeFlags();
   return C;
 }
 
@@ -247,6 +269,7 @@ ConstraintPtr Constraint::native(ConstraintPtr Base, NativeConstraintFn Fn,
   C->Children.push_back(std::move(Base));
   C->NativeFn = std::move(Fn);
   C->Str = std::move(Name);
+  C->computeFlags();
   return C;
 }
 
@@ -255,6 +278,7 @@ ConstraintPtr Constraint::named(ConstraintPtr Inner,
   MAKE(Named);
   C->Children.push_back(std::move(Inner));
   C->Str = std::move(QualifiedName);
+  C->computeFlags();
   return C;
 }
 
@@ -264,22 +288,16 @@ ConstraintPtr Constraint::named(ConstraintPtr Inner,
 // Introspection
 //===----------------------------------------------------------------------===//
 
-bool Constraint::requiresCpp() const {
-  if (K == Kind::Cpp || K == Kind::Native)
-    return true;
-  for (const ConstraintPtr &Child : Children)
-    if (Child->requiresCpp())
-      return true;
-  return false;
-}
-
-bool Constraint::referencesVar() const {
-  if (K == Kind::Var)
-    return true;
-  for (const ConstraintPtr &Child : Children)
-    if (Child->referencesVar())
-      return true;
-  return false;
+void Constraint::computeFlags() {
+  // Children are immutable and fully constructed here, so their bits are
+  // final: one O(children) fold per node replaces the former O(subtree)
+  // walk on every requiresCpp()/referencesVar() query.
+  HasCpp = K == Kind::Cpp || K == Kind::Native;
+  HasVar = K == Kind::Var;
+  for (const ConstraintPtr &Child : Children) {
+    HasCpp |= Child->HasCpp;
+    HasVar |= Child->HasVar;
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -375,11 +393,11 @@ bool Constraint::matches(const ParamValue &V, MatchContext &MC) const {
     return V.isOpaque() && V.getOpaque().ParamTypeName == Str;
   case Kind::AnyOf: {
     for (const ConstraintPtr &Child : Children) {
-      auto Snapshot = MC.snapshot();
+      MatchContext::Mark M = MC.mark();
       if (Child->matches(V, MC))
         return true;
       ++NumAnyOfRollbacks;
-      MC.rollback(std::move(Snapshot));
+      MC.undoTo(M);
     }
     return false;
   }
@@ -390,9 +408,9 @@ bool Constraint::matches(const ParamValue &V, MatchContext &MC) const {
     return true;
   }
   case Kind::Not: {
-    auto Snapshot = MC.snapshot();
+    MatchContext::Mark M = MC.mark();
     bool Matched = Children[0]->matches(V, MC);
-    MC.rollback(std::move(Snapshot));
+    MC.undoTo(M);
     return !Matched;
   }
   case Kind::Var: {

@@ -11,7 +11,8 @@
 ///
 /// Constraints are immutable trees shared via shared_ptr; evaluation
 /// happens against a MatchContext that carries constraint-variable
-/// bindings with snapshot/rollback (AnyOf and Not require backtracking).
+/// bindings with a backtracking trail (AnyOf and Not undo the variables
+/// bound since their choice point instead of copying all bindings).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +48,13 @@ public:
   }
   void bind(unsigned Index, ParamValue V) {
     assert(Index < Bindings.size() && "variable index out of range");
+    // Fresh bindings are recorded on the trail so backtracking can undo
+    // them. Rebinds (only the declarative-format parser overwrites an
+    // existing binding, never the evaluators) keep the original trail
+    // entry: the variable stays bound across an undo to an earlier mark,
+    // which is exactly the pre-trail behavior.
+    if (!Bindings[Index])
+      Trail.push_back(Index);
     Bindings[Index] = std::move(V);
   }
   const ConstraintPtr &getVarConstraint(unsigned Index) const {
@@ -54,17 +62,24 @@ public:
     return (*VarConstraints)[Index];
   }
 
-  /// Snapshot / rollback for backtracking combinators.
-  std::vector<std::optional<ParamValue>> snapshot() const {
-    return Bindings;
-  }
-  void rollback(std::vector<std::optional<ParamValue>> Snapshot) {
-    Bindings = std::move(Snapshot);
+  /// Backtracking for AnyOf/Not: mark() opens a choice point, undoTo()
+  /// unbinds exactly the variables bound since — O(bound since mark)
+  /// instead of the former O(all vars) snapshot copy per branch.
+  using Mark = size_t;
+  Mark mark() const { return Trail.size(); }
+  void undoTo(Mark M) {
+    assert(M <= Trail.size() && "mark from a later choice point");
+    while (Trail.size() > M) {
+      Bindings[Trail.back()].reset();
+      Trail.pop_back();
+    }
   }
 
 private:
   const std::vector<ConstraintPtr> *VarConstraints = nullptr;
   std::vector<std::optional<ParamValue>> Bindings;
+  /// Indices of bound variables, in binding order.
+  std::vector<unsigned> Trail;
 };
 
 /// A native (C++) predicate over one parameter value — the general escape
@@ -162,15 +177,21 @@ public:
   const EnumDef *getEnumDef() const { return EDef; }
   const EnumVal &getEnumVal() const { return EV; }
   unsigned getVarIndex() const { return VarIndex; }
+  const CppParamPredicate &getCppPred() const { return CppPred; }
+  const NativeConstraintFn &getNativeFn() const { return NativeFn; }
   unsigned getIntWidth() const { return IV.Width; }
   Signedness getIntSign() const { return IV.Sign; }
 
   /// True if this constraint (or any child) carries IRDL-C++ (interpreted
   /// or native) — the classification used by the paper's Figures 9–11.
-  bool requiresCpp() const;
+  /// Computed once at construction (queried per verification by the
+  /// expressibility benches and the constraint compiler's cacheability
+  /// check, so a per-call tree walk would be pure waste).
+  bool requiresCpp() const { return HasCpp; }
 
-  /// True if any node is a constraint-variable reference.
-  bool referencesVar() const;
+  /// True if any node is a constraint-variable reference. Also a
+  /// construction-time bit.
+  bool referencesVar() const { return HasVar; }
 
   //===------------------------------------------------------------------===//
   // Evaluation
@@ -191,7 +212,13 @@ public:
 private:
   Constraint(Kind K) : K(K) {}
 
+  /// Folds the construction-time property bits from Children (called by
+  /// every factory after the children are in place).
+  void computeFlags();
+
   Kind K;
+  bool HasCpp = false;
+  bool HasVar = false;
   std::vector<ConstraintPtr> Children;
   const TypeDefinition *TDef = nullptr;
   const AttrDefinition *ADef = nullptr;

@@ -1,0 +1,58 @@
+//===- ConstraintCompiler.h - Constraint tree -> bytecode --------*- C++ -*-===//
+///
+/// \file
+/// Lowers resolved Constraint trees into flat ConstraintPrograms at
+/// dialect-registration time. The compiler walks the tree once in
+/// pre-order, hoists literals/definitions/predicates into the program's
+/// pools, elides transparent Named wrappers, turns dispatchable AnyOf
+/// nodes into hash-dispatched AnyOfTable instructions, and marks
+/// variable-free, C++-free subprograms as entry points of the memoized
+/// verification cache.
+///
+/// The compiled engine is selected at *run* time by the global
+/// --compiled-constraints flag (default on), checked inside the installed
+/// verifier closures so a differential test can flip engines without
+/// re-registering dialects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IRDL_CONSTRAINTCOMPILER_H
+#define IRDL_IRDL_CONSTRAINTCOMPILER_H
+
+#include "irdl/ConstraintProgram.h"
+
+namespace irdl {
+
+class ConstraintCompiler {
+public:
+  /// Minimum AnyOf alternatives before a dispatch table pays for itself
+  /// (below this, trying the alternatives in order is cheaper than a
+  /// hash lookup).
+  static constexpr size_t MinDispatchAlts = 4;
+  /// Minimum subprogram size (instructions) before a verification-cache
+  /// probe is cheaper than just running the subprogram.
+  static constexpr size_t MemoMinInstrs = 4;
+
+  /// Compiles \p C into a program. \p VarPrograms are the programs of the
+  /// owning operation's constraint variables (slot V backs variable V);
+  /// pass {} for contexts without variables.
+  static ConstraintProgramPtr
+  compile(const ConstraintPtr &C,
+          std::vector<ConstraintProgramPtr> VarPrograms = {});
+
+  /// Compiles one program per constraint variable. Var references inside
+  /// a variable's own constraint fall back to the tree (no circular
+  /// program references).
+  static std::vector<ConstraintProgramPtr>
+  compileVarPrograms(const std::vector<ConstraintPtr> &VarConstraints);
+};
+
+/// Global engine switch behind --compiled-constraints (default enabled).
+/// Checked per verification, so flipping it mid-process swaps engines for
+/// already-registered dialects.
+void setCompiledConstraintsEnabled(bool Enabled);
+bool compiledConstraintsEnabled();
+
+} // namespace irdl
+
+#endif // IRDL_IRDL_CONSTRAINTCOMPILER_H

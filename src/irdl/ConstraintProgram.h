@@ -1,0 +1,213 @@
+//===- ConstraintProgram.h - Compiled constraint bytecode --------*- C++ -*-===//
+///
+/// \file
+/// The compiled form of an IRDL constraint: a flat, contiguous array of
+/// packed instructions (one opcode per Constraint::Kind plus a
+/// table-dispatched AnyOf variant), with all literals, definitions, and
+/// predicates hoisted into shared pools referenced by index. Programs are
+/// produced once per resolved constraint by the ConstraintCompiler at
+/// dialect-registration time and executed by a tight switch-dispatch
+/// interpreter — "compile the declaration, not interpret it per op".
+///
+/// Three mechanisms make the compiled engine fast (docs/constraint-
+/// compiler.md):
+///
+///  * trail-based backtracking — AnyOf/Not record a MatchContext mark and
+///    undo only the variables bound since (shared with the tree oracle);
+///  * AnyOf dispatch tables — when every alternative is rooted in a base
+///    TypeParams/AttrParams/TypeEq check, a hash on the value's uniqued
+///    definition pointer jumps directly to the plausible alternatives;
+///  * a memoized verification cache — variable-free, C++-free subprograms
+///    over uniqued Type/Attribute values cache their verdict keyed on
+///    (instruction, uniqued storage pointer), sharded 16 ways so parallel
+///    verification threads rarely contend.
+///
+/// Execution is semantically identical to Constraint::matches — the tree
+/// interpreter remains the reference oracle behind --compiled-constraints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_IRDL_CONSTRAINTPROGRAM_H
+#define IRDL_IRDL_CONSTRAINTPROGRAM_H
+
+#include "irdl/Constraint.h"
+
+#include <array>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace irdl {
+
+class ConstraintProgram;
+using ConstraintProgramPtr = std::shared_ptr<const ConstraintProgram>;
+
+namespace detail {
+class ConstraintProgramBuilder;
+} // namespace detail
+
+/// Opcodes of the compiled constraint interpreter. Every Constraint::Kind
+/// lowers to exactly one opcode except AnyOf, which compiles to
+/// AnyOfTable when all alternatives are dispatchable on a uniqued
+/// definition pointer, and Named, which is transparent and compiles to
+/// its body.
+enum class COpcode : uint8_t {
+  AnyType,    // value is a type
+  AnyAttr,    // value is an attribute
+  AnyParam,   // always true
+  TypeParams, // A = TypeDefs index; children = per-parameter programs
+  AttrParams, // A = AttrDefs index; children = per-parameter programs
+  IntKind,    // A = Ints index (width + signedness)
+  IntEq,      // A = Ints index (exact value)
+  FloatKind,  // A = Floats index (width; 0 = any float)
+  FloatEq,    // A = Floats index (exact value)
+  StringKind, // value is a string
+  StringEq,   // A = Strings index
+  EnumKind,   // A = EnumDefs index
+  EnumEq,     // A = EnumVals index
+  ArrayOf,    // children: none = any array, one = element program
+  ArrayExact, // children = per-element programs
+  OpaqueKind, // A = Strings index (opaque parameter kind name)
+  AnyOf,      // children = alternatives, tried in order with a trail mark
+  AnyOfTable, // A = Tables index; dispatch on the value's definition
+  And,        // children = conjuncts
+  Not,        // children = the negated program
+  Var,        // A = constraint-variable index
+  Cpp,        // A = CppPreds index; children = base program
+  Native,     // A = NativeFns index; children = base program
+};
+
+/// Returns the mnemonic of \p Op ("TypeParams", "AnyOfTable", ...).
+std::string_view getOpcodeName(COpcode Op);
+
+/// One packed instruction: 12 bytes, no pointers. Children of a node are
+/// a contiguous (Begin, Count) slice of the program's child-index array,
+/// so walking a subtree touches only two flat arrays.
+struct CInstr {
+  COpcode Op;
+  /// Instruction flag bits (FlagBaseOnly / FlagMemo).
+  uint8_t Flags = 0;
+  /// Number of child programs.
+  uint16_t NumChildren = 0;
+  /// Pool index; meaning depends on Op (see COpcode comments).
+  uint32_t A = 0;
+  /// First child slot in ConstraintProgram::Children.
+  uint32_t ChildrenBegin = 0;
+
+  static constexpr uint8_t FlagBaseOnly = 1u << 0;
+  /// Entry point of a memoizable subprogram (variable-free, C++-free):
+  /// when the matched value is a uniqued Type/Attribute, the verdict is
+  /// served from / recorded into the program's verification cache.
+  static constexpr uint8_t FlagMemo = 1u << 1;
+};
+
+/// A compiled, immutable constraint program. Instruction 0 is the entry
+/// point. Thread-safe to execute concurrently (the verification cache is
+/// internally sharded and locked; everything else is read-only).
+class ConstraintProgram {
+public:
+  ConstraintProgram();
+
+  /// Executes the program against \p V under the bindings in \p MC.
+  /// Exactly equivalent to Constraint::matches of the source tree:
+  /// variables bound by a successful run stay bound in \p MC, failed
+  /// AnyOf branches are undone through the trail.
+  bool run(const ParamValue &V, MatchContext &MC) const;
+
+  /// If the program pins down exactly one value given the bindings in
+  /// \p MC, returns it — the compiled counterpart of
+  /// Constraint::concreteValue, used by declarative-format inference.
+  std::optional<ParamValue> concreteValue(const MatchContext &MC) const;
+
+  //===------------------------------------------------------------------===//
+  // Introspection (tests, docs, statistics)
+  //===------------------------------------------------------------------===//
+
+  size_t getNumInstrs() const { return Instrs.size(); }
+  const CInstr &getInstr(size_t I) const { return Instrs[I]; }
+  /// Globally unique id (monotone counter), so cache keys and traces can
+  /// name a program even after its spec is gone.
+  uint64_t getId() const { return Id; }
+  size_t getNumDispatchTables() const { return Tables.size(); }
+  /// Entries currently held by the verification cache (all shards).
+  size_t getMemoCacheSize() const;
+  /// Drops every cached verdict (tests; specs owning stale uniqued
+  /// pointers must clear before their IRContext dies if the program is
+  /// reused against a new context).
+  void clearMemoCache() const;
+
+  /// One-line-per-instruction disassembly, e.g.
+  /// "0: AnyOfTable tbl=0 n=16 [1..16]".
+  std::string dump() const;
+
+private:
+  friend class ConstraintCompiler;
+  friend class detail::ConstraintProgramBuilder;
+
+  bool exec(uint32_t Pc, const ParamValue &V, MatchContext &MC) const;
+  std::optional<ParamValue> concreteAt(uint32_t Pc,
+                                       const MatchContext &MC) const;
+
+  /// Flat instruction array; entry point is Instrs[0].
+  std::vector<CInstr> Instrs;
+  /// Child instruction indices, grouped per instruction.
+  std::vector<uint32_t> Children;
+
+  // Literal/definition pools (indexed by CInstr::A).
+  std::vector<const TypeDefinition *> TypeDefs;
+  std::vector<const AttrDefinition *> AttrDefs;
+  std::vector<IntVal> Ints;
+  std::vector<FloatVal> Floats;
+  std::vector<std::string> Strings;
+  std::vector<const EnumDef *> EnumDefs;
+  std::vector<EnumVal> EnumVals;
+  std::vector<CppParamPredicate> CppPreds;
+  std::vector<NativeConstraintFn> NativeFns;
+
+  /// AnyOf dispatch: uniqued definition pointer -> (Begin, Count) slice
+  /// of TableAlts holding the alternatives rooted in that definition, in
+  /// source order.
+  struct DispatchTable {
+    std::unordered_map<const void *, std::pair<uint32_t, uint32_t>> Map;
+  };
+  std::vector<DispatchTable> Tables;
+  std::vector<uint32_t> TableAlts;
+
+  /// Programs compiled for the owning operation's constraint variables;
+  /// slot V backs the Var opcode with A == V. Null slots (or a shorter
+  /// vector) fall back to the tree constraint in the MatchContext.
+  std::vector<ConstraintProgramPtr> VarPrograms;
+
+  //===------------------------------------------------------------------===//
+  // Memoized verification cache
+  //===------------------------------------------------------------------===//
+
+  struct MemoKey {
+    uint32_t Pc;
+    const void *Ptr;
+    bool operator==(const MemoKey &RHS) const = default;
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey &K) const {
+      // Same splitmix-style mix as the uniquer's shard hash.
+      uint64_t H = (uint64_t)K.Pc * 0x9E3779B97F4A7C15ull;
+      H ^= (uint64_t)(uintptr_t)K.Ptr + 0x9E3779B97F4A7C15ull +
+           (H << 6) + (H >> 2);
+      return (size_t)H;
+    }
+  };
+  /// Sharded like the IRContext uniquer pools (docs/threading.md): the
+  /// shard is picked by the key hash, lookups take the shared side, and
+  /// inserts re-check under the exclusive side so --mt=N scales.
+  struct MemoShard {
+    mutable std::shared_mutex Mu;
+    std::unordered_map<MemoKey, bool, MemoKeyHash> Map;
+  };
+  static constexpr size_t NumMemoShards = 16;
+  mutable std::array<MemoShard, NumMemoShards> MemoShards;
+
+  uint64_t Id;
+};
+
+} // namespace irdl
+
+#endif // IRDL_IRDL_CONSTRAINTPROGRAM_H

@@ -4,6 +4,7 @@
 
 #include "ir/IRParser.h"
 #include "ir/Printer.h"
+#include "irdl/ConstraintCompiler.h"
 #include "support/StringExtras.h"
 
 #include <map>
@@ -408,9 +409,16 @@ LogicalResult irdl::installFormat(std::shared_ptr<DialectSpec> OwningSpec,
 
     deriveVars(Spec, MC, VarParamVals);
 
-    // Resolve operand and result types through the constraints.
+    // Resolve operand and result types through the constraints (the
+    // compiled program derives the same value as the tree; the flag is
+    // read per parse like in the verifiers).
+    auto ConcreteValue = [](const OperandSpec &OS, const MatchContext &MC) {
+      if (OS.Prog && compiledConstraintsEnabled())
+        return OS.Prog->concreteValue(MC);
+      return OS.Constr->concreteValue(MC);
+    };
     for (unsigned I = 0, E = Spec.Operands.size(); I != E; ++I) {
-      auto TV = Spec.Operands[I].Constr->concreteValue(MC);
+      auto TV = ConcreteValue(Spec.Operands[I], MC);
       if (!TV || !TV->isType())
         return P.emitError(OpLoc,
                            "cannot infer the type of operand '" +
@@ -420,7 +428,7 @@ LogicalResult irdl::installFormat(std::shared_ptr<DialectSpec> OwningSpec,
         return failure();
     }
     for (unsigned I = 0, E = Spec.Results.size(); I != E; ++I) {
-      auto TV = Spec.Results[I].Constr->concreteValue(MC);
+      auto TV = ConcreteValue(Spec.Results[I], MC);
       if (!TV || !TV->isType())
         return P.emitError(OpLoc, "cannot infer the type of result '" +
                                       Spec.Results[I].Name + "'");

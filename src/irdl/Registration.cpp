@@ -5,10 +5,25 @@
 #include "ir/Block.h"
 #include "ir/Operation.h"
 #include "ir/Region.h"
+#include "irdl/ConstraintCompiler.h"
 #include "irdl/Format.h"
 #include "support/StringExtras.h"
+#include "support/Timing.h"
 
 using namespace irdl;
+
+/// Matches \p V through the compiled program when the engine is enabled
+/// (and the program exists), through the tree otherwise. The flag is read
+/// per call so --compiled-constraints swaps engines for dialects that are
+/// already registered; diagnostics always render from the tree, keeping
+/// error text byte-identical across engines.
+static bool constraintMatches(const ConstraintPtr &C,
+                              const std::shared_ptr<const ConstraintProgram> &Prog,
+                              const ParamValue &V, MatchContext &MC) {
+  if (Prog && compiledConstraintsEnabled())
+    return Prog->run(V, MC);
+  return C->matches(V, MC);
+}
 
 //===----------------------------------------------------------------------===//
 // Segmentation
@@ -140,7 +155,8 @@ buildTypeOrAttrVerifier(std::shared_ptr<DialectSpec> Owner,
     }
     MatchContext MC;
     for (size_t I = 0, E = Params.size(); I != E; ++I) {
-      if (!S.Params[I].Constr->matches(Params[I], MC)) {
+      if (!constraintMatches(S.Params[I].Constr, S.Params[I].Prog,
+                             Params[I], MC)) {
         Diags.emitError(Loc, "parameter '" + S.Params[I].Name + "' of '" +
                                  FullName +
                                  "' does not satisfy constraint " +
@@ -194,7 +210,8 @@ OpDefinition::VerifierFn buildOpVerifier(
       auto [Begin, Size] = (*OperandSegments)[I];
       for (unsigned J = 0; J != Size; ++J) {
         Type Ty = Op->getOperand(Begin + J).getType();
-        if (!S.Operands[I].Constr->matches(ParamValue(Ty), MC)) {
+        if (!constraintMatches(S.Operands[I].Constr, S.Operands[I].Prog,
+                               ParamValue(Ty), MC)) {
           Diags.emitError(Op->getLoc(),
                           "operand '" + S.Operands[I].Name + "' of '" +
                               FullName + "' (type " + Ty.str() +
@@ -217,7 +234,8 @@ OpDefinition::VerifierFn buildOpVerifier(
       auto [Begin, Size] = (*ResultSegments)[I];
       for (unsigned J = 0; J != Size; ++J) {
         Type Ty = Op->getResult(Begin + J).getType();
-        if (!S.Results[I].Constr->matches(ParamValue(Ty), MC)) {
+        if (!constraintMatches(S.Results[I].Constr, S.Results[I].Prog,
+                               ParamValue(Ty), MC)) {
           Diags.emitError(Op->getLoc(),
                           "result '" + S.Results[I].Name + "' of '" +
                               FullName + "' (type " + Ty.str() +
@@ -237,7 +255,7 @@ OpDefinition::VerifierFn buildOpVerifier(
                                           A.Name + "'");
         return failure();
       }
-      if (!A.Constr->matches(ParamValue(Attr), MC)) {
+      if (!constraintMatches(A.Constr, A.Prog, ParamValue(Attr), MC)) {
         Diags.emitError(Op->getLoc(),
                         "attribute '" + A.Name + "' of '" + FullName +
                             "' does not satisfy constraint " +
@@ -281,7 +299,8 @@ OpDefinition::VerifierFn buildOpVerifier(
           auto [Begin, Size] = (*ArgSegments)[A];
           for (unsigned J = 0; J != Size; ++J) {
             Type Ty = Entry.getArgument(Begin + J).getType();
-            if (!RS.Args[A].Constr->matches(ParamValue(Ty), MC)) {
+            if (!constraintMatches(RS.Args[A].Constr, RS.Args[A].Prog,
+                                   ParamValue(Ty), MC)) {
               Diags.emitError(
                   Op->getLoc(),
                   "argument '" + RS.Args[A].Name + "' of region '" +
@@ -340,6 +359,35 @@ LogicalResult irdl::registerDialectSpec(std::shared_ptr<DialectSpec> Spec,
                                         IRContext &Ctx,
                                         DiagnosticEngine &Diags,
                                         const IRDLLoadOptions &Opts) {
+  // Compile every resolved constraint into its flat program form up
+  // front, so verification never pays the lowering cost. Bytecode
+  // round-trips rebuild specs and land here too, so programs never need
+  // serializing (.irbc is unaffected).
+  {
+    IRDL_TIME_SCOPE("irdl.compile-constraint-programs");
+    auto CompileParams = [](std::vector<ParamSpec> &Params) {
+      for (ParamSpec &P : Params)
+        P.Prog = ConstraintCompiler::compile(P.Constr);
+    };
+    for (TypeOrAttrSpec &TS : Spec->Types)
+      CompileParams(TS.Params);
+    for (TypeOrAttrSpec &TS : Spec->Attrs)
+      CompileParams(TS.Params);
+    for (OpSpec &OS : Spec->Ops) {
+      OS.VarPrograms =
+          ConstraintCompiler::compileVarPrograms(OS.VarConstraints);
+      for (OperandSpec &O : OS.Operands)
+        O.Prog = ConstraintCompiler::compile(O.Constr, OS.VarPrograms);
+      for (OperandSpec &R : OS.Results)
+        R.Prog = ConstraintCompiler::compile(R.Constr, OS.VarPrograms);
+      for (ParamSpec &A : OS.Attributes)
+        A.Prog = ConstraintCompiler::compile(A.Constr, OS.VarPrograms);
+      for (RegionSpec &RS : OS.Regions)
+        for (OperandSpec &Arg : RS.Args)
+          Arg.Prog = ConstraintCompiler::compile(Arg.Constr, OS.VarPrograms);
+    }
+  }
+
   // Opaque parameter kinds get a default identity codec (the IRDL-C++
   // CppParser/CppPrinter sources are carried for documentation; a host
   // can overwrite the codec for real validation).

@@ -22,10 +22,14 @@
 
 namespace irdl {
 
+class ConstraintProgram;
+
 /// A named, constrained slot (type/attr parameter or op attribute).
 struct ParamSpec {
   std::string Name;
   ConstraintPtr Constr;
+  /// Compiled form of Constr (set by registration; null until then).
+  std::shared_ptr<const ConstraintProgram> Prog;
 };
 
 /// Resolved type or attribute definition.
@@ -61,6 +65,8 @@ struct OperandSpec {
   std::string Name;
   ConstraintPtr Constr;
   VariadicKind VK = VariadicKind::Single;
+  /// Compiled form of Constr (set by registration; null until then).
+  std::shared_ptr<const ConstraintProgram> Prog;
 };
 
 struct RegionSpec {
@@ -79,6 +85,10 @@ struct OpSpec {
   /// Constraint variables: name + the constraint each binding must satisfy.
   std::vector<std::string> VarNames;
   std::vector<ConstraintPtr> VarConstraints;
+  /// Compiled programs for VarConstraints, shared by every operand /
+  /// result / attribute / region-argument program of this op (set by
+  /// registration).
+  std::vector<std::shared_ptr<const ConstraintProgram>> VarPrograms;
   std::vector<OperandSpec> Operands;
   std::vector<OperandSpec> Results;
   std::vector<ParamSpec> Attributes;

@@ -1,0 +1,335 @@
+//===- ConstraintCompilerTest.cpp - Tree vs compiled programs ----------===//
+///
+/// The compiled engine's contract is semantic identity with the tree
+/// interpreter (the reference oracle). These tests compile constraint
+/// trees and check verdicts, variable bindings, dispatch-table lowering,
+/// the memoized verification cache, and concreteValue against the tree
+/// over a grid of values.
+
+#include "irdl/ConstraintCompiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace irdl;
+
+namespace {
+
+class ConstraintCompilerTest : public ::testing::Test {
+protected:
+  ConstraintCompilerTest() {
+    Dialect *D = Ctx.getOrCreateDialect("cmath");
+    Complex = D->addType("complex");
+    Complex->setParamNames({"elementType"});
+    Pair = D->addType("pair");
+    Pair->setParamNames({"first", "second"});
+  }
+
+  Type complexOf(Type Elem) {
+    return Ctx.getType(Complex, {ParamValue(Elem)});
+  }
+
+  /// A value grid covering every ParamValue kind the algebra can see.
+  std::vector<ParamValue> grid() {
+    std::vector<ParamValue> Vs;
+    Vs.emplace_back(Ctx.getFloatType(32));
+    Vs.emplace_back(Ctx.getFloatType(64));
+    Vs.emplace_back(complexOf(Ctx.getFloatType(32)));
+    Vs.emplace_back(complexOf(Ctx.getFloatType(64)));
+    Vs.emplace_back(Ctx.getType(Pair, {ParamValue(Ctx.getFloatType(32)),
+                                       ParamValue(Ctx.getFloatType(64))}));
+    Vs.emplace_back(Ctx.getIntegerAttr(1, 32));
+    Vs.emplace_back(IntVal{32, Signedness::Signed, 3});
+    Vs.emplace_back(IntVal{64, Signedness::Unsigned, 3});
+    Vs.emplace_back(FloatVal{32, 1.5});
+    Vs.emplace_back(FloatVal{64, 2.5});
+    Vs.emplace_back(std::string("foo"));
+    Vs.emplace_back(std::string("bar"));
+    Vs.emplace_back(EnumVal{Ctx.getSignednessEnum(), 0});
+    Vs.emplace_back(EnumVal{Ctx.getSignednessEnum(), 1});
+    Vs.emplace_back(std::vector<ParamValue>{});
+    Vs.emplace_back(std::vector<ParamValue>{
+        ParamValue(IntVal{32, Signedness::Signless, 1}),
+        ParamValue(IntVal{32, Signedness::Signless, 2})});
+    return Vs;
+  }
+
+  /// Asserts that the compiled program agrees with the tree on every
+  /// grid value: verdict and resulting variable bindings.
+  void expectEquivalent(const ConstraintPtr &C,
+                        const std::vector<ConstraintPtr> *Vars = nullptr) {
+    std::vector<ConstraintProgramPtr> VarProgs =
+        Vars ? ConstraintCompiler::compileVarPrograms(*Vars)
+             : std::vector<ConstraintProgramPtr>();
+    ConstraintProgramPtr Prog = ConstraintCompiler::compile(C, VarProgs);
+    for (const ParamValue &V : grid()) {
+      MatchContext TreeMC(Vars);
+      MatchContext ProgMC(Vars);
+      bool TreeVerdict = C->matches(V, TreeMC);
+      bool ProgVerdict = Prog->run(V, ProgMC);
+      EXPECT_EQ(TreeVerdict, ProgVerdict)
+          << "verdict diverged on " << C->str() << " / program:\n"
+          << Prog->dump();
+      for (unsigned I = 0, E = TreeMC.getNumVars(); I != E; ++I) {
+        ASSERT_EQ(TreeMC.getBinding(I).has_value(),
+                  ProgMC.getBinding(I).has_value());
+        if (TreeMC.getBinding(I))
+          EXPECT_TRUE(*TreeMC.getBinding(I) == *ProgMC.getBinding(I));
+      }
+    }
+  }
+
+  IRContext Ctx;
+  TypeDefinition *Complex = nullptr;
+  TypeDefinition *Pair = nullptr;
+};
+
+TEST_F(ConstraintCompilerTest, LeafEquivalence) {
+  expectEquivalent(Constraint::anyType());
+  expectEquivalent(Constraint::anyAttr());
+  expectEquivalent(Constraint::anyParam());
+  expectEquivalent(Constraint::typeEq(Ctx.getFloatType(32)));
+  expectEquivalent(Constraint::intKind(32, Signedness::Signed));
+  expectEquivalent(Constraint::intEq(IntVal{32, Signedness::Signed, 3}));
+  expectEquivalent(Constraint::floatKind(32));
+  expectEquivalent(Constraint::floatKind(0));
+  expectEquivalent(Constraint::floatEq(FloatVal{32, 1.5}));
+  expectEquivalent(Constraint::stringKind());
+  expectEquivalent(Constraint::stringEq("foo"));
+  expectEquivalent(Constraint::enumKind(Ctx.getSignednessEnum()));
+  expectEquivalent(
+      Constraint::enumEq(EnumVal{Ctx.getSignednessEnum(), 1}));
+  expectEquivalent(Constraint::anyArray());
+  expectEquivalent(
+      Constraint::arrayOf(Constraint::intKind(32, Signedness::Signless)));
+  expectEquivalent(Constraint::arrayExact(
+      {Constraint::intEq(IntVal{32, Signedness::Signless, 1}),
+       Constraint::intEq(IntVal{32, Signedness::Signless, 2})}));
+  expectEquivalent(Constraint::opaqueKind("cmath.custom"));
+}
+
+TEST_F(ConstraintCompilerTest, CombinatorEquivalence) {
+  ConstraintPtr F32 = Constraint::typeEq(Ctx.getFloatType(32));
+  ConstraintPtr F64 = Constraint::typeEq(Ctx.getFloatType(64));
+  ConstraintPtr CpxBase =
+      Constraint::typeConstraint(Complex, {}, /*BaseOnly=*/true);
+  ConstraintPtr CpxF32 = Constraint::typeConstraint(
+      Complex, {Constraint::typeEq(Ctx.getFloatType(32))},
+      /*BaseOnly=*/false);
+  expectEquivalent(Constraint::anyOf({F32, F64}));
+  expectEquivalent(Constraint::anyOf({CpxF32, F32}));
+  expectEquivalent(Constraint::conjunction({CpxBase, CpxF32}));
+  expectEquivalent(Constraint::negation(F32));
+  expectEquivalent(Constraint::negation(Constraint::anyOf({F32, CpxF32})));
+  expectEquivalent(Constraint::named(CpxF32, "cmath.ComplexF32"));
+}
+
+TEST_F(ConstraintCompilerTest, CppAndNativeEquivalence) {
+  ConstraintPtr OnlyF32 = Constraint::native(
+      Constraint::anyType(),
+      [](const ParamValue &V) {
+        return V.isType() && V.getType().getParams().empty();
+      },
+      "paramless");
+  expectEquivalent(OnlyF32);
+  ConstraintPtr Cpp = Constraint::cpp(
+      Constraint::anyType(), [](const ParamValue &) { return true; },
+      "true");
+  expectEquivalent(Cpp);
+}
+
+TEST_F(ConstraintCompilerTest, VariableEquivalence) {
+  // AnyOf<complex<!T>, !T> where T: AnyType — exercises bind + backtrack.
+  std::vector<ConstraintPtr> Vars{Constraint::anyType()};
+  ConstraintPtr T = Constraint::var(0, "T");
+  ConstraintPtr CpxT =
+      Constraint::typeConstraint(Complex, {T}, /*BaseOnly=*/false);
+  expectEquivalent(Constraint::anyOf({CpxT, T}), &Vars);
+  expectEquivalent(Constraint::conjunction({Constraint::anyType(), T}),
+                   &Vars);
+}
+
+TEST_F(ConstraintCompilerTest, FailedAnyOfBranchUnbindsVariables) {
+  // First alternative binds T then fails on the second conjunct; the
+  // trail must unbind T so the second alternative sees it fresh.
+  std::vector<ConstraintPtr> Vars{Constraint::anyType()};
+  ConstraintPtr T = Constraint::var(0, "T");
+  ConstraintPtr Failing = Constraint::conjunction(
+      {T, Constraint::typeEq(Ctx.getFloatType(64))});
+  ConstraintPtr C = Constraint::anyOf({Failing, T});
+  expectEquivalent(C, &Vars);
+
+  std::vector<ConstraintProgramPtr> VarProgs =
+      ConstraintCompiler::compileVarPrograms(Vars);
+  ConstraintProgramPtr Prog = ConstraintCompiler::compile(C, VarProgs);
+  MatchContext MC(&Vars);
+  EXPECT_TRUE(Prog->run(ParamValue(Ctx.getFloatType(32)), MC));
+  ASSERT_TRUE(MC.getBinding(0).has_value());
+  EXPECT_TRUE(MC.getBinding(0)->getType() == Ctx.getFloatType(32));
+}
+
+TEST_F(ConstraintCompilerTest, NamedWrappersAreElided) {
+  ConstraintPtr Inner = Constraint::typeEq(Ctx.getFloatType(32));
+  ConstraintPtr Named = Constraint::named(Inner, "cmath.F32");
+  ConstraintProgramPtr Prog = ConstraintCompiler::compile(Named);
+  ConstraintProgramPtr Direct = ConstraintCompiler::compile(Inner);
+  EXPECT_EQ(Prog->getNumInstrs(), Direct->getNumInstrs());
+}
+
+TEST_F(ConstraintCompilerTest, AnyOfLowersToDispatchTable) {
+  std::vector<ConstraintPtr> Alts;
+  std::vector<Type> Elems = {Ctx.getFloatType(16), Ctx.getFloatType(32),
+                             Ctx.getFloatType(64)};
+  for (Type E : Elems)
+    Alts.push_back(Constraint::typeEq(complexOf(E)));
+  Alts.push_back(Constraint::typeEq(Ctx.getFloatType(32)));
+  ConstraintPtr C = Constraint::anyOf(Alts);
+  ConstraintProgramPtr Prog = ConstraintCompiler::compile(C);
+  ASSERT_EQ(Prog->getNumDispatchTables(), 1u);
+  EXPECT_EQ(Prog->getInstr(0).Op, COpcode::AnyOfTable);
+  expectEquivalent(C);
+}
+
+TEST_F(ConstraintCompilerTest, AnyOfWithUndispatchableAltStaysSequential) {
+  std::vector<ConstraintPtr> Alts = {
+      Constraint::typeEq(complexOf(Ctx.getFloatType(16))),
+      Constraint::typeEq(complexOf(Ctx.getFloatType(32))),
+      Constraint::typeEq(complexOf(Ctx.getFloatType(64))),
+      Constraint::anyType()}; // not rooted in a definition
+  ConstraintProgramPtr Prog =
+      ConstraintCompiler::compile(Constraint::anyOf(Alts));
+  EXPECT_EQ(Prog->getNumDispatchTables(), 0u);
+  EXPECT_EQ(Prog->getInstr(0).Op, COpcode::AnyOf);
+}
+
+TEST_F(ConstraintCompilerTest, SameDefAlternativesKeepSourceOrder) {
+  // Two alternatives under the same base definition must still be tried
+  // in declaration order through the table.
+  std::vector<ConstraintPtr> Alts = {
+      Constraint::typeEq(complexOf(Ctx.getFloatType(32))),
+      Constraint::typeConstraint(Complex, {}, /*BaseOnly=*/true),
+      Constraint::typeEq(Ctx.getFloatType(32)),
+      Constraint::typeEq(Ctx.getFloatType(64))};
+  ConstraintPtr C = Constraint::anyOf(Alts);
+  ConstraintProgramPtr Prog = ConstraintCompiler::compile(C);
+  ASSERT_EQ(Prog->getNumDispatchTables(), 1u);
+  expectEquivalent(C);
+  MatchContext MC;
+  EXPECT_TRUE(
+      Prog->run(ParamValue(complexOf(Ctx.getFloatType(64))), MC));
+}
+
+TEST_F(ConstraintCompilerTest, MemoCachesVarFreeSubprograms) {
+  // complex<AnyOf<f32, f64>> is variable-free and big enough to memoize.
+  ConstraintPtr C = Constraint::typeConstraint(
+      Complex,
+      {Constraint::anyOf({Constraint::typeEq(Ctx.getFloatType(32)),
+                          Constraint::typeEq(Ctx.getFloatType(64))})},
+      /*BaseOnly=*/false);
+  ConstraintProgramPtr Prog = ConstraintCompiler::compile(C);
+  ASSERT_TRUE(Prog->getInstr(0).Flags & CInstr::FlagMemo);
+  EXPECT_EQ(Prog->getMemoCacheSize(), 0u);
+
+  MatchContext MC;
+  ParamValue V(complexOf(Ctx.getFloatType(32)));
+  EXPECT_TRUE(Prog->run(V, MC));
+  size_t AfterFirst = Prog->getMemoCacheSize();
+  EXPECT_GT(AfterFirst, 0u);
+  // Same uniqued value again: verdict comes from the cache, no growth.
+  EXPECT_TRUE(Prog->run(V, MC));
+  EXPECT_EQ(Prog->getMemoCacheSize(), AfterFirst);
+  // Negative verdicts are cached too.
+  ParamValue Bad(complexOf(Ctx.getFloatType(16)));
+  EXPECT_FALSE(Prog->run(Bad, MC));
+  EXPECT_FALSE(Prog->run(Bad, MC));
+  EXPECT_GT(Prog->getMemoCacheSize(), AfterFirst);
+
+  Prog->clearMemoCache();
+  EXPECT_EQ(Prog->getMemoCacheSize(), 0u);
+  EXPECT_TRUE(Prog->run(V, MC));
+}
+
+TEST_F(ConstraintCompilerTest, VarSubprogramsAreNotMemoized) {
+  std::vector<ConstraintPtr> Vars{Constraint::anyType()};
+  ConstraintPtr C = Constraint::typeConstraint(
+      Complex,
+      {Constraint::anyOf({Constraint::var(0, "T"),
+                          Constraint::typeEq(Ctx.getFloatType(64))})},
+      /*BaseOnly=*/false);
+  ConstraintProgramPtr Prog = ConstraintCompiler::compile(
+      C, ConstraintCompiler::compileVarPrograms(Vars));
+  for (size_t I = 0, E = Prog->getNumInstrs(); I != E; ++I)
+    EXPECT_FALSE(Prog->getInstr(I).Flags & CInstr::FlagMemo)
+        << "instr " << I << " of a var-referencing program is memoized";
+}
+
+TEST_F(ConstraintCompilerTest, CppSubprogramsAreNotMemoized) {
+  ConstraintPtr C = Constraint::typeConstraint(
+      Complex,
+      {Constraint::native(
+          Constraint::anyOf({Constraint::typeEq(Ctx.getFloatType(32)),
+                             Constraint::typeEq(Ctx.getFloatType(64))}),
+          [](const ParamValue &) { return true; }, "always")},
+      /*BaseOnly=*/false);
+  ConstraintProgramPtr Prog = ConstraintCompiler::compile(C);
+  for (size_t I = 0, E = Prog->getNumInstrs(); I != E; ++I)
+    EXPECT_FALSE(Prog->getInstr(I).Flags & CInstr::FlagMemo);
+}
+
+TEST_F(ConstraintCompilerTest, ConcreteValueEquivalence) {
+  std::vector<ConstraintPtr> Vars{Constraint::anyType()};
+  std::vector<ConstraintPtr> Cases = {
+      Constraint::typeEq(complexOf(Ctx.getFloatType(32))),
+      Constraint::intEq(IntVal{32, Signedness::Signed, 3}),
+      Constraint::floatEq(FloatVal{32, 1.5}),
+      Constraint::stringEq("foo"),
+      Constraint::enumEq(EnumVal{Ctx.getSignednessEnum(), 1}),
+      Constraint::arrayExact(
+          {Constraint::intEq(IntVal{32, Signedness::Signless, 1})}),
+      Constraint::conjunction(
+          {Constraint::anyType(), Constraint::typeEq(Ctx.getFloatType(32))}),
+      Constraint::anyOf({Constraint::typeEq(Ctx.getFloatType(32)),
+                         Constraint::typeEq(Ctx.getFloatType(64))}),
+      Constraint::typeConstraint(Complex, {}, /*BaseOnly=*/true),
+      Constraint::var(0, "T"),
+      Constraint::anyType(),
+  };
+  for (const ConstraintPtr &C : Cases) {
+    ConstraintProgramPtr Prog = ConstraintCompiler::compile(
+        C, ConstraintCompiler::compileVarPrograms(Vars));
+    MatchContext MC(&Vars);
+    if (C->getKind() == Constraint::Kind::Var)
+      MC.bind(0, ParamValue(Ctx.getFloatType(64)));
+    auto TreeV = C->concreteValue(MC);
+    auto ProgV = Prog->concreteValue(MC);
+    ASSERT_EQ(TreeV.has_value(), ProgV.has_value()) << C->str();
+    if (TreeV)
+      EXPECT_TRUE(*TreeV == *ProgV) << C->str();
+  }
+}
+
+TEST_F(ConstraintCompilerTest, DumpNamesEveryInstruction) {
+  ConstraintPtr C = Constraint::anyOf(
+      {Constraint::typeEq(complexOf(Ctx.getFloatType(32))),
+       Constraint::typeEq(Ctx.getFloatType(32))});
+  ConstraintProgramPtr Prog = ConstraintCompiler::compile(C);
+  std::string D = Prog->dump();
+  EXPECT_NE(D.find("AnyOf"), std::string::npos);
+  EXPECT_NE(D.find("TypeParams"), std::string::npos);
+  EXPECT_NE(D.find("cmath.complex"), std::string::npos);
+}
+
+TEST_F(ConstraintCompilerTest, ProgramIdsAreUnique) {
+  ConstraintProgramPtr A = ConstraintCompiler::compile(Constraint::anyType());
+  ConstraintProgramPtr B = ConstraintCompiler::compile(Constraint::anyType());
+  EXPECT_NE(A->getId(), B->getId());
+}
+
+TEST_F(ConstraintCompilerTest, EngineFlagDefaultsOn) {
+  EXPECT_TRUE(compiledConstraintsEnabled());
+  setCompiledConstraintsEnabled(false);
+  EXPECT_FALSE(compiledConstraintsEnabled());
+  setCompiledConstraintsEnabled(true);
+  EXPECT_TRUE(compiledConstraintsEnabled());
+}
+
+} // namespace
