@@ -2,17 +2,27 @@
 ///
 /// \file
 /// Wraps the google-benchmark suites with the instrumentation layer
-/// (support/Timing.h, support/Statistic.h): before the registered
-/// benchmarks run, a phase-breakdown callback executes a representative
-/// workload under an active TimerGroup, and the harness prints the
-/// resulting timing tree and statistics table to stderr — so a perf run
-/// reports *where* time goes, not one opaque number.
+/// (support/Timing.h, support/Statistic.h, support/Metrics.h): before
+/// the registered benchmarks run, a phase-breakdown callback executes a
+/// representative workload under an active TimerGroup, and the harness
+/// prints the resulting timing tree and statistics table to stderr — so
+/// a perf run reports *where* time goes, not one opaque number. Phase
+/// callbacks record per-iteration samples through PhaseSampler, so the
+/// JSON summary also carries p50/p90/p99 latency distributions.
 ///
 /// Flags handled before google-benchmark sees the command line:
 ///   --json        print the machine-readable summary (timing tree +
-///                 statistics) to stdout and exit without running the
-///                 google-benchmark suites (stdout stays pure JSON)
+///                 statistics + metrics) to stdout and exit without
+///                 running the google-benchmark suites (stdout stays
+///                 pure JSON)
 ///   --json=FILE   write the summary to FILE, then run the suites
+///   --metrics     enable library metrics collection (the memo-cache /
+///                 dispatch / verifier instrumentation) and print the
+///                 Prometheus exposition to stderr
+///   --metrics-json=FILE
+///                 enable library metrics collection and write the
+///                 registry as JSON to FILE (also honored on the --json
+///                 short-circuit path, so CI collects both in one run)
 ///   --mt=N        set the global thread count before anything runs
 ///                 (0 = auto, 1 = disable multithreading); applies to the
 ///                 phase breakdown and the google-benchmark suites
@@ -22,7 +32,13 @@
 ///
 /// The JSON shape, for BENCH_*.json trajectory tracking:
 ///   {"bench": NAME, "timing": <TimerGroup::renderJsonSummary()>,
-///    "statistics": <StatisticRegistry::renderJson()>}
+///    "statistics": <StatisticRegistry::renderJson()>,
+///    "metrics": <MetricsRegistry::renderJson()>}
+///
+/// Note the split: PhaseSampler records its bench_phase_duration_ns
+/// histograms *unconditionally* (so p50/p90/p99 appear in every --json
+/// run), while the library's own instrumentation stays behind --metrics
+/// — keeping the disabled-overhead guarantee the CI perf gate measures.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +46,7 @@
 #define IRDL_BENCH_PERFHARNESS_H
 
 #include "irdl/ConstraintCompiler.h"
+#include "support/Metrics.h"
 #include "support/Statistic.h"
 #include "support/Threading.h"
 #include "support/Timing.h"
@@ -44,10 +61,38 @@
 
 namespace irdl {
 
+/// Per-iteration sampling for a phase-breakdown workload: construct one
+/// per phase, call sample() around each iteration (or record() with a
+/// measured duration). Samples land in the process metrics registry as
+/// `bench_phase_duration_ns{phase="<name>"}`, which the harness summary
+/// serializes with p50/p90/p99.
+class PhaseSampler {
+public:
+  explicit PhaseSampler(std::string PhaseName)
+      : Hist(MetricsRegistry::instance().getHistogram(
+            "bench_phase_duration_ns",
+            "per-iteration wall time of one bench phase",
+            {{"phase", std::move(PhaseName)}})) {}
+
+  /// Runs \p Fn once and records its wall time.
+  template <typename FnT> void sample(FnT &&Fn) {
+    uint64_t Begin = steadyNowNs();
+    Fn();
+    Hist.record(steadyNowNs() - Begin);
+  }
+
+  void record(uint64_t Nanos) { Hist.record(Nanos); }
+
+private:
+  Histogram &Hist;
+};
+
 inline int runPerfMain(int argc, char **argv, const char *BenchName,
                        const std::function<void()> &PhaseBreakdown) {
   bool JsonToStdout = false;
+  bool Metrics = false;
   std::string JsonFile;
+  std::string MetricsJsonFile;
   std::vector<char *> BenchArgs{argv[0]};
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -55,6 +100,10 @@ inline int runPerfMain(int argc, char **argv, const char *BenchName,
       JsonToStdout = true;
     else if (Arg.rfind("--json=", 0) == 0)
       JsonFile = Arg.substr(std::string("--json=").size());
+    else if (Arg == "--metrics")
+      Metrics = true;
+    else if (Arg.rfind("--metrics-json=", 0) == 0)
+      MetricsJsonFile = Arg.substr(std::string("--metrics-json=").size());
     else if (Arg.rfind("--mt=", 0) == 0) {
       auto N = parseThreadCountValue(Arg.substr(std::string("--mt=").size()));
       if (!N) {
@@ -74,8 +123,12 @@ inline int runPerfMain(int argc, char **argv, const char *BenchName,
       BenchArgs.push_back(argv[I]);
   }
 
+  if (Metrics || !MetricsJsonFile.empty())
+    setMetricsEnabled(true);
+
   TimerGroup Timers(BenchName);
   StatisticRegistry::instance().resetAll();
+  MetricsRegistry::instance().resetAll();
   setActiveTimerGroup(&Timers);
   PhaseBreakdown();
   setActiveTimerGroup(nullptr);
@@ -83,13 +136,30 @@ inline int runPerfMain(int argc, char **argv, const char *BenchName,
   std::string Summary = std::string("{\"bench\":\"") + BenchName +
                         "\",\"timing\":" + Timers.renderJsonSummary() +
                         ",\"statistics\":" +
-                        StatisticRegistry::instance().renderJson() + "}\n";
+                        StatisticRegistry::instance().renderJson() +
+                        ",\"metrics\":" +
+                        MetricsRegistry::instance().renderJson() + "}\n";
+  auto WriteMetricsJson = [&]() -> bool {
+    if (MetricsJsonFile.empty())
+      return true;
+    std::ofstream Out(MetricsJsonFile);
+    if (!Out) {
+      std::cerr << "cannot write " << MetricsJsonFile << "\n";
+      return false;
+    }
+    Out << MetricsRegistry::instance().renderJson() << "\n";
+    return true;
+  };
   if (JsonToStdout) {
     std::cout << Summary;
-    return 0;
+    return WriteMetricsJson() ? 0 : 1;
   }
   std::cerr << Timers.renderTree()
             << StatisticRegistry::instance().renderTable();
+  if (Metrics)
+    std::cerr << MetricsRegistry::instance().renderPrometheus();
+  if (!WriteMetricsJson())
+    return 1;
   if (!JsonFile.empty()) {
     std::ofstream Out(JsonFile);
     if (!Out) {

@@ -271,23 +271,32 @@ void runPhaseBreakdown() {
     ConstraintProgramPtr P = ConstraintCompiler::compile(C, VarProgs);
     std::string Interp = std::string(Workload) + "-interpreted";
     std::string Compiled = std::string(Workload) + "-compiled";
+    // Per-iteration samples alongside the aggregate timing scopes, so
+    // the --json summary carries p50/p90/p99 for each engine
+    // (check_constraint_bench.py prefers the p50s when both are there).
+    PhaseSampler InterpSampler(Interp);
+    PhaseSampler CompiledSampler(Compiled);
     {
       IRDL_TIME_SCOPE(Interp.c_str());
       for (int I = 0; I != Iters; ++I)
-        for (const ParamValue &V : Values) {
-          MatchContext MC(Vars);
-          bool R = C->matches(V, MC);
-          benchmark::DoNotOptimize(R);
-        }
+        InterpSampler.sample([&] {
+          for (const ParamValue &V : Values) {
+            MatchContext MC(Vars);
+            bool R = C->matches(V, MC);
+            benchmark::DoNotOptimize(R);
+          }
+        });
     }
     {
       IRDL_TIME_SCOPE(Compiled.c_str());
       for (int I = 0; I != Iters; ++I)
-        for (const ParamValue &V : Values) {
-          MatchContext MC(Vars);
-          bool R = P->run(V, MC);
-          benchmark::DoNotOptimize(R);
-        }
+        CompiledSampler.sample([&] {
+          for (const ParamValue &V : Values) {
+            MatchContext MC(Vars);
+            bool R = P->run(V, MC);
+            benchmark::DoNotOptimize(R);
+          }
+        });
     }
   };
 

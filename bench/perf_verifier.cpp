@@ -220,20 +220,24 @@ void runPhaseBreakdown() {
     {
       setCompiledConstraintsEnabled(false);
       IRDL_TIME_SCOPE("large-module-verify-interpreted-x30");
-      for (int I = 0; I != 30; ++I) {
-        DiagnosticEngine Diags;
-        LogicalResult R = LF->IR->verify(Diags);
-        benchmark::DoNotOptimize(R);
-      }
+      PhaseSampler Sampler("large-module-verify-interpreted-x30");
+      for (int I = 0; I != 30; ++I)
+        Sampler.sample([&] {
+          DiagnosticEngine Diags;
+          LogicalResult R = LF->IR->verify(Diags);
+          benchmark::DoNotOptimize(R);
+        });
     }
     {
       setCompiledConstraintsEnabled(true);
       IRDL_TIME_SCOPE("large-module-verify-compiled-x30");
-      for (int I = 0; I != 30; ++I) {
-        DiagnosticEngine Diags;
-        LogicalResult R = LF->IR->verify(Diags);
-        benchmark::DoNotOptimize(R);
-      }
+      PhaseSampler Sampler("large-module-verify-compiled-x30");
+      for (int I = 0; I != 30; ++I)
+        Sampler.sample([&] {
+          DiagnosticEngine Diags;
+          LogicalResult R = LF->IR->verify(Diags);
+          benchmark::DoNotOptimize(R);
+        });
     }
     setCompiledConstraintsEnabled(Prev);
   }

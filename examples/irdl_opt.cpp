@@ -9,7 +9,9 @@
 ///   irdl_opt [--dialect file.irdl]... [--pass dce|conorm]...
 ///            [--generic] [--verify-each=0|1] [--emit-bytecode[=FILE]]
 ///            [--mt=0|1|N] [--compiled-constraints=0|1] [--timing]
-///            [--stats] [--trace-json=FILE] [input.mlir]
+///            [--stats] [--stats-json=FILE] [--trace-json=FILE]
+///            [--metrics] [--metrics-json=FILE] [--profile-constraints]
+///            [input.mlir]
 ///
 /// With no --dialect, loads dialects/cmath.irdl. With no input, reads
 /// stdin. Unknown flags and unknown pass names are hard errors. Both
@@ -28,7 +30,18 @@
 ///                      compiler.md)
 ///   --timing           print a hierarchical wall-time tree (stderr)
 ///   --stats            print the statistics registry (stderr)
+///   --stats-json=FILE  write the statistics registry as JSON (sorted by
+///                      group/name for deterministic diffs)
 ///   --trace-json=FILE  write a chrome://tracing / Perfetto trace
+///   --metrics          collect runtime metrics (counters/gauges/latency
+///                      histograms) and print the Prometheus text
+///                      exposition to stderr
+///   --metrics-json=FILE
+///                      collect runtime metrics and write them as JSON
+///                      (implies collection like --metrics)
+///   --profile-constraints
+///                      time every compiled-constraint execution and
+///                      print the hottest constraint programs (stderr)
 ///   --emit-bytecode    write the result module (plus every dialect
 ///                      loaded from text) as bytecode instead of text;
 ///                      with =FILE to disk, otherwise to stdout
@@ -47,8 +60,10 @@
 #include "ir/Printer.h"
 #include "ir/Region.h"
 #include "irdl/ConstraintCompiler.h"
+#include "irdl/ConstraintProfiler.h"
 #include "irdl/IRDL.h"
 #include "support/File.h"
+#include "support/Metrics.h"
 #include "support/Statistic.h"
 #include "support/Threading.h"
 #include "support/Timing.h"
@@ -98,10 +113,14 @@ int main(int argc, char **argv) {
   std::string InputFile;
   std::string TraceJsonFile;
   std::string BytecodeFile;
+  std::string StatsJsonFile;
+  std::string MetricsJsonFile;
   bool EmitBytecode = false;
   bool Generic = false;
   bool Timing = false;
   bool Stats = false;
+  bool Metrics = false;
+  bool ProfileConstraints = false;
   bool VerifyEach = true;
 
   for (int I = 1; I < argc; ++I) {
@@ -123,6 +142,24 @@ int main(int argc, char **argv) {
       Timing = true;
     else if (Arg == "--stats")
       Stats = true;
+    else if (Arg == "--metrics")
+      Metrics = true;
+    else if (Arg == "--profile-constraints")
+      ProfileConstraints = true;
+    else if (Arg.rfind("--metrics-json=", 0) == 0) {
+      MetricsJsonFile = Arg.substr(std::string("--metrics-json=").size());
+      if (MetricsJsonFile.empty()) {
+        std::cerr << "--metrics-json= requires a file name\n";
+        return 1;
+      }
+    }
+    else if (Arg.rfind("--stats-json=", 0) == 0) {
+      StatsJsonFile = Arg.substr(std::string("--stats-json=").size());
+      if (StatsJsonFile.empty()) {
+        std::cerr << "--stats-json= requires a file name\n";
+        return 1;
+      }
+    }
     else if (Arg.rfind("--trace-json=", 0) == 0 ||
              Arg == "--trace-json") {
       TraceJsonFile =
@@ -182,7 +219,10 @@ int main(int argc, char **argv) {
                    "[--emit-bytecode[=FILE]] [--mt=0|1|N]\n"
                    "                [--compiled-constraints=0|1] "
                    "[--timing] [--stats]\n"
-                   "                [--trace-json=FILE] [input]\n";
+                   "                [--stats-json=FILE] [--trace-json=FILE] "
+                   "[--metrics]\n"
+                   "                [--metrics-json=FILE] "
+                   "[--profile-constraints] [input]\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "unknown option " << Arg << " (see --help)\n";
@@ -220,17 +260,49 @@ int main(int argc, char **argv) {
                  "report and trace will be empty\n";
 #endif
   }
+  bool WantMetrics = Metrics || !MetricsJsonFile.empty();
+  if (WantMetrics)
+    setMetricsEnabled(true);
+  if (ProfileConstraints)
+    setConstraintProfilingEnabled(true);
+
+  // Declared before the report guard so it is destroyed after it: the
+  // constraint profiler holds weak references to programs owned by the
+  // registered dialect specs, so the hottest-constraints report must
+  // render while the context is still alive.
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags(&SrcMgr);
+
   // Emit reports on every exit path (including early errors).
   struct ReportGuard {
     TimerGroup &Timers;
-    bool Timing, Stats;
-    std::string TraceJsonFile;
+    bool Timing, Stats, Metrics, ProfileConstraints;
+    std::string TraceJsonFile, StatsJsonFile, MetricsJsonFile;
     ~ReportGuard() {
       setActiveTimerGroup(nullptr);
       if (Timing)
         std::cerr << Timers.renderTree();
       if (Stats)
         std::cerr << StatisticRegistry::instance().renderTable();
+      if (!StatsJsonFile.empty()) {
+        std::ofstream Out(StatsJsonFile);
+        if (!Out)
+          std::cerr << "cannot write stats to " << StatsJsonFile << "\n";
+        else
+          Out << StatisticRegistry::instance().renderJson() << "\n";
+      }
+      if (Metrics)
+        std::cerr << MetricsRegistry::instance().renderPrometheus();
+      if (!MetricsJsonFile.empty()) {
+        std::ofstream Out(MetricsJsonFile);
+        if (!Out)
+          std::cerr << "cannot write metrics to " << MetricsJsonFile << "\n";
+        else
+          Out << MetricsRegistry::instance().renderJson() << "\n";
+      }
+      if (ProfileConstraints)
+        std::cerr << ConstraintProfiler::instance().renderReport();
       if (!TraceJsonFile.empty()) {
         std::ofstream Out(TraceJsonFile);
         if (!Out)
@@ -239,11 +311,9 @@ int main(int argc, char **argv) {
           Out << Timers.renderTraceJson("irdl_opt");
       }
     }
-  } Guard{Timers, Timing, Stats, TraceJsonFile};
-
-  IRContext Ctx;
-  SourceMgr SrcMgr;
-  DiagnosticEngine Diags(&SrcMgr);
+  } Guard{Timers,        Timing,        Stats,
+          Metrics,       ProfileConstraints,
+          TraceJsonFile, StatsJsonFile, MetricsJsonFile};
 
   // Dialects loaded from textual IRDL are re-emitted by --emit-bytecode
   // so the resulting .irbc is self-contained.
@@ -306,6 +376,8 @@ int main(int argc, char **argv) {
   PM.enableVerifier(VerifyEach);
   if (WantTiming)
     PM.addInstrumentation<PassTimingInstrumentation>(&Timers);
+  if (WantMetrics)
+    PM.addInstrumentation<MetricsInstrumentation>();
   for (const std::string &Name : PassNames) {
     if (Name == "dce") {
       PM.addPass<DeadCodeEliminationPass>(

@@ -17,6 +17,7 @@
 #include "irdl/CppExpr.h"
 #include "irdl/Registration.h"
 #include "support/File.h"
+#include "support/Metrics.h"
 #include "support/Statistic.h"
 #include "support/Timing.h"
 
@@ -1184,7 +1185,31 @@ BytecodeReader::~BytecodeReader() = default;
 LogicalResult BytecodeReader::read(std::string_view Buffer,
                                    BytecodeReadResult &Result) {
   Impl I(Ctx, Diags, Opts);
-  return I.read(Buffer, Result);
+  if (!metricsEnabled())
+    return I.read(Buffer, Result);
+
+  // Reader throughput, comparable with the text parser through the
+  // shared format label.
+  MetricLabels BcLabel{{"format", "bytecode"}};
+  static Counter &Bytes = MetricsRegistry::instance().getCounter(
+      "irdl_reader_bytes_total", "input bytes consumed by IR readers",
+      BcLabel);
+  static Counter &Ops = MetricsRegistry::instance().getCounter(
+      "irdl_reader_ops_total", "operations materialized by IR readers",
+      BcLabel);
+  static Histogram &Duration = MetricsRegistry::instance().getHistogram(
+      "irdl_reader_duration_ns", "wall time of one IR reader invocation",
+      BcLabel);
+  uint64_t Begin = steadyNowNs();
+  LogicalResult R = I.read(Buffer, Result);
+  Duration.record(steadyNowNs() - Begin);
+  Bytes.inc(Buffer.size());
+  if (succeeded(R) && Result.Module) {
+    uint64_t NumOps = 0;
+    Result.Module->walk([&NumOps](Operation *) { ++NumOps; });
+    Ops.inc(NumOps);
+  }
+  return R;
 }
 
 //===----------------------------------------------------------------------===//

@@ -5,6 +5,7 @@
 #include "ir/Block.h"
 #include "ir/Context.h"
 #include "ir/Region.h"
+#include "support/Metrics.h"
 #include "support/Statistic.h"
 #include "support/StringExtras.h"
 #include "support/Timing.h"
@@ -1120,6 +1121,7 @@ OwningOpRef irdl::parseSourceString(IRContext &Ctx, std::string_view Source,
                                     std::string BufferName) {
   IRDL_TIME_SCOPE("ir-parse");
   ++NumBuffersParsed;
+  uint64_t Begin = metricsEnabled() ? steadyNowNs() : 0;
   unsigned Id =
       SrcMgr.addBuffer(std::string(Source), std::move(BufferName));
   if (!Diags.getSourceMgr())
@@ -1129,6 +1131,25 @@ OwningOpRef irdl::parseSourceString(IRContext &Ctx, std::string_view Source,
   if (!Top) {
     Parser.deleteOrphans();
     return OwningOpRef();
+  }
+  if (metricsEnabled()) {
+    // Reader throughput, comparable with the bytecode reader through the
+    // shared format label.
+    MetricLabels TextLabel{{"format", "text"}};
+    static Counter &Bytes = MetricsRegistry::instance().getCounter(
+        "irdl_reader_bytes_total", "input bytes consumed by IR readers",
+        TextLabel);
+    static Counter &Ops = MetricsRegistry::instance().getCounter(
+        "irdl_reader_ops_total", "operations materialized by IR readers",
+        TextLabel);
+    static Histogram &Duration = MetricsRegistry::instance().getHistogram(
+        "irdl_reader_duration_ns", "wall time of one IR reader invocation",
+        TextLabel);
+    Bytes.inc(Source.size());
+    uint64_t NumOps = 0;
+    Top->walk([&NumOps](Operation *) { ++NumOps; });
+    Ops.inc(NumOps);
+    Duration.record(steadyNowNs() - Begin);
   }
   return OwningOpRef(Top);
 }

@@ -5,6 +5,7 @@
 #include "ir/Block.h"
 #include "ir/Region.h"
 #include "ir/Verifier.h"
+#include "support/Metrics.h"
 #include "support/Statistic.h"
 #include "support/Threading.h"
 
@@ -144,6 +145,43 @@ void PassTimingInstrumentation::runBeforeVerifier(Operation *) {
 
 void PassTimingInstrumentation::runAfterVerifier(Operation *, bool) {
   close();
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsInstrumentation
+//===----------------------------------------------------------------------===//
+
+void MetricsInstrumentation::runBeforePass(const Pass *, Operation *) {
+  StartNs.push_back(metricsEnabled() ? steadyNowNs() : 0);
+}
+
+void MetricsInstrumentation::finish(std::string_view PassName) {
+  if (StartNs.empty())
+    return;
+  uint64_t Begin = StartNs.back();
+  StartNs.pop_back();
+  if (!Begin || !metricsEnabled())
+    return;
+  Histogram &H = MetricsRegistry::instance().getHistogram(
+      "irdl_pass_duration_ns", "wall time of one pass (or verify-each) run",
+      {{"pass", std::string(PassName)}});
+  H.record(steadyNowNs() - Begin);
+}
+
+void MetricsInstrumentation::runAfterPass(const Pass *P, Operation *) {
+  finish(P->getName());
+}
+
+void MetricsInstrumentation::runAfterPassFailed(const Pass *P, Operation *) {
+  finish(P->getName());
+}
+
+void MetricsInstrumentation::runBeforeVerifier(Operation *) {
+  StartNs.push_back(metricsEnabled() ? steadyNowNs() : 0);
+}
+
+void MetricsInstrumentation::runAfterVerifier(Operation *, bool) {
+  finish("verify-each");
 }
 
 //===----------------------------------------------------------------------===//

@@ -86,6 +86,27 @@ private:
   std::vector<OpenScope> Open;
 };
 
+/// Records a per-pass wall-time histogram (`irdl_pass_duration_ns`
+/// labeled by pass name, plus a `verify-each` series for inter-pass
+/// verifier runs) into the process-wide MetricsRegistry. Attach alongside
+/// PassTimingInstrumentation; records only while metricsEnabled(), so it
+/// is safe to attach unconditionally.
+class MetricsInstrumentation : public PassInstrumentation {
+public:
+  void runBeforePass(const Pass *P, Operation *Root) override;
+  void runAfterPass(const Pass *P, Operation *Root) override;
+  void runAfterPassFailed(const Pass *P, Operation *Root) override;
+  void runBeforeVerifier(Operation *Root) override;
+  void runAfterVerifier(Operation *Root, bool Succeeded) override;
+
+private:
+  void finish(std::string_view PassName);
+
+  /// Start stack: passes and verifier runs nest strictly, and the hooks
+  /// fire on the submitting thread only.
+  std::vector<uint64_t> StartNs;
+};
+
 } // namespace irdl
 
 #endif // IRDL_IR_PASSINSTRUMENTATION_H

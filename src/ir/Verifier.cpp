@@ -5,6 +5,7 @@
 #include "ir/Block.h"
 #include "ir/Context.h"
 #include "ir/Region.h"
+#include "support/Metrics.h"
 #include "support/Statistic.h"
 #include "support/Threading.h"
 #include "support/Timing.h"
@@ -178,6 +179,27 @@ public:
   Verifier(DiagnosticEngine &Diags) : Diags(Diags) {}
 
   LogicalResult verify(Operation *Op) {
+    // Per-function latency distribution: isolated-from-above ops are the
+    // function-like grain, and both the sequential recursion and the
+    // parallel driver pass through here for each of them.
+    if (metricsEnabled() && Op->isIsolatedFromAbove()) {
+      static Histogram &FuncLatency = MetricsRegistry::instance().getHistogram(
+          "irdl_verify_function_duration_ns",
+          "wall time verifying one isolated-from-above operation");
+      uint64_t Begin = steadyNowNs();
+      LogicalResult Result = verifyImpl(Op);
+      FuncLatency.record(steadyNowNs() - Begin);
+      return Result;
+    }
+    return verifyImpl(Op);
+  }
+
+  /// Verifies \p Op without recursing into its regions (the parallel
+  /// driver checks the root itself first, then fans the children out).
+  LogicalResult verifyShallow(Operation *Op) { return verifyOpItself(Op); }
+
+private:
+  LogicalResult verifyImpl(Operation *Op) {
     if (failed(verifyOpItself(Op)))
       return failure();
     for (auto &R : Op->getRegions())
@@ -186,11 +208,6 @@ public:
     return success();
   }
 
-  /// Verifies \p Op without recursing into its regions (the parallel
-  /// driver checks the root itself first, then fans the children out).
-  LogicalResult verifyShallow(Operation *Op) { return verifyOpItself(Op); }
-
-private:
   LogicalResult verifyOpItself(Operation *Op) {
     ++NumOpsVerified;
     IRContext *Ctx = nullptr;

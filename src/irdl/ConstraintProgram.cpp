@@ -2,7 +2,10 @@
 
 #include "irdl/ConstraintProgram.h"
 
+#include "irdl/ConstraintProfiler.h"
+#include "support/Metrics.h"
 #include "support/Statistic.h"
+#include "support/Timing.h"
 
 #include <atomic>
 #include <mutex>
@@ -20,6 +23,40 @@ IRDL_STATISTIC(ConstraintProgram, NumDispatchTableHits,
                "AnyOf alternatives dispatched directly via a table");
 IRDL_STATISTIC(ConstraintProgram, NumDispatchTableRejects,
                "AnyOf values refuted by a table lookup alone");
+
+namespace {
+/// Metric series for the compiled-constraint engine, created once and
+/// recorded into only while metricsEnabled() (the statistics above stay
+/// the always-on counters).
+struct ConstraintMetrics {
+  Counter &MemoHits;
+  Counter &MemoMisses;
+  Counter &MemoExcluded;
+  Counter &DispatchHits;
+  Counter &DispatchRejects;
+
+  static ConstraintMetrics &get() {
+    static ConstraintMetrics M{
+        MetricsRegistry::instance().getCounter(
+            "irdl_constraint_memo_hits_total",
+            "verification-cache hits (verdict served without matching)"),
+        MetricsRegistry::instance().getCounter(
+            "irdl_constraint_memo_misses_total",
+            "verification-cache misses (verdict computed and recorded)"),
+        MetricsRegistry::instance().getCounter(
+            "irdl_constraint_memo_excluded_total",
+            "memoizable entries skipped because the value is not a "
+            "uniqued type/attribute"),
+        MetricsRegistry::instance().getCounter(
+            "irdl_constraint_dispatch_hits_total",
+            "AnyOf alternatives dispatched directly via a table"),
+        MetricsRegistry::instance().getCounter(
+            "irdl_constraint_dispatch_rejects_total",
+            "AnyOf values refuted by a table lookup alone")};
+    return M;
+  }
+};
+} // namespace
 
 std::string_view irdl::getOpcodeName(COpcode Op) {
   switch (Op) {
@@ -81,6 +118,13 @@ ConstraintProgram::ConstraintProgram() {
 bool ConstraintProgram::run(const ParamValue &V, MatchContext &MC) const {
   ++NumProgramRuns;
   assert(!Instrs.empty() && "empty constraint program");
+  if (constraintProfilingEnabled()) {
+    uint64_t Begin = steadyNowNs();
+    bool Result = exec(0, V, MC);
+    ProfNs.fetch_add(steadyNowNs() - Begin, std::memory_order_relaxed);
+    ProfEvals.fetch_add(1, std::memory_order_relaxed);
+    return Result;
+  }
   return exec(0, V, MC);
 }
 
@@ -123,8 +167,12 @@ bool ConstraintProgram::exec(uint32_t Pc, const ParamValue &V,
       auto It = Shard.Map.find(Key);
       if (It != Shard.Map.end()) {
         ++NumMemoHits;
+        if (metricsEnabled())
+          ConstraintMetrics::get().MemoHits.inc();
         return It->second;
       }
+    } else if (metricsEnabled()) {
+      ConstraintMetrics::get().MemoExcluded.inc();
     }
   }
 
@@ -222,15 +270,21 @@ bool ConstraintProgram::exec(uint32_t Pc, const ParamValue &V,
         Def = V.getAttr().getDef();
       if (!Def) {
         ++NumDispatchTableRejects;
+        if (metricsEnabled())
+          ConstraintMetrics::get().DispatchRejects.inc();
         return false;
       }
       const DispatchTable &Table = Tables[I.A];
       auto It = Table.Map.find(Def);
       if (It == Table.Map.end()) {
         ++NumDispatchTableRejects;
+        if (metricsEnabled())
+          ConstraintMetrics::get().DispatchRejects.inc();
         return false;
       }
       ++NumDispatchTableHits;
+      if (metricsEnabled())
+        ConstraintMetrics::get().DispatchHits.inc();
       auto [Begin, Count] = It->second;
       for (uint32_t C = 0; C != Count; ++C) {
         MatchContext::Mark M = MC.mark();
@@ -280,6 +334,8 @@ bool ConstraintProgram::exec(uint32_t Pc, const ParamValue &V,
 
   if (MemoPtr) {
     ++NumMemoMisses;
+    if (metricsEnabled())
+      ConstraintMetrics::get().MemoMisses.inc();
     MemoKey Key{Pc, MemoPtr};
     MemoShard &Shard = MemoShards[MemoKeyHash{}(Key) % NumMemoShards];
     std::unique_lock<std::shared_mutex> Lock(Shard.Mu);

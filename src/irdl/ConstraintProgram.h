@@ -33,6 +33,7 @@
 #include "irdl/Constraint.h"
 
 #include <array>
+#include <atomic>
 #include <shared_mutex>
 #include <unordered_map>
 
@@ -127,6 +128,22 @@ public:
   /// Globally unique id (monotone counter), so cache keys and traces can
   /// name a program even after its spec is gone.
   uint64_t getId() const { return Id; }
+
+  /// Profiled executions / cumulative execution nanoseconds, accumulated
+  /// by run() only while constraintProfilingEnabled() (see
+  /// ConstraintProfiler.h). Nested Var programs account their time in
+  /// both the outer and the inner program (non-exclusive).
+  uint64_t getProfiledEvals() const {
+    return ProfEvals.load(std::memory_order_relaxed);
+  }
+  uint64_t getProfiledNanos() const {
+    return ProfNs.load(std::memory_order_relaxed);
+  }
+  void resetProfile() const {
+    ProfEvals.store(0, std::memory_order_relaxed);
+    ProfNs.store(0, std::memory_order_relaxed);
+  }
+
   size_t getNumDispatchTables() const { return Tables.size(); }
   /// Entries currently held by the verification cache (all shards).
   size_t getMemoCacheSize() const;
@@ -204,6 +221,10 @@ private:
   };
   static constexpr size_t NumMemoShards = 16;
   mutable std::array<MemoShard, NumMemoShards> MemoShards;
+
+  /// --profile-constraints accumulators (relaxed; see getProfiledEvals).
+  mutable std::atomic<uint64_t> ProfEvals{0};
+  mutable std::atomic<uint64_t> ProfNs{0};
 
   uint64_t Id;
 };

@@ -6,6 +6,7 @@
 #include "ir/Operation.h"
 #include "ir/Region.h"
 #include "irdl/ConstraintCompiler.h"
+#include "irdl/ConstraintProfiler.h"
 #include "irdl/Format.h"
 #include "support/StringExtras.h"
 #include "support/Timing.h"
@@ -365,26 +366,49 @@ LogicalResult irdl::registerDialectSpec(std::shared_ptr<DialectSpec> Spec,
   // serializing (.irbc is unaffected).
   {
     IRDL_TIME_SCOPE("irdl.compile-constraint-programs");
-    auto CompileParams = [](std::vector<ParamSpec> &Params) {
-      for (ParamSpec &P : Params)
+    // Every program is registered with the constraint profiler under a
+    // "<dialect>.<symbol> <slot> '<name>'" attribution name, so
+    // --profile-constraints reports hot programs by source location
+    // rather than bare program ids.
+    ConstraintProfiler &Prof = ConstraintProfiler::instance();
+    auto CompileParams = [&](std::vector<ParamSpec> &Params,
+                             const std::string &Owner) {
+      for (ParamSpec &P : Params) {
         P.Prog = ConstraintCompiler::compile(P.Constr);
+        Prof.registerProgram(P.Prog, Owner + " param '" + P.Name + "'");
+      }
     };
     for (TypeOrAttrSpec &TS : Spec->Types)
-      CompileParams(TS.Params);
+      CompileParams(TS.Params, Spec->Name + "." + TS.Name);
     for (TypeOrAttrSpec &TS : Spec->Attrs)
-      CompileParams(TS.Params);
+      CompileParams(TS.Params, Spec->Name + "." + TS.Name);
     for (OpSpec &OS : Spec->Ops) {
+      std::string Owner = Spec->Name + "." + OS.Name;
       OS.VarPrograms =
           ConstraintCompiler::compileVarPrograms(OS.VarConstraints);
-      for (OperandSpec &O : OS.Operands)
+      for (size_t I = 0; I != OS.VarPrograms.size(); ++I)
+        Prof.registerProgram(
+            OS.VarPrograms[I],
+            Owner + " var '" +
+                (I < OS.VarNames.size() ? OS.VarNames[I] : "?") + "'");
+      for (OperandSpec &O : OS.Operands) {
         O.Prog = ConstraintCompiler::compile(O.Constr, OS.VarPrograms);
-      for (OperandSpec &R : OS.Results)
+        Prof.registerProgram(O.Prog, Owner + " operand '" + O.Name + "'");
+      }
+      for (OperandSpec &R : OS.Results) {
         R.Prog = ConstraintCompiler::compile(R.Constr, OS.VarPrograms);
-      for (ParamSpec &A : OS.Attributes)
+        Prof.registerProgram(R.Prog, Owner + " result '" + R.Name + "'");
+      }
+      for (ParamSpec &A : OS.Attributes) {
         A.Prog = ConstraintCompiler::compile(A.Constr, OS.VarPrograms);
+        Prof.registerProgram(A.Prog, Owner + " attr '" + A.Name + "'");
+      }
       for (RegionSpec &RS : OS.Regions)
-        for (OperandSpec &Arg : RS.Args)
+        for (OperandSpec &Arg : RS.Args) {
           Arg.Prog = ConstraintCompiler::compile(Arg.Constr, OS.VarPrograms);
+          Prof.registerProgram(Arg.Prog,
+                               Owner + " region arg '" + Arg.Name + "'");
+        }
     }
   }
 

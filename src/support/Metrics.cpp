@@ -1,0 +1,422 @@
+//===- Metrics.cpp ---------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+using namespace irdl;
+
+//===----------------------------------------------------------------------===//
+// Enable flag and thread shard assignment
+//===----------------------------------------------------------------------===//
+
+std::atomic<bool> irdl::detail::MetricsEnabledFlag{false};
+
+void irdl::setMetricsEnabled(bool Enabled) {
+  detail::MetricsEnabledFlag.store(Enabled, std::memory_order_relaxed);
+}
+
+unsigned irdl::detail::metricsShardIndex() {
+  static std::atomic<unsigned> NextShard{0};
+  thread_local unsigned Shard =
+      NextShard.fetch_add(1, std::memory_order_relaxed) % NumMetricShards;
+  return Shard;
+}
+
+//===----------------------------------------------------------------------===//
+// Counter / Gauge
+//===----------------------------------------------------------------------===//
+
+uint64_t Counter::get() const {
+  uint64_t Sum = 0;
+  for (const auto &S : Shards)
+    Sum += S.V.load(std::memory_order_relaxed);
+  return Sum;
+}
+
+void Counter::reset() {
+  for (auto &S : Shards)
+    S.V.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::set(int64_t V) {
+  // Single-writer operation: collapse everything into shard 0.
+  for (auto &S : Shards)
+    S.V.store(0, std::memory_order_relaxed);
+  Shards[0].V.store((uint64_t)V, std::memory_order_relaxed);
+}
+
+int64_t Gauge::get() const {
+  uint64_t Sum = 0;
+  for (const auto &S : Shards)
+    Sum += S.V.load(std::memory_order_relaxed);
+  return (int64_t)Sum;
+}
+
+void Gauge::reset() {
+  for (auto &S : Shards)
+    S.V.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+unsigned Histogram::bucketOf(uint64_t V) {
+  if (V == 0)
+    return 0;
+  unsigned W = (unsigned)std::bit_width(V);
+  return W > 63 ? 63 : W;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot Snap;
+  for (const Shard &S : Shards) {
+    for (unsigned I = 0; I != HistogramSnapshot::NumBuckets; ++I) {
+      uint64_t N = S.Buckets[I].load(std::memory_order_relaxed);
+      Snap.Buckets[I] += N;
+      Snap.Count += N;
+    }
+    Snap.Sum += S.Sum.load(std::memory_order_relaxed);
+    Snap.Max = std::max(Snap.Max, S.Max.load(std::memory_order_relaxed));
+  }
+  return Snap;
+}
+
+void Histogram::reset() {
+  for (Shard &S : Shards) {
+    for (auto &B : S.Buckets)
+      B.store(0, std::memory_order_relaxed);
+    S.Sum.store(0, std::memory_order_relaxed);
+    S.Max.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t HistogramSnapshot::quantile(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // Rank of the target order statistic, 1-based, ceil(Q * Count)
+  // clamped into [1, Count].
+  uint64_t Rank = (uint64_t)(Q * (double)Count + 0.9999999);
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Count)
+    Rank = Count;
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    Seen += Buckets[I];
+    if (Seen >= Rank)
+      return bucketUpperEdge(I);
+  }
+  return bucketUpperEdge(NumBuckets - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry &MetricsRegistry::instance() {
+  // Leaked singleton: series references handed to function-local statics
+  // in instrumented code must stay valid through process teardown.
+  static MetricsRegistry *Registry = new MetricsRegistry();
+  return *Registry;
+}
+
+/// Canonical signature of a label set: keys sorted, rendered as the
+/// Prometheus selector body `k1="v1",k2="v2"`.
+static std::string labelSignature(MetricLabels &Labels) {
+  std::sort(Labels.begin(), Labels.end());
+  std::string Sig;
+  for (const auto &[K, V] : Labels) {
+    if (!Sig.empty())
+      Sig += ",";
+    Sig += K + "=\"" + escapePrometheusLabelValue(V) + "\"";
+  }
+  return Sig;
+}
+
+MetricsRegistry::Family &MetricsRegistry::getFamily(std::string_view Name,
+                                                    std::string_view Help,
+                                                    Kind K) {
+  for (auto &F : Families)
+    if (F->Name == Name) {
+      assert(F->K == K && "metric family re-registered with another type");
+      return *F;
+    }
+  auto F = std::make_unique<Family>();
+  F->Name = std::string(Name);
+  F->Help = std::string(Help);
+  F->K = K;
+  Families.push_back(std::move(F));
+  return *Families.back();
+}
+
+Counter &MetricsRegistry::getCounter(std::string_view Name,
+                                     std::string_view Help,
+                                     MetricLabels Labels) {
+  std::string Sig = labelSignature(Labels);
+  std::lock_guard<std::mutex> Lock(Mu);
+  Family &F = getFamily(Name, Help, Kind::Counter);
+  for (auto &[S, C] : F.Counters)
+    if (S == Sig)
+      return *C;
+  F.Counters.emplace_back(
+      Sig, std::unique_ptr<Counter>(new Counter(std::move(Labels))));
+  return *F.Counters.back().second;
+}
+
+Gauge &MetricsRegistry::getGauge(std::string_view Name,
+                                 std::string_view Help,
+                                 MetricLabels Labels) {
+  std::string Sig = labelSignature(Labels);
+  std::lock_guard<std::mutex> Lock(Mu);
+  Family &F = getFamily(Name, Help, Kind::Gauge);
+  for (auto &[S, G] : F.Gauges)
+    if (S == Sig)
+      return *G;
+  F.Gauges.emplace_back(
+      Sig, std::unique_ptr<Gauge>(new Gauge(std::move(Labels))));
+  return *F.Gauges.back().second;
+}
+
+Histogram &MetricsRegistry::getHistogram(std::string_view Name,
+                                         std::string_view Help,
+                                         MetricLabels Labels) {
+  std::string Sig = labelSignature(Labels);
+  std::lock_guard<std::mutex> Lock(Mu);
+  Family &F = getFamily(Name, Help, Kind::Histogram);
+  for (auto &[S, H] : F.Histograms)
+    if (S == Sig)
+      return *H;
+  F.Histograms.emplace_back(
+      Sig, std::unique_ptr<Histogram>(new Histogram(std::move(Labels))));
+  return *F.Histograms.back().second;
+}
+
+void MetricsRegistry::resetAll() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &F : Families) {
+    for (auto &[S, C] : F->Counters)
+      C->reset();
+    for (auto &[S, G] : F->Gauges)
+      G->reset();
+    for (auto &[S, H] : F->Histograms)
+      H->reset();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Exposition
+//===----------------------------------------------------------------------===//
+
+std::string irdl::escapePrometheusLabelValue(std::string_view V) {
+  std::string Out;
+  Out.reserve(V.size());
+  for (char C : V) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+namespace {
+/// Sorted (by label signature) view of one family's series.
+template <typename T>
+std::vector<const std::pair<std::string, std::unique_ptr<T>> *>
+sortedSeries(const std::vector<std::pair<std::string, std::unique_ptr<T>>>
+                 &Series) {
+  std::vector<const std::pair<std::string, std::unique_ptr<T>> *> Out;
+  Out.reserve(Series.size());
+  for (const auto &S : Series)
+    Out.push_back(&S);
+  std::sort(Out.begin(), Out.end(),
+            [](const auto *A, const auto *B) { return A->first < B->first; });
+  return Out;
+}
+
+void appendSelector(std::string &Out, const std::string &Sig,
+                    const std::string &Extra = {}) {
+  if (Sig.empty() && Extra.empty())
+    return;
+  Out += "{";
+  Out += Sig;
+  if (!Extra.empty()) {
+    if (!Sig.empty())
+      Out += ",";
+    Out += Extra;
+  }
+  Out += "}";
+}
+
+void appendJsonLabels(std::ostringstream &OS, const MetricLabels &Labels) {
+  OS << "{";
+  bool First = true;
+  for (const auto &[K, V] : Labels) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\"" << K << "\":\"" << escapePrometheusLabelValue(V) << "\"";
+  }
+  OS << "}";
+}
+} // namespace
+
+std::string MetricsRegistry::renderPrometheus() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<const Family *> Sorted;
+  Sorted.reserve(Families.size());
+  for (const auto &F : Families)
+    Sorted.push_back(F.get());
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Family *A, const Family *B) { return A->Name < B->Name; });
+
+  std::string Out;
+  char Buf[64];
+  for (const Family *F : Sorted) {
+    Out += "# HELP " + F->Name + " " + F->Help + "\n";
+    Out += "# TYPE " + F->Name + " ";
+    Out += F->K == Kind::Counter
+               ? "counter"
+               : (F->K == Kind::Gauge ? "gauge" : "histogram");
+    Out += "\n";
+    switch (F->K) {
+    case Kind::Counter:
+      for (const auto *S : sortedSeries(F->Counters)) {
+        Out += F->Name;
+        appendSelector(Out, S->first);
+        std::snprintf(Buf, sizeof(Buf), " %" PRIu64 "\n",
+                      S->second->get());
+        Out += Buf;
+      }
+      break;
+    case Kind::Gauge:
+      for (const auto *S : sortedSeries(F->Gauges)) {
+        Out += F->Name;
+        appendSelector(Out, S->first);
+        std::snprintf(Buf, sizeof(Buf), " %" PRId64 "\n",
+                      S->second->get());
+        Out += Buf;
+      }
+      break;
+    case Kind::Histogram:
+      for (const auto *S : sortedSeries(F->Histograms)) {
+        HistogramSnapshot Snap = S->second->snapshot();
+        uint64_t Cum = 0;
+        for (unsigned I = 0; I != HistogramSnapshot::NumBuckets; ++I) {
+          if (!Snap.Buckets[I])
+            continue; // sparse cumulative exposition
+          Cum += Snap.Buckets[I];
+          Out += F->Name + "_bucket";
+          std::snprintf(Buf, sizeof(Buf), "le=\"%" PRIu64 "\"",
+                        HistogramSnapshot::bucketUpperEdge(I));
+          appendSelector(Out, S->first, Buf);
+          std::snprintf(Buf, sizeof(Buf), " %" PRIu64 "\n", Cum);
+          Out += Buf;
+        }
+        Out += F->Name + "_bucket";
+        appendSelector(Out, S->first, "le=\"+Inf\"");
+        std::snprintf(Buf, sizeof(Buf), " %" PRIu64 "\n", Snap.Count);
+        Out += Buf;
+        Out += F->Name + "_sum";
+        appendSelector(Out, S->first);
+        std::snprintf(Buf, sizeof(Buf), " %" PRIu64 "\n", Snap.Sum);
+        Out += Buf;
+        Out += F->Name + "_count";
+        appendSelector(Out, S->first);
+        std::snprintf(Buf, sizeof(Buf), " %" PRIu64 "\n", Snap.Count);
+        Out += Buf;
+      }
+      break;
+    }
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::renderJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<const Family *> Sorted;
+  Sorted.reserve(Families.size());
+  for (const auto &F : Families)
+    Sorted.push_back(F.get());
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Family *A, const Family *B) { return A->Name < B->Name; });
+
+  std::ostringstream Counters, Gauges, Histograms;
+  bool FirstC = true, FirstG = true, FirstH = true;
+  for (const Family *F : Sorted) {
+    switch (F->K) {
+    case Kind::Counter:
+      for (const auto *S : sortedSeries(F->Counters)) {
+        if (!FirstC)
+          Counters << ",";
+        FirstC = false;
+        Counters << "\n{\"name\":\"" << F->Name << "\",\"labels\":";
+        appendJsonLabels(Counters, S->second->getLabels());
+        Counters << ",\"value\":" << S->second->get() << "}";
+      }
+      break;
+    case Kind::Gauge:
+      for (const auto *S : sortedSeries(F->Gauges)) {
+        if (!FirstG)
+          Gauges << ",";
+        FirstG = false;
+        Gauges << "\n{\"name\":\"" << F->Name << "\",\"labels\":";
+        appendJsonLabels(Gauges, S->second->getLabels());
+        Gauges << ",\"value\":" << S->second->get() << "}";
+      }
+      break;
+    case Kind::Histogram:
+      for (const auto *S : sortedSeries(F->Histograms)) {
+        if (!FirstH)
+          Histograms << ",";
+        FirstH = false;
+        HistogramSnapshot Snap = S->second->snapshot();
+        Histograms << "\n{\"name\":\"" << F->Name << "\",\"labels\":";
+        appendJsonLabels(Histograms, S->second->getLabels());
+        Histograms << ",\"count\":" << Snap.Count << ",\"sum\":" << Snap.Sum
+                   << ",\"max\":" << Snap.Max
+                   << ",\"p50\":" << Snap.quantile(0.50)
+                   << ",\"p90\":" << Snap.quantile(0.90)
+                   << ",\"p99\":" << Snap.quantile(0.99) << ",\"buckets\":[";
+        bool FirstB = true;
+        for (unsigned I = 0; I != HistogramSnapshot::NumBuckets; ++I) {
+          if (!Snap.Buckets[I])
+            continue;
+          if (!FirstB)
+            Histograms << ",";
+          FirstB = false;
+          Histograms << "{\"le\":"
+                     << HistogramSnapshot::bucketUpperEdge(I)
+                     << ",\"count\":" << Snap.Buckets[I] << "}";
+        }
+        Histograms << "]}";
+      }
+      break;
+    }
+  }
+  std::ostringstream OS;
+  OS << "{\"counters\":[" << Counters.str() << "\n],\"gauges\":["
+     << Gauges.str() << "\n],\"histograms\":[" << Histograms.str()
+     << "\n]}";
+  return OS.str();
+}

@@ -2,6 +2,7 @@
 
 #include "support/Threading.h"
 
+#include "support/Metrics.h"
 #include "support/Statistic.h"
 #include "support/Timing.h"
 
@@ -18,6 +19,28 @@ IRDL_STATISTIC(Threading, NumInlineLoops,
                "parallelFor loops executed inline (mt disabled or nested)");
 IRDL_STATISTIC(Threading, NumParallelTasks,
                "individual indices executed on pool workers");
+
+namespace {
+/// Pool telemetry series, recorded only while metricsEnabled().
+struct PoolMetrics {
+  Gauge &QueueDepth;
+  Counter &Tasks;
+  Counter &BusyNs;
+
+  static PoolMetrics &get() {
+    static PoolMetrics M{
+        MetricsRegistry::instance().getGauge(
+            "irdl_threadpool_queue_depth",
+            "tasks submitted to the pool but not yet started"),
+        MetricsRegistry::instance().getCounter(
+            "irdl_threadpool_tasks_total", "tasks executed by pool workers"),
+        MetricsRegistry::instance().getCounter(
+            "irdl_threadpool_busy_ns_total",
+            "cumulative nanoseconds pool workers spent running tasks")};
+    return M;
+  }
+};
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Global configuration
@@ -112,6 +135,8 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> Task) {
+  if (metricsEnabled())
+    PoolMetrics::get().QueueDepth.inc();
   {
     std::lock_guard<std::mutex> Lock(Mu);
     Queue.push_back(std::move(Task));
@@ -135,7 +160,16 @@ void ThreadPool::workerLoop() {
     Queue.pop_front();
     ++NumRunning;
     Lock.unlock();
-    Task();
+    if (metricsEnabled()) {
+      PoolMetrics &M = PoolMetrics::get();
+      M.QueueDepth.dec();
+      M.Tasks.inc();
+      uint64_t Begin = steadyNowNs();
+      Task();
+      M.BusyNs.inc(steadyNowNs() - Begin);
+    } else {
+      Task();
+    }
     Lock.lock();
     --NumRunning;
     if (Queue.empty() && NumRunning == 0)

@@ -229,6 +229,23 @@ TimerGroup::renderTraceJson(std::string_view ProcessName) const {
   appendJsonString(OS, ProcessName);
   OS << "}}";
   char Buf[128];
+  // Thread-name metadata events, so about://tracing shows labeled rows
+  // instead of bare tids. Tid 1 is the submitting thread (it ends the
+  // root scope); higher tids are pool workers in first-seen order.
+  std::vector<uint32_t> Tids;
+  Tids.reserve(TidMap.size());
+  for (const auto &[ThreadId, Tid] : TidMap)
+    Tids.push_back(Tid);
+  std::sort(Tids.begin(), Tids.end());
+  for (uint32_t Tid : Tids) {
+    std::string Name =
+        Tid == 1 ? "main" : "worker-" + std::to_string(Tid - 1);
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                  Tid, Name.c_str());
+    OS << Buf;
+  }
   for (const TraceEvent &E : Events) {
     OS << ",\n{\"name\":";
     appendJsonString(OS, E.Name);

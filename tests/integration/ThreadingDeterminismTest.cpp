@@ -11,9 +11,13 @@
 #include "corpus/Corpus.h"
 #include "corpus/ModuleSynthesizer.h"
 #include "ir/Verifier.h"
+#include "support/Statistic.h"
 #include "support/Threading.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
 
 using namespace irdl;
 
@@ -74,6 +78,53 @@ TEST(ThreadingDeterminismTest, RepeatedParallelVerifyIsStable) {
       EXPECT_EQ(Out, First) << "iteration " << I;
   }
   setGlobalThreadCount(0);
+}
+
+/// Extracts the "group.name" row sequence of a rendered --stats table,
+/// dropping the values (which legitimately differ between thread
+/// counts: inline vs pool loops).
+static std::vector<std::string> statRowKeys(const std::string &Table) {
+  std::vector<std::string> Keys;
+  std::istringstream In(Table);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    // Row shape: "  <value> <group>.<name> - <description>".
+    std::istringstream Row(Line);
+    std::string Value, Key;
+    if ((Row >> Value >> Key) && Key.find('.') != std::string::npos)
+      Keys.push_back(Key);
+  }
+  return Keys;
+}
+
+TEST(ThreadingDeterminismTest, StatsOrderingMatchesAcrossThreadCounts) {
+  // The statistics registry renders sorted by (group, name), so the
+  // --stats row ordering must be byte-identical at --mt=1 and --mt=8
+  // even though worker threads bump the counters in different orders.
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags(&SrcMgr);
+  CorpusLoadResult Corpus = loadSyntheticCorpus(Ctx, SrcMgr, Diags);
+  ASSERT_TRUE(static_cast<bool>(Corpus)) << Diags.renderAll();
+
+  const DialectSpec &Spec = *Corpus.AnalysisDialects.front();
+  OwningOpRef M = synthesizeModule(Ctx, Spec);
+  ASSERT_TRUE(static_cast<bool>(M));
+
+  auto RunAt = [&](unsigned Threads) {
+    StatisticRegistry::instance().resetAll();
+    setGlobalThreadCount(Threads);
+    DiagnosticEngine VDiags(&SrcMgr);
+    (void)M->verify(VDiags);
+    return StatisticRegistry::instance().renderTable(/*IncludeZero=*/true);
+  };
+  std::vector<std::string> Seq = statRowKeys(RunAt(1));
+  std::vector<std::string> Par = statRowKeys(RunAt(8));
+  setGlobalThreadCount(0);
+
+  ASSERT_FALSE(Seq.empty());
+  EXPECT_EQ(Seq, Par);
+  EXPECT_TRUE(std::is_sorted(Seq.begin(), Seq.end()));
 }
 
 } // namespace

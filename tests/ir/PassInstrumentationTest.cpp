@@ -6,6 +6,7 @@
 #include "ir/Context.h"
 #include "ir/IRParser.h"
 #include "ir/Pass.h"
+#include "support/Metrics.h"
 #include "support/Statistic.h"
 
 #include <gtest/gtest.h>
@@ -275,6 +276,56 @@ TEST_F(PassInstrumentationTest, DceExposesRegistryStatistic) {
   // The pipeline counters are registered too.
   EXPECT_NE(StatisticRegistry::instance().lookup("Pass", "NumPassesRun"),
             nullptr);
+}
+
+TEST_F(PassInstrumentationTest, MetricsInstrumentationRecordsPassHistograms) {
+  OwningOpRef M = parse("%c = std.constant 1.0 : f32");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+
+  setMetricsEnabled(true);
+  MetricsRegistry::instance().resetAll();
+  PassManager PM(&Ctx);
+  PM.addInstrumentation<MetricsInstrumentation>();
+  PM.addPass<NoopPass>("alpha");
+  PM.addPass<NoopPass>("beta");
+  DiagnosticEngine PDiags;
+  ASSERT_TRUE(succeeded(PM.run(M.get(), PDiags)));
+  setMetricsEnabled(false);
+
+  MetricsRegistry &R = MetricsRegistry::instance();
+  EXPECT_EQ(R.getHistogram("irdl_pass_duration_ns", "", {{"pass", "alpha"}})
+                .snapshot()
+                .Count,
+            1u);
+  EXPECT_EQ(R.getHistogram("irdl_pass_duration_ns", "", {{"pass", "beta"}})
+                .snapshot()
+                .Count,
+            1u);
+  // Initial verify + one per pass.
+  EXPECT_EQ(
+      R.getHistogram("irdl_pass_duration_ns", "", {{"pass", "verify-each"}})
+          .snapshot()
+          .Count,
+      3u);
+}
+
+TEST_F(PassInstrumentationTest, MetricsInstrumentationIsInertWhenDisabled) {
+  OwningOpRef M = parse("%c = std.constant 1.0 : f32");
+  ASSERT_TRUE(static_cast<bool>(M)) << Diags.renderAll();
+
+  ASSERT_FALSE(metricsEnabled());
+  MetricsRegistry::instance().resetAll();
+  PassManager PM(&Ctx);
+  PM.addInstrumentation<MetricsInstrumentation>();
+  PM.addPass<NoopPass>("gamma");
+  DiagnosticEngine PDiags;
+  ASSERT_TRUE(succeeded(PM.run(M.get(), PDiags)));
+
+  EXPECT_EQ(MetricsRegistry::instance()
+                .getHistogram("irdl_pass_duration_ns", "", {{"pass", "gamma"}})
+                .snapshot()
+                .Count,
+            0u);
 }
 
 } // namespace

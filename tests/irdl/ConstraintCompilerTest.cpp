@@ -7,6 +7,7 @@
 /// over a grid of values.
 
 #include "irdl/ConstraintCompiler.h"
+#include "irdl/ConstraintProfiler.h"
 
 #include <gtest/gtest.h>
 
@@ -330,6 +331,50 @@ TEST_F(ConstraintCompilerTest, EngineFlagDefaultsOn) {
   EXPECT_FALSE(compiledConstraintsEnabled());
   setCompiledConstraintsEnabled(true);
   EXPECT_TRUE(compiledConstraintsEnabled());
+}
+
+TEST_F(ConstraintCompilerTest, ProfilerAttributesExecutions) {
+  ConstraintProfiler &Prof = ConstraintProfiler::instance();
+  Prof.reset();
+  ConstraintProgramPtr Prog = ConstraintCompiler::compile(
+      Constraint::anyOf({Constraint::typeEq(Ctx.getFloatType(32)),
+                         Constraint::typeEq(Ctx.getFloatType(64))}));
+  Prof.registerProgram(Prog, "test.prof anyof");
+
+  // Off by default: runs leave the counters untouched.
+  EXPECT_FALSE(constraintProfilingEnabled());
+  {
+    MatchContext MC;
+    EXPECT_TRUE(Prog->run(ParamValue(Ctx.getFloatType(32)), MC));
+  }
+  EXPECT_EQ(Prog->getProfiledEvals(), 0u);
+
+  setConstraintProfilingEnabled(true);
+  constexpr uint64_t Runs = 25;
+  for (uint64_t I = 0; I != Runs; ++I) {
+    MatchContext MC;
+    EXPECT_TRUE(Prog->run(ParamValue(Ctx.getFloatType(64)), MC));
+  }
+  setConstraintProfilingEnabled(false);
+
+  EXPECT_EQ(Prog->getProfiledEvals(), Runs);
+  std::vector<ConstraintProfiler::Entry> Entries = Prof.collect();
+  ASSERT_EQ(Entries.size(), 1u);
+  EXPECT_EQ(Entries[0].Name, "test.prof anyof");
+  EXPECT_EQ(Entries[0].ProgramId, Prog->getId());
+  EXPECT_EQ(Entries[0].Evals, Runs);
+  EXPECT_EQ(Entries[0].Nanos, Prog->getProfiledNanos());
+
+  std::string Report = Prof.renderReport();
+  EXPECT_NE(Report.find("test.prof anyof"), std::string::npos) << Report;
+  std::string Json = Prof.renderJson();
+  EXPECT_NE(Json.find("\"name\":\"test.prof anyof\""), std::string::npos)
+      << Json;
+
+  // reset() zeroes live programs so the next test starts clean.
+  Prof.reset();
+  EXPECT_EQ(Prog->getProfiledEvals(), 0u);
+  EXPECT_TRUE(Prof.collect().empty());
 }
 
 } // namespace

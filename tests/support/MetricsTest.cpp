@@ -1,0 +1,236 @@
+//===- MetricsTest.cpp - Metrics registry & histogram tests ------*- C++ -*-===//
+///
+/// Covers the metrics core: sharded counters/gauges under concurrency,
+/// lossless concurrent histogram merging (counts conserved across
+/// threads — the TSan job exercises the same paths for races),
+/// percentile estimates staying within one log2-bucket boundary of the
+/// exact order statistic, and a golden test of the Prometheus text
+/// exposition (HELP/TYPE lines, label escaping, cumulative buckets).
+///
+/// The registry is process-wide and series live forever, so every test
+/// uses its own metric names.
+
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+using namespace irdl;
+
+namespace {
+
+TEST(MetricsTest, CounterConcurrentIncrementsAreLossless) {
+  Counter &C = MetricsRegistry::instance().getCounter(
+      "test_counter_concurrent_total", "concurrency test counter");
+  C.reset();
+  constexpr int NumThreads = 8, PerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&C] {
+      for (int I = 0; I != PerThread; ++I)
+        C.inc();
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(C.get(), (uint64_t)NumThreads * PerThread);
+}
+
+TEST(MetricsTest, GaugeAddsAndSubsCancelAcrossThreads) {
+  Gauge &G = MetricsRegistry::instance().getGauge("test_gauge_updown",
+                                                  "up/down gauge test");
+  G.reset();
+  constexpr int NumThreads = 8, PerThread = 5000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&G] {
+      for (int I = 0; I != PerThread; ++I) {
+        G.inc();
+        G.dec();
+      }
+      G.add(3);
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(G.get(), 3 * NumThreads);
+  G.sub(3 * NumThreads + 7);
+  EXPECT_EQ(G.get(), -7);
+}
+
+TEST(MetricsTest, HistogramBucketLayout) {
+  EXPECT_EQ(Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(Histogram::bucketOf(1), 1u);
+  EXPECT_EQ(Histogram::bucketOf(2), 2u);
+  EXPECT_EQ(Histogram::bucketOf(3), 2u);
+  EXPECT_EQ(Histogram::bucketOf(4), 3u);
+  EXPECT_EQ(Histogram::bucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::bucketOf(1024), 11u);
+  EXPECT_EQ(Histogram::bucketOf(~uint64_t(0)), 63u);
+
+  // Every value lands in the bucket whose (inclusive) upper edge bounds
+  // it from above, and the previous edge is strictly below it.
+  for (uint64_t V : {uint64_t(0), uint64_t(1), uint64_t(7), uint64_t(8),
+                     uint64_t(1000000), uint64_t(1) << 40}) {
+    unsigned B = Histogram::bucketOf(V);
+    EXPECT_LE(V, HistogramSnapshot::bucketUpperEdge(B)) << V;
+    if (B > 0)
+      EXPECT_GT(V, HistogramSnapshot::bucketUpperEdge(B - 1)) << V;
+  }
+}
+
+TEST(MetricsTest, ConcurrentHistogramRecordingMergesLosslessly) {
+  Histogram &H = MetricsRegistry::instance().getHistogram(
+      "test_hist_concurrent_ns", "concurrent recording test");
+  H.reset();
+  constexpr int NumThreads = 8, PerThread = 20000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&H, T] {
+      for (int I = 0; I != PerThread; ++I)
+        H.record((uint64_t)(T * PerThread + I));
+    });
+  for (auto &T : Threads)
+    T.join();
+
+  HistogramSnapshot Snap = H.snapshot();
+  uint64_t N = (uint64_t)NumThreads * PerThread;
+  EXPECT_EQ(Snap.Count, N);
+  EXPECT_EQ(Snap.Sum, N * (N - 1) / 2); // sum of 0..N-1
+  EXPECT_EQ(Snap.Max, N - 1);
+  uint64_t BucketTotal = 0;
+  for (uint64_t B : Snap.Buckets)
+    BucketTotal += B;
+  EXPECT_EQ(BucketTotal, N);
+}
+
+TEST(MetricsTest, QuantileWithinOneBucketOfExactValue) {
+  Histogram &H = MetricsRegistry::instance().getHistogram(
+      "test_hist_quantile_ns", "quantile accuracy test");
+  H.reset();
+  // A skewed sample set with a long tail, like real latencies.
+  std::vector<uint64_t> Values;
+  for (uint64_t I = 1; I <= 900; ++I)
+    Values.push_back(100 + I % 50); // bulk: 100..149
+  for (uint64_t I = 0; I != 90; ++I)
+    Values.push_back(1000 + I * 10); // tail: 1000..1890
+  for (uint64_t I = 0; I != 10; ++I)
+    Values.push_back(100000 + I); // extreme tail
+  for (uint64_t V : Values)
+    H.record(V);
+
+  std::vector<uint64_t> Sorted = Values;
+  std::sort(Sorted.begin(), Sorted.end());
+  HistogramSnapshot Snap = H.snapshot();
+  for (double Q : {0.5, 0.9, 0.99}) {
+    size_t Rank =
+        std::min(Sorted.size() - 1,
+                 (size_t)std::max(0.0, std::ceil(Q * Sorted.size()) - 1));
+    uint64_t Exact = Sorted[Rank];
+    uint64_t Est = Snap.quantile(Q);
+    // The estimate is the upper edge of the exact value's bucket: same
+    // bucket, so within one power-of-2 boundary.
+    unsigned ExactBucket = Histogram::bucketOf(Exact);
+    EXPECT_EQ(Est, HistogramSnapshot::bucketUpperEdge(ExactBucket))
+        << "q=" << Q << " exact=" << Exact;
+    EXPECT_GE(Est, Exact) << "q=" << Q;
+    if (ExactBucket > 0)
+      EXPECT_GT(Est, HistogramSnapshot::bucketUpperEdge(ExactBucket - 1))
+          << "q=" << Q;
+  }
+  EXPECT_EQ(Snap.quantile(1.0),
+            HistogramSnapshot::bucketUpperEdge(Histogram::bucketOf(100009)));
+}
+
+TEST(MetricsTest, QuantileOfEmptyHistogramIsZero) {
+  HistogramSnapshot Empty;
+  EXPECT_EQ(Empty.quantile(0.5), 0u);
+  EXPECT_EQ(Empty.quantile(0.99), 0u);
+}
+
+TEST(MetricsTest, LabeledSeriesAreDistinctAndCanonicalized) {
+  MetricsRegistry &R = MetricsRegistry::instance();
+  Counter &A = R.getCounter("test_labeled_total", "labeled series test",
+                            {{"op", "mul"}, {"dialect", "cmath"}});
+  Counter &B = R.getCounter("test_labeled_total", "labeled series test",
+                            {{"dialect", "cmath"}, {"op", "mul"}});
+  Counter &Other = R.getCounter("test_labeled_total", "labeled series test",
+                                {{"dialect", "cmath"}, {"op", "norm"}});
+  // Same label set in any order names the same series.
+  EXPECT_EQ(&A, &B);
+  EXPECT_NE(&A, &Other);
+}
+
+TEST(MetricsTest, PrometheusExpositionGolden) {
+  // A throwaway registry shape is impossible (process-wide singleton),
+  // so the golden test greps for exact lines instead of full-document
+  // equality.
+  MetricsRegistry &R = MetricsRegistry::instance();
+  Counter &C = R.getCounter("golden_requests_total", "requests served",
+                            {{"path", "va\\l\"ue\n"}});
+  C.reset();
+  C.inc(42);
+  Gauge &G = R.getGauge("golden_queue_depth", "queued tasks");
+  G.reset();
+  G.set(-3);
+  Histogram &H =
+      R.getHistogram("golden_latency_ns", "request latency");
+  H.reset();
+  H.record(0);
+  H.record(5); // bucket 3, edge 7
+  H.record(5);
+  H.record(1000); // bucket 10, edge 1023
+
+  std::string Text = R.renderPrometheus();
+  auto Contains = [&](const std::string &Needle) {
+    EXPECT_NE(Text.find(Needle), std::string::npos)
+        << "missing: " << Needle << "\nin:\n" << Text;
+  };
+  Contains("# HELP golden_requests_total requests served\n");
+  Contains("# TYPE golden_requests_total counter\n");
+  // Label escaping: backslash, double quote, newline.
+  Contains("golden_requests_total{path=\"va\\\\l\\\"ue\\n\"} 42\n");
+  Contains("# TYPE golden_queue_depth gauge\n");
+  Contains("golden_queue_depth -3\n");
+  Contains("# TYPE golden_latency_ns histogram\n");
+  // Cumulative buckets: le="0" sees the zero sample, le="7" adds the two
+  // fives, le="1023" adds the thousand, +Inf equals the count.
+  Contains("golden_latency_ns_bucket{le=\"0\"} 1\n");
+  Contains("golden_latency_ns_bucket{le=\"7\"} 3\n");
+  Contains("golden_latency_ns_bucket{le=\"1023\"} 4\n");
+  Contains("golden_latency_ns_bucket{le=\"+Inf\"} 4\n");
+  Contains("golden_latency_ns_sum 1010\n");
+  Contains("golden_latency_ns_count 4\n");
+}
+
+TEST(MetricsTest, JsonExportHasPercentilesAndParsesShape) {
+  MetricsRegistry &R = MetricsRegistry::instance();
+  Histogram &H = R.getHistogram("test_json_hist_ns", "json export test");
+  H.reset();
+  for (int I = 0; I != 100; ++I)
+    H.record(100); // bucket 7, edge 127
+  std::string Json = R.renderJson();
+  EXPECT_NE(Json.find("\"name\":\"test_json_hist_ns\""), std::string::npos);
+  EXPECT_NE(Json.find("\"p50\":127"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"p99\":127"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"count\":100"), std::string::npos) << Json;
+}
+
+TEST(MetricsTest, EnableFlagTogglesAndResets) {
+  EXPECT_FALSE(metricsEnabled());
+  setMetricsEnabled(true);
+  EXPECT_TRUE(metricsEnabled());
+  setMetricsEnabled(false);
+  EXPECT_FALSE(metricsEnabled());
+
+  Counter &C =
+      MetricsRegistry::instance().getCounter("test_reset_total", "reset");
+  C.inc(5);
+  EXPECT_GE(C.get(), 5u);
+  MetricsRegistry::instance().resetAll();
+  EXPECT_EQ(C.get(), 0u);
+}
+
+} // namespace

@@ -252,8 +252,8 @@ TEST(TraceJsonTest, ParsesAndHasSchema) {
   const JsonValue *Events = Doc->get("traceEvents");
   ASSERT_NE(Events, nullptr);
   ASSERT_EQ(Events->K, JsonValue::Kind::Array);
-  // Metadata event + 4 scopes.
-  ASSERT_EQ(Events->Arr.size(), 5u);
+  // process_name + thread_name metadata events + 4 scopes.
+  ASSERT_EQ(Events->Arr.size(), 6u);
 
   // First event: the process_name metadata record.
   const JsonValue &Meta = *Events->Arr[0];
@@ -263,8 +263,17 @@ TEST(TraceJsonTest, ParsesAndHasSchema) {
   ASSERT_NE(Meta.get("args"), nullptr);
   EXPECT_EQ(Meta.get("args")->get("name")->Str, "my-process");
 
+  // The single recording thread gets a thread_name metadata row named
+  // "main" on its tid.
+  const JsonValue &ThreadMeta = *Events->Arr[1];
+  EXPECT_EQ(ThreadMeta.get("ph")->Str, "M");
+  EXPECT_EQ(ThreadMeta.get("name")->Str, "thread_name");
+  EXPECT_EQ(ThreadMeta.get("tid")->Num, 1.0);
+  ASSERT_NE(ThreadMeta.get("args"), nullptr);
+  EXPECT_EQ(ThreadMeta.get("args")->get("name")->Str, "main");
+
   // Every other event is a complete ('X') event with the full schema.
-  for (size_t I = 1; I != Events->Arr.size(); ++I) {
+  for (size_t I = 2; I != Events->Arr.size(); ++I) {
     const JsonValue &E = *Events->Arr[I];
     ASSERT_EQ(E.K, JsonValue::Kind::Object) << "event " << I;
     ASSERT_NE(E.get("name"), nullptr) << "event " << I;
@@ -353,8 +362,9 @@ TEST(TraceJsonTest, EscapesSpecialCharactersInNames) {
   auto Doc = JsonParser(G.renderTraceJson()).parse();
   ASSERT_NE(Doc, nullptr) << "escaping broke the JSON";
   const JsonValue *Events = Doc->get("traceEvents");
-  ASSERT_EQ(Events->Arr.size(), 2u);
-  EXPECT_EQ(Events->Arr[1]->get("name")->Str,
+  // process_name + thread_name metadata + the one scope.
+  ASSERT_EQ(Events->Arr.size(), 3u);
+  EXPECT_EQ(Events->Arr[2]->get("name")->Str,
             "quote\"back\\slash\nnewline");
 }
 

@@ -8,6 +8,13 @@ on the ``large`` workload. The phase breakdown emits paired
 ``<workload>-interpreted`` / ``<workload>-compiled`` timing nodes; this
 script keys on those names.
 
+When the summary carries ``bench_phase_duration_ns`` histograms (the
+PhaseSampler per-iteration samples), the comparison prefers each
+engine's **p50** over the timing tree's wall-clock mean: the median is
+robust against one preempted iteration skewing a 500-iteration run on a
+noisy shared runner. Old artifacts without the histograms fall back to
+wall_ms.
+
 Only the ``large`` pair gates CI: it is the dispatch-table sweet spot
 (64 distinct definitions, 500 repetitions), big enough that a genuine
 engine regression dominates runner noise. The smaller pairs are printed
@@ -33,6 +40,24 @@ def collect_pairs(node, pairs):
         collect_pairs(child, pairs)
 
 
+def collect_p50_pairs(metrics):
+    """Collects <workload> -> {engine: p50_ms} from the PhaseSampler
+    bench_phase_duration_ns histograms, when present."""
+    pairs = {}
+    for hist in (metrics or {}).get("histograms", []):
+        if hist.get("name") != "bench_phase_duration_ns":
+            continue
+        phase = dict(hist.get("labels", {})).get("phase", "")
+        if not hist.get("count"):
+            continue
+        for suffix, engine in (("-interpreted", "interpreted"),
+                               ("-compiled", "compiled")):
+            if phase.endswith(suffix):
+                workload = phase[: -len(suffix)]
+                pairs.setdefault(workload, {})[engine] = hist["p50"] / 1e6
+    return pairs
+
+
 def main(argv):
     if len(argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
@@ -52,6 +77,7 @@ def main(argv):
 
     pairs = {}
     collect_pairs(timing["tree"], pairs)
+    p50_pairs = collect_p50_pairs(data.get("metrics"))
 
     complete = {w: p for w, p in sorted(pairs.items())
                 if "interpreted" in p and "compiled" in p}
@@ -62,13 +88,18 @@ def main(argv):
 
     failed = False
     for workload, p in complete.items():
-        interp, compiled = p["interpreted"], p["compiled"]
+        p50 = p50_pairs.get(workload, {})
+        if "interpreted" in p50 and "compiled" in p50:
+            interp, compiled, basis = p50["interpreted"], p50["compiled"], "p50"
+        else:
+            interp, compiled, basis = p["interpreted"], p["compiled"], "wall"
         speedup = interp / compiled if compiled else float("inf")
         gated = workload == GATED_WORKLOAD
         ok = compiled < interp
         status = "ok" if ok else ("FAIL" if gated else "slow (not gated)")
         print(f"{workload:16} interpreted={interp:9.3f}ms "
-              f"compiled={compiled:9.3f}ms speedup={speedup:5.2f}x  {status}")
+              f"compiled={compiled:9.3f}ms speedup={speedup:5.2f}x "
+              f"[{basis}]  {status}")
         if gated and not ok:
             failed = True
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""CI guard for the runtime metrics subsystem (stdlib only).
+
+Reads a ``--metrics-json`` file (from ``irdl_opt`` or any PerfHarness
+bench; either the bare registry object or a ``--json`` summary with a
+``metrics`` key) and fails when the instrumentation looks dead:
+
+* the memo-cache hit counter ``irdl_constraint_memo_hits_total`` must be
+  nonzero — on any large workload the memoized verification cache is the
+  reason repeated verification is cheap, so a zero here means either the
+  cache or its instrumentation silently broke;
+* every histogram with samples must satisfy p50 <= p90 <= p99 <= max,
+  i.e. the shard merge and quantile estimator are self-consistent.
+
+The remaining series (dispatch hits/rejects, verifier latency, reader
+throughput, thread-pool counters) are printed for the log but never fail
+the job: workloads legitimately skip some of them (e.g. a single-thread
+run never touches the pool).
+
+Usage: check_metrics.py METRICS.json [--no-require-memo-hits]
+"""
+
+import json
+import sys
+
+MEMO_HITS = "irdl_constraint_memo_hits_total"
+
+
+def series_key(entry):
+    labels = dict(entry.get("labels", {}))
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return entry["name"] + (f"{{{inner}}}" if inner else "")
+
+
+def main(argv):
+    require_memo = "--no-require-memo-hits" not in argv
+    paths = [a for a in argv[1:] if not a.startswith("--")]
+    if len(paths) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    with open(paths[0]) as f:
+        data = json.load(f)
+    metrics = data.get("metrics", data)  # bare registry or --json summary
+
+    counters = {series_key(c): c["value"] for c in metrics.get("counters", [])}
+    failed = False
+
+    print("counters:")
+    for key, value in sorted(counters.items()):
+        print(f"  {value:12d}  {key}")
+    memo_hits = sum(v for k, v in counters.items() if k.startswith(MEMO_HITS))
+    if require_memo and memo_hits == 0:
+        print(f"\nerror: {MEMO_HITS} is zero in {paths[0]} — the memo "
+              "cache (or its instrumentation) is not firing on a workload "
+              "that must exercise it", file=sys.stderr)
+        failed = True
+
+    print("histograms:")
+    for hist in sorted(metrics.get("histograms", []), key=series_key):
+        count = hist.get("count", 0)
+        if not count:
+            continue
+        p50, p90, p99 = hist["p50"], hist["p90"], hist["p99"]
+        hi = hist.get("max", 0)
+        ordered = p50 <= p90 <= p99
+        print(f"  {series_key(hist)}: count={count} "
+              f"p50={p50} p90={p90} p99={p99} max={hi}"
+              f"{'' if ordered else '  MISORDERED'}")
+        if not ordered:
+            print(f"\nerror: percentiles out of order in {series_key(hist)}",
+                  file=sys.stderr)
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
