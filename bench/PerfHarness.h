@@ -29,6 +29,10 @@
 ///   --compiled-constraints=0|1
 ///                 select the constraint engine (1 = compiled programs,
 ///                 the default; 0 = the tree interpreter oracle)
+///   --seed=N      RNG seed for benches that synthesize their workload
+///                 through ModuleSynthesizer (perf_bytecode, perf_serve),
+///                 so a corpus is reproducible across runs and CI
+///                 machines; read via perfSeed(), default 1
 ///
 /// The JSON shape, for BENCH_*.json trajectory tracking:
 ///   {"bench": NAME, "timing": <TimerGroup::renderJsonSummary()>,
@@ -53,6 +57,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -60,6 +65,15 @@
 #include <vector>
 
 namespace irdl {
+
+/// The workload RNG seed from --seed=N (default 1). Benches that
+/// synthesize modules pass `perfSeed()` (plus a per-module offset) into
+/// ModuleSynthOptions::Seed.
+inline uint64_t &perfSeedSlot() {
+  static uint64_t Seed = 1;
+  return Seed;
+}
+inline uint64_t perfSeed() { return perfSeedSlot(); }
 
 /// Per-iteration sampling for a phase-breakdown workload: construct one
 /// per phase, call sample() around each iteration (or record() with a
@@ -111,6 +125,16 @@ inline int runPerfMain(int argc, char **argv, const char *BenchName,
         return 1;
       }
       setGlobalThreadCount(*N);
+    } else if (Arg.rfind("--seed=", 0) == 0) {
+      std::string V = Arg.substr(std::string("--seed=").size());
+      char *End = nullptr;
+      unsigned long long Seed = std::strtoull(V.c_str(), &End, 10);
+      if (V.empty() || !End || *End != '\0') {
+        std::cerr << "invalid value '" << V
+                  << "' for --seed (expected a non-negative integer)\n";
+        return 1;
+      }
+      perfSeedSlot() = Seed;
     } else if (Arg.rfind("--compiled-constraints=", 0) == 0) {
       std::string V = Arg.substr(std::string("--compiled-constraints=").size());
       if (V != "0" && V != "1") {

@@ -48,7 +48,7 @@ struct Fixture {
          ++I) {
       OwningOpRef Part =
           synthesizeModule(Ctx, *Corpus.Module->getDialects()[I],
-                           {/*Seed=*/I + 1});
+                           {/*Seed=*/perfSeed() + I});
       Body->push_back(Part.release());
     }
 

@@ -1,0 +1,303 @@
+//===- perf_serve.cpp - Warm served verify vs cold irdl_opt pipeline ----===//
+///
+/// The headline number behind irdl_serve (docs/serving.md): a persistent
+/// server pays context construction, dialect registration, and constraint
+/// compilation once, so a served VERIFY round trip — socket framing
+/// included — beats the cold irdl_opt-equivalent pipeline that reloads
+/// every dialect per invocation. Phases:
+///
+///   serve-load-dialects    LOAD_DIALECT for each bundled .irdl file
+///   serve-warm-verify-x30  one-shot VERIFY of a multi-dialect module
+///                          over the socket against the warm epoch
+///   cold-oneshot-verify-x10  the same verification done the irdl_opt
+///                          way: fresh context + dialect loads + parse +
+///                          verify, per iteration
+///   serve-concurrent-c8    8 client threads issuing verifies; reports
+///                          bench_serve_requests_per_second
+///
+/// Per-iteration p50/p90/p99 land in bench_phase_duration_ns via
+/// PhaseSampler, so `perf_serve --json` carries the warm-vs-cold
+/// distributions CI gates on (tools/check_serve.py --bench-json).
+
+#include "PerfHarness.h"
+
+#include "corpus/ModuleSynthesizer.h"
+#include "ir/Block.h"
+#include "ir/IRParser.h"
+#include "ir/Printer.h"
+#include "ir/Region.h"
+#include "ir/Verifier.h"
+#include "server/Client.h"
+#include "server/Server.h"
+#include "support/File.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <unistd.h>
+
+using namespace irdl;
+using namespace irdl::serve;
+
+namespace {
+
+constexpr const char *BundledDialects[] = {"cmath.irdl", "arith.irdl",
+                                           "scf.irdl", "complex.irdl",
+                                           "math.irdl"};
+
+std::string dialectPath(const char *File) {
+  return std::string(IRDL_DIALECTS_DIR) + "/" + File;
+}
+
+/// An in-process VerifyServer plus the workload: the bundled dialect
+/// sources and one big generic-form module synthesized across every
+/// dialect they define (seeded by --seed for reproducible corpora).
+struct ServeFixture {
+  VerifyServer Server;
+  std::thread Serving;
+  std::vector<std::pair<std::string, std::string>> DialectSources;
+  std::string ModuleText;
+
+  ServeFixture()
+      : Server(ServerOptions{"/tmp/irdl_perf_serve." +
+                             std::to_string(::getpid()) + ".sock"}) {
+    std::string Error;
+    if (failed(Server.start(Error))) {
+      std::cerr << "perf_serve: " << Error << "\n";
+      std::exit(1);
+    }
+    Serving = std::thread([this]() { Server.serve(); });
+
+    for (const char *File : BundledDialects) {
+      std::string Buffer;
+      if (failed(readFileToString(dialectPath(File), Buffer, Error))) {
+        std::cerr << "perf_serve: " << Error << "\n";
+        std::exit(1);
+      }
+      DialectSources.emplace_back(File, std::move(Buffer));
+    }
+
+    // Synthesize in a scratch context; ship the printed generic form.
+    IRContext Ctx;
+    SourceMgr SrcMgr;
+    DiagnosticEngine Diags(&SrcMgr);
+    OwningOpRef M =
+        parseSourceString(Ctx, "builtin.module {\n}\n", SrcMgr, Diags);
+    if (M->getRegion(0).empty())
+      M->getRegion(0).push_back(new Block());
+    Block *Body = &M->getRegion(0).front();
+    uint64_t Seed = perfSeed();
+    for (const auto &[File, Source] : DialectSources) {
+      auto Module = loadIRDLFile(Ctx, dialectPath(File.c_str()), SrcMgr,
+                                 Diags);
+      if (!Module) {
+        std::cerr << "perf_serve: " << Diags.renderAll();
+        std::exit(1);
+      }
+      for (const auto &Spec : Module->getDialects()) {
+        OwningOpRef Part = synthesizeModule(Ctx, *Spec, {/*Seed=*/Seed++});
+        Body->push_back(Part.release());
+      }
+    }
+    PrintOptions Generic;
+    Generic.GenericForm = true;
+    ModuleText = printOpToString(M.get(), Generic) + "\n";
+  }
+
+  ~ServeFixture() {
+    Server.requestStop();
+    if (Serving.joinable())
+      Serving.join();
+  }
+
+  ServeClient connect() {
+    ServeClient Client;
+    std::string Error;
+    if (failed(Client.connect(Server.socketPath(), Error))) {
+      std::cerr << "perf_serve: " << Error << "\n";
+      std::exit(1);
+    }
+    return Client;
+  }
+};
+
+ServeFixture &fixture() {
+  static ServeFixture F;
+  return F;
+}
+
+/// One warm served verify. The synthesizer does not promise op-level
+/// constraints hold, so either verdict is fine — only transport failures
+/// abort. Returns true iff the server said Ok.
+bool servedVerify(ServeClient &Client, const std::string &Name,
+                  const std::string &Content) {
+  ResponseFrame Response;
+  std::string Error;
+  if (failed(Client.verify(Name, Content, Response, Error))) {
+    std::cerr << "perf_serve: served verify transport failure: " << Error
+              << "\n";
+    std::exit(1);
+  }
+  return Response.Status == FrameStatus::Ok;
+}
+
+/// The cold path irdl_opt pays on every invocation: fresh context,
+/// reload every dialect from disk, parse, verify. Returns the verdict
+/// (which must agree with the served one).
+bool coldVerify(const std::string &ModuleText) {
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags(&SrcMgr);
+  for (const char *File : BundledDialects)
+    if (!loadIRDLFile(Ctx, dialectPath(File), SrcMgr, Diags)) {
+      std::cerr << "perf_serve: " << Diags.renderAll();
+      std::exit(1);
+    }
+  OwningOpRef M =
+      parseSourceString(Ctx, ModuleText, SrcMgr, Diags, "cold.mlir");
+  return M && succeeded(verifyOp(M.get(), Diags));
+}
+
+void runPhaseBreakdown() {
+  ServeFixture *F;
+  {
+    IRDL_TIME_SCOPE("fixture-setup");
+    F = &fixture();
+  }
+  ServeClient Client = F->connect();
+  {
+    IRDL_TIME_SCOPE("serve-load-dialects");
+    PhaseSampler Sampler("serve-load-dialect");
+    for (const auto &[File, Source] : F->DialectSources)
+      Sampler.sample([&]() {
+        ResponseFrame Response;
+        std::string Error;
+        if (failed(Client.loadDialect(File, Source, Response, Error)) ||
+            Response.Status != FrameStatus::Ok) {
+          std::cerr << "perf_serve: LOAD_DIALECT " << File
+                    << " failed: " << Error << "\n"
+                    << Response.Payload;
+          std::exit(1);
+        }
+      });
+  }
+  bool WarmVerdict = true;
+  {
+    IRDL_TIME_SCOPE("serve-warm-verify-x30");
+    PhaseSampler Sampler("serve-warm-verify");
+    for (int I = 0; I != 30; ++I)
+      Sampler.sample([&]() {
+        WarmVerdict = servedVerify(
+            Client, "warm" + std::to_string(I) + ".mlir", F->ModuleText);
+      });
+  }
+  bool ColdVerdict = true;
+  {
+    IRDL_TIME_SCOPE("cold-oneshot-verify-x10");
+    PhaseSampler Sampler("cold-oneshot-verify");
+    for (int I = 0; I != 10; ++I)
+      Sampler.sample([&]() { ColdVerdict = coldVerify(F->ModuleText); });
+  }
+  if (WarmVerdict != ColdVerdict) {
+    std::cerr << "perf_serve: warm and cold verdicts diverged\n";
+    std::exit(1);
+  }
+  {
+    IRDL_TIME_SCOPE("serve-concurrent-c8");
+    constexpr unsigned NumClients = 8;
+    constexpr unsigned RequestsPerClient = 8;
+    const FrameStatus Expected =
+        WarmVerdict ? FrameStatus::Ok : FrameStatus::Fail;
+    std::atomic<unsigned> Failures{0};
+    uint64_t Begin = steadyNowNs();
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T != NumClients; ++T)
+      Threads.emplace_back([&, T]() {
+        ServeClient C;
+        std::string Error;
+        if (failed(C.connect(F->Server.socketPath(), Error))) {
+          ++Failures;
+          return;
+        }
+        PhaseSampler Sampler("serve-concurrent-verify");
+        for (unsigned I = 0; I != RequestsPerClient; ++I)
+          Sampler.sample([&]() {
+            ResponseFrame Response;
+            std::string E;
+            std::string Name = "c" + std::to_string(T) + "_" +
+                               std::to_string(I) + ".mlir";
+            if (failed(C.verify(Name, F->ModuleText, Response, E)) ||
+                Response.Status != Expected)
+              ++Failures;
+          });
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    uint64_t Elapsed = steadyNowNs() - Begin;
+    if (Failures.load() != 0) {
+      std::cerr << "perf_serve: " << Failures.load()
+                << " concurrent verifies failed\n";
+      std::exit(1);
+    }
+    double Seconds = static_cast<double>(Elapsed) / 1e9;
+    MetricsRegistry::instance()
+        .getGauge("bench_serve_requests_per_second",
+                  "throughput of the 8-client concurrent verify phase")
+        .set(Seconds > 0
+                 ? static_cast<double>(NumClients * RequestsPerClient) /
+                       Seconds
+                 : 0);
+  }
+}
+
+/// Socket round-trip floor: PING carries no payload, so this measures
+/// framing + scheduling, not verification.
+void BM_ServeRoundtripPing(benchmark::State &State) {
+  ServeFixture &F = fixture();
+  ServeClient Client = F.connect();
+  for (auto _ : State) {
+    ResponseFrame Response;
+    std::string Error;
+    if (failed(Client.ping(Response, Error)))
+      State.SkipWithError("ping failed");
+    benchmark::DoNotOptimize(Response.Status);
+  }
+}
+BENCHMARK(BM_ServeRoundtripPing)->Unit(benchmark::kMicrosecond);
+
+/// One-shot VERIFY of a small single-dialect module against the warm
+/// server, socket round trip included.
+void BM_ServeRoundtripSmall(benchmark::State &State) {
+  ServeFixture &F = fixture();
+  ServeClient Client = F.connect();
+  // The phase breakdown (which google-benchmark runs after) already
+  // loaded every bundled dialect; reload defensively for standalone
+  // --benchmark_filter runs.
+  {
+    ResponseFrame Response;
+    std::string Error;
+    const auto &[File, Source] = F.DialectSources.front();
+    Client.reloadDialect(File, Source, Response, Error);
+  }
+  const std::string Small =
+      "std.func @f(%c: !cmath.complex<f32>) -> f32 {\n"
+      "  %r = \"cmath.norm\"(%c) : (!cmath.complex<f32>) -> f32\n"
+      "  std.return %r : f32\n"
+      "}\n";
+  for (auto _ : State) {
+    ResponseFrame Response;
+    std::string Error;
+    if (failed(Client.verify("small.mlir", Small, Response, Error)) ||
+        Response.Status != FrameStatus::Ok)
+      State.SkipWithError("served verify failed");
+    benchmark::DoNotOptimize(Response.Payload);
+  }
+}
+BENCHMARK(BM_ServeRoundtripSmall)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  return runPerfMain(argc, argv, "perf_serve", runPhaseBreakdown);
+}

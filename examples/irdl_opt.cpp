@@ -64,10 +64,12 @@
 #include "irdl/IRDL.h"
 #include "support/File.h"
 #include "support/Metrics.h"
+#include "support/Signal.h"
 #include "support/Statistic.h"
 #include "support/Threading.h"
 #include "support/Timing.h"
 
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -274,12 +276,20 @@ int main(int argc, char **argv) {
   SourceMgr SrcMgr;
   DiagnosticEngine Diags(&SrcMgr);
 
-  // Emit reports on every exit path (including early errors).
+  // Emit reports on every exit path: the destructor covers normal returns
+  // and early errors, and a SIGINT/SIGTERM handler (installed below)
+  // calls flush() directly so --metrics-json/--trace-json artifacts are
+  // not dropped on interrupt. The atomic exchange makes the flush run at
+  // most once whichever path gets there first.
   struct ReportGuard {
     TimerGroup &Timers;
     bool Timing, Stats, Metrics, ProfileConstraints;
     std::string TraceJsonFile, StatsJsonFile, MetricsJsonFile;
-    ~ReportGuard() {
+    std::atomic<bool> Flushed{false};
+    ~ReportGuard() { flush(); }
+    void flush() {
+      if (Flushed.exchange(true))
+        return;
       setActiveTimerGroup(nullptr);
       if (Timing)
         std::cerr << Timers.renderTree();
@@ -314,6 +324,7 @@ int main(int argc, char **argv) {
   } Guard{Timers,        Timing,        Stats,
           Metrics,       ProfileConstraints,
           TraceJsonFile, StatsJsonFile, MetricsJsonFile};
+  installExitFlushHandler([&Guard]() { Guard.flush(); });
 
   // Dialects loaded from textual IRDL are re-emitted by --emit-bytecode
   // so the resulting .irbc is self-contained.

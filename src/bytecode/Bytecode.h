@@ -31,6 +31,16 @@ namespace irdl {
 /// bytecode reader regardless of file extension.
 bool isBytecodeBuffer(std::string_view Buffer);
 
+/// Returns true if \p Buffer is a bytecode buffer whose top-level section
+/// walk encounters a Specs section (even a truncated one). A cheap
+/// pre-scan — no section payload is decoded — used by the verification
+/// server to reject spec-bearing VERIFY payloads before BytecodeReader
+/// would register their dialects into a context shared across requests.
+/// Buffers the scan cannot walk (bad magic/version, truncated section
+/// header) return false: the full reader fails on them at the same point,
+/// before any spec registration, and produces the actual diagnostic.
+bool bytecodeBufferHasSpecs(std::string_view Buffer);
+
 //===----------------------------------------------------------------------===//
 // BytecodeWriter
 //===----------------------------------------------------------------------===//

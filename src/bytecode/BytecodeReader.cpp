@@ -1182,6 +1182,33 @@ BytecodeReader::BytecodeReader(IRContext &Ctx, DiagnosticEngine &Diags,
 
 BytecodeReader::~BytecodeReader() = default;
 
+bool irdl::bytecodeBufferHasSpecs(std::string_view Buffer) {
+  if (!isBytecodeBuffer(Buffer))
+    return false;
+  DiagnosticEngine Scratch;
+  BytecodeCursor C(Buffer.substr(sizeof(Magic)), Scratch, sizeof(Magic));
+  uint64_t Version;
+  if (!C.readVarInt(Version) || Version != FormatVersion)
+    return false;
+  while (!C.atEnd()) {
+    uint8_t Id;
+    if (!C.readByte(Id))
+      return false;
+    // Report the Specs id as soon as it appears: even if its payload is
+    // truncated, the full reader would decode (and register) spec
+    // skeletons up to the truncation point.
+    if (Id == static_cast<uint8_t>(SectionId::Specs))
+      return true;
+    uint64_t Len;
+    if (!C.readVarInt(Len))
+      return false;
+    std::string_view Skipped;
+    if (!C.readBytes(Len, Skipped))
+      return false;
+  }
+  return false;
+}
+
 LogicalResult BytecodeReader::read(std::string_view Buffer,
                                    BytecodeReadResult &Result) {
   Impl I(Ctx, Diags, Opts);

@@ -361,6 +361,29 @@ LogicalResult verifyOpParallel(Operation *Root, DiagnosticEngine &Diags) {
 }
 } // namespace
 
+LogicalResult irdl::verifyOpsIncremental(const std::vector<Operation *> &Ops,
+                                         DiagnosticEngine &Diags) {
+  IRDL_TIME_SCOPE("verify-incremental");
+  if (isMultithreadingEnabled() && Ops.size() >= 2) {
+    ++NumParallelVerifierRuns;
+    std::vector<DiagnosticEngine> Engines(Ops.size());
+    std::vector<char> Failed(Ops.size(), 0);
+    parallelFor(0, Ops.size(), [&](size_t I) {
+      Failed[I] = failed(Verifier(Engines[I]).verify(Ops[I]));
+    });
+    for (size_t I = 0, E = Ops.size(); I != E; ++I) {
+      Diags.replayAll(Engines[I]);
+      if (Failed[I])
+        return failure();
+    }
+    return success();
+  }
+  for (Operation *Op : Ops)
+    if (failed(Verifier(Diags).verify(Op)))
+      return failure();
+  return success();
+}
+
 LogicalResult irdl::verifyOp(Operation *Op, DiagnosticEngine &Diags) {
   IRDL_TIME_SCOPE("verify");
   ++NumVerifierRuns;

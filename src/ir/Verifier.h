@@ -14,6 +14,7 @@
 #include "ir/Operation.h"
 
 #include <unordered_map>
+#include <vector>
 
 namespace irdl {
 
@@ -44,6 +45,16 @@ private:
 /// Verifies \p Op and everything nested within it. Reports problems to
 /// \p Diags and returns failure if any were found.
 LogicalResult verifyOp(Operation *Op, DiagnosticEngine &Diags);
+
+/// Verifies a batch of independent top-level operations (each recursively),
+/// fanning out over the thread pool when multithreading is enabled. The
+/// streaming entry point: the server calls this once per arriving VERIFY
+/// chunk with that chunk's function-like ops, so verification overlaps
+/// with the client still sending later frames. Diagnostics are replayed
+/// into \p Diags in batch order and verification stops after the first
+/// failed op, matching the fail-fast sequential stream byte for byte.
+LogicalResult verifyOpsIncremental(const std::vector<Operation *> &Ops,
+                                   DiagnosticEngine &Diags);
 
 } // namespace irdl
 

@@ -1,0 +1,34 @@
+//===- Client.cpp -----------------------------------------------------===//
+
+#include "server/Client.h"
+
+using namespace irdl;
+using namespace irdl::serve;
+
+LogicalResult ServeClient::connect(const std::string &Path,
+                                   std::string &Error) {
+  Fd = connectUnixSocket(Path, Error);
+  return Fd.isValid() ? success() : failure();
+}
+
+LogicalResult ServeClient::call(FrameType Type, std::string_view Payload,
+                                ResponseFrame &Response,
+                                std::string &Error) {
+  if (!Fd.isValid()) {
+    Error = "not connected";
+    return failure();
+  }
+  if (!writeRequestFrame(Fd.get(), Type, Payload)) {
+    Error = "failed to send " + std::string(frameTypeName(Type)) +
+            " request frame";
+    Fd.reset();
+    return failure();
+  }
+  ReadOutcome Outcome = readResponseFrame(Fd.get(), Response, Error);
+  if (Outcome == ReadOutcome::Ok)
+    return success();
+  if (Outcome == ReadOutcome::Disconnect)
+    Error = "server closed the connection";
+  Fd.reset();
+  return failure();
+}

@@ -1,0 +1,86 @@
+//===- Client.h - irdl_serve client helper -----------------------*- C++ -*-===//
+///
+/// \file
+/// A small synchronous client for the serve::Protocol, used by the tests,
+/// the perf_serve load generator, and as a reference implementation of
+/// the framing for external clients (tools/check_serve.py mirrors it in
+/// Python). One ServeClient wraps one connection; calls are lockstep
+/// (send one request frame, read one response frame) and not thread-safe
+/// — use one client per thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_SERVER_CLIENT_H
+#define IRDL_SERVER_CLIENT_H
+
+#include "server/Protocol.h"
+#include "support/LogicalResult.h"
+#include "support/Socket.h"
+
+namespace irdl {
+namespace serve {
+
+class ServeClient {
+public:
+  ServeClient() = default;
+
+  /// Connects to the server socket at \p Path.
+  LogicalResult connect(const std::string &Path, std::string &Error);
+
+  bool isConnected() const { return Fd.isValid(); }
+  void disconnect() { Fd.reset(); }
+
+  /// One lockstep round trip: sends \p Type with \p Payload, reads the
+  /// response into \p Response. Fails (with \p Error filled) on transport
+  /// problems only — a Fail/ProtocolError *status* is a successful round
+  /// trip; inspect Response.Status.
+  LogicalResult call(FrameType Type, std::string_view Payload,
+                     ResponseFrame &Response, std::string &Error);
+
+  /// Named-payload conveniences (Name becomes the diagnostic buffer name).
+  LogicalResult verify(std::string_view Name, std::string_view Content,
+                       ResponseFrame &Response, std::string &Error) {
+    return call(FrameType::Verify, encodeNamedPayload(Name, Content),
+                Response, Error);
+  }
+  LogicalResult verifyBegin(std::string_view Name, ResponseFrame &Response,
+                            std::string &Error) {
+    return call(FrameType::VerifyBegin, encodeNamedPayload(Name, ""),
+                Response, Error);
+  }
+  LogicalResult verifyChunk(std::string_view Content,
+                            ResponseFrame &Response, std::string &Error) {
+    return call(FrameType::VerifyChunk, Content, Response, Error);
+  }
+  LogicalResult verifyEnd(ResponseFrame &Response, std::string &Error) {
+    return call(FrameType::VerifyEnd, "", Response, Error);
+  }
+  LogicalResult loadDialect(std::string_view Name, std::string_view Content,
+                            ResponseFrame &Response, std::string &Error) {
+    return call(FrameType::LoadDialect, encodeNamedPayload(Name, Content),
+                Response, Error);
+  }
+  LogicalResult reloadDialect(std::string_view Name,
+                              std::string_view Content,
+                              ResponseFrame &Response, std::string &Error) {
+    return call(FrameType::ReloadDialect, encodeNamedPayload(Name, Content),
+                Response, Error);
+  }
+  LogicalResult metrics(ResponseFrame &Response, std::string &Error) {
+    return call(FrameType::Metrics, "", Response, Error);
+  }
+  LogicalResult ping(ResponseFrame &Response, std::string &Error) {
+    return call(FrameType::Ping, "", Response, Error);
+  }
+  LogicalResult shutdown(ResponseFrame &Response, std::string &Error) {
+    return call(FrameType::Shutdown, "", Response, Error);
+  }
+
+private:
+  FileDescriptor Fd;
+};
+
+} // namespace serve
+} // namespace irdl
+
+#endif // IRDL_SERVER_CLIENT_H

@@ -1,0 +1,125 @@
+//===- EpochRegistry.cpp ----------------------------------------------===//
+
+#include "server/EpochRegistry.h"
+
+#include "bytecode/Bytecode.h"
+
+#include <algorithm>
+
+using namespace irdl;
+using namespace irdl::serve;
+
+EpochRegistry::EpochRegistry() {
+  auto Boot = std::make_shared<Epoch>();
+  Boot->Ctx = std::make_unique<IRContext>();
+  Boot->SrcMgr = std::make_unique<SourceMgr>();
+  Current = std::move(Boot);
+}
+
+std::shared_ptr<const Epoch> EpochRegistry::current() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Current;
+}
+
+uint64_t EpochRegistry::currentEpochNumber() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Current->Number;
+}
+
+LogicalResult EpochRegistry::loadInto(Epoch &E, const Source &S,
+                                      std::vector<std::string> &DialectNames,
+                                      std::string &DiagText) {
+  DiagnosticEngine Diags(E.SrcMgr.get());
+  std::unique_ptr<IRDLModule> Loaded;
+  if (isBytecodeBuffer(S.Buffer)) {
+    BytecodeReader Reader(*E.Ctx, Diags);
+    BytecodeReadResult Result;
+    if (failed(Reader.read(S.Buffer, Result)) || !Result.Specs) {
+      if (!Diags.hadError())
+        Diags.emitError("bytecode buffer '" + S.Name +
+                        "' contains no dialect specs");
+      DiagText = Diags.renderAll();
+      return failure();
+    }
+    Loaded = std::move(Result.Specs);
+  } else {
+    Loaded = loadIRDL(*E.Ctx, S.Buffer, *E.SrcMgr, Diags, {}, S.Name);
+    if (!Loaded) {
+      DiagText = Diags.renderAll();
+      return failure();
+    }
+  }
+  for (const auto &D : Loaded->getDialects())
+    DialectNames.push_back(D->Name);
+  E.Modules.push_back(std::move(Loaded));
+  return success();
+}
+
+LogicalResult EpochRegistry::rebuild(std::vector<Source> Sources,
+                                     std::string &DiagText) {
+  auto Next = std::make_shared<Epoch>();
+  Next->Ctx = std::make_unique<IRContext>();
+  Next->SrcMgr = std::make_unique<SourceMgr>();
+  for (Source &S : Sources) {
+    S.DialectNames.clear();
+    if (failed(loadInto(*Next, S, S.DialectNames, DiagText)))
+      return failure();
+  }
+  Next->Number = NextNumber++;
+  this->Sources = std::move(Sources);
+  Current = std::move(Next);
+  return success();
+}
+
+LogicalResult EpochRegistry::loadDialect(std::string Name,
+                                         std::string Buffer,
+                                         std::string &DiagText) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // Discover the dialect names by loading into a scratch context first;
+  // this also surfaces load errors without paying a full rebuild.
+  Epoch Scratch;
+  Scratch.Ctx = std::make_unique<IRContext>();
+  Scratch.SrcMgr = std::make_unique<SourceMgr>();
+  Source S{std::move(Name), std::move(Buffer), {}};
+  std::vector<std::string> NewNames;
+  if (failed(loadInto(Scratch, S, NewNames, DiagText)))
+    return failure();
+  for (const Source &Existing : Sources)
+    for (const std::string &N : NewNames)
+      if (std::find(Existing.DialectNames.begin(),
+                    Existing.DialectNames.end(),
+                    N) != Existing.DialectNames.end()) {
+        DiagText = "dialect '" + N + "' is already loaded (from '" +
+                   Existing.Name + "'); use RELOAD_DIALECT to replace it";
+        return failure();
+      }
+  std::vector<Source> NewSources = Sources;
+  NewSources.push_back(std::move(S));
+  return rebuild(std::move(NewSources), DiagText);
+}
+
+LogicalResult EpochRegistry::reloadDialect(std::string Name,
+                                           std::string Buffer,
+                                           std::string &DiagText) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Epoch Scratch;
+  Scratch.Ctx = std::make_unique<IRContext>();
+  Scratch.SrcMgr = std::make_unique<SourceMgr>();
+  Source S{std::move(Name), std::move(Buffer), {}};
+  std::vector<std::string> NewNames;
+  if (failed(loadInto(Scratch, S, NewNames, DiagText)))
+    return failure();
+  std::vector<Source> NewSources;
+  for (const Source &Existing : Sources) {
+    bool Replaced = false;
+    for (const std::string &N : NewNames)
+      if (std::find(Existing.DialectNames.begin(),
+                    Existing.DialectNames.end(),
+                    N) != Existing.DialectNames.end())
+        Replaced = true;
+    if (!Replaced)
+      NewSources.push_back(Existing);
+  }
+  NewSources.push_back(std::move(S));
+  return rebuild(std::move(NewSources), DiagText);
+}

@@ -1,0 +1,157 @@
+//===- Protocol.cpp ---------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include "support/Socket.h"
+
+using namespace irdl;
+using namespace irdl::serve;
+
+std::string_view serve::frameTypeName(FrameType T) {
+  switch (T) {
+  case FrameType::Verify:
+    return "VERIFY";
+  case FrameType::VerifyBegin:
+    return "VERIFY_BEGIN";
+  case FrameType::VerifyChunk:
+    return "VERIFY_CHUNK";
+  case FrameType::VerifyEnd:
+    return "VERIFY_END";
+  case FrameType::LoadDialect:
+    return "LOAD_DIALECT";
+  case FrameType::ReloadDialect:
+    return "RELOAD_DIALECT";
+  case FrameType::Metrics:
+    return "METRICS";
+  case FrameType::Shutdown:
+    return "SHUTDOWN";
+  case FrameType::Ping:
+    return "PING";
+  }
+  return "UNKNOWN";
+}
+
+bool serve::isKnownFrameType(uint8_t T) {
+  return T >= static_cast<uint8_t>(FrameType::Verify) &&
+         T <= static_cast<uint8_t>(FrameType::Ping);
+}
+
+namespace {
+
+std::string encodeHeader(uint8_t Tag, size_t PayloadSize) {
+  std::string Header(5, '\0');
+  Header[0] = static_cast<char>(Tag);
+  for (unsigned I = 0; I != 4; ++I)
+    Header[1 + I] = static_cast<char>((PayloadSize >> (8 * I)) & 0xFF);
+  return Header;
+}
+
+bool writeFrame(int Fd, uint8_t Tag, std::string_view Payload) {
+  if (Payload.size() > MaxFramePayload)
+    return false;
+  return sendAll(Fd, encodeHeader(Tag, Payload.size())) &&
+         sendAll(Fd, Payload);
+}
+
+/// Reads `[1-byte tag][4-byte LE length][payload]`; \p Tag is validated by
+/// the caller (requests and responses accept different ranges).
+ReadOutcome readFrame(int Fd, uint8_t &Tag, std::string &Payload,
+                      std::string &Error) {
+  std::string Header;
+  bool CleanEof = false;
+  if (!recvAll(Fd, 5, Header, &CleanEof)) {
+    if (CleanEof)
+      return ReadOutcome::Disconnect;
+    Error = "truncated frame header (got " +
+            std::to_string(Header.size()) + " of 5 bytes)";
+    return ReadOutcome::Error;
+  }
+  Tag = static_cast<uint8_t>(Header[0]);
+  uint64_t Len = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    Len |= static_cast<uint64_t>(static_cast<uint8_t>(Header[1 + I]))
+           << (8 * I);
+  if (Len > MaxFramePayload) {
+    Error = "frame payload length " + std::to_string(Len) +
+            " exceeds the " + std::to_string(MaxFramePayload) +
+            "-byte limit";
+    return ReadOutcome::Error;
+  }
+  if (Len != 0 && !recvAll(Fd, Len, Payload, nullptr)) {
+    Error = "truncated frame payload (got " +
+            std::to_string(Payload.size()) + " of " + std::to_string(Len) +
+            " bytes)";
+    return ReadOutcome::Error;
+  }
+  if (Len == 0)
+    Payload.clear();
+  return ReadOutcome::Ok;
+}
+
+} // namespace
+
+bool serve::writeRequestFrame(int Fd, FrameType Type,
+                              std::string_view Payload) {
+  return writeFrame(Fd, static_cast<uint8_t>(Type), Payload);
+}
+
+ReadOutcome serve::readRequestFrame(int Fd, RequestFrame &Frame,
+                                    std::string &Error) {
+  uint8_t Tag;
+  ReadOutcome Outcome = readFrame(Fd, Tag, Frame.Payload, Error);
+  if (Outcome != ReadOutcome::Ok)
+    return Outcome;
+  if (!isKnownFrameType(Tag)) {
+    Error = "unknown request frame type " + std::to_string(Tag);
+    return ReadOutcome::Error;
+  }
+  Frame.Type = static_cast<FrameType>(Tag);
+  return ReadOutcome::Ok;
+}
+
+bool serve::writeResponseFrame(int Fd, FrameStatus Status,
+                               std::string_view Payload) {
+  return writeFrame(Fd, static_cast<uint8_t>(Status), Payload);
+}
+
+ReadOutcome serve::readResponseFrame(int Fd, ResponseFrame &Frame,
+                                     std::string &Error) {
+  uint8_t Tag;
+  ReadOutcome Outcome = readFrame(Fd, Tag, Frame.Payload, Error);
+  if (Outcome != ReadOutcome::Ok)
+    return Outcome;
+  if (Tag > static_cast<uint8_t>(FrameStatus::ProtocolError)) {
+    Error = "unknown response status " + std::to_string(Tag);
+    return ReadOutcome::Error;
+  }
+  Frame.Status = static_cast<FrameStatus>(Tag);
+  return ReadOutcome::Ok;
+}
+
+std::string serve::encodeNamedPayload(std::string_view Name,
+                                      std::string_view Content) {
+  if (Name.size() > 0xFFFF)
+    Name = Name.substr(0, 0xFFFF);
+  std::string Payload;
+  Payload.reserve(2 + Name.size() + Content.size());
+  Payload.push_back(static_cast<char>(Name.size() & 0xFF));
+  Payload.push_back(static_cast<char>((Name.size() >> 8) & 0xFF));
+  Payload.append(Name);
+  Payload.append(Content);
+  return Payload;
+}
+
+bool serve::decodeNamedPayload(std::string_view Payload,
+                               std::string_view &Name,
+                               std::string_view &Content) {
+  if (Payload.size() < 2)
+    return false;
+  size_t NameLen = static_cast<uint8_t>(Payload[0]) |
+                   (static_cast<size_t>(static_cast<uint8_t>(Payload[1]))
+                    << 8);
+  if (Payload.size() < 2 + NameLen)
+    return false;
+  Name = Payload.substr(2, NameLen);
+  Content = Payload.substr(2 + NameLen);
+  return true;
+}

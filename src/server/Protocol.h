@@ -1,0 +1,114 @@
+//===- Protocol.h - irdl_serve wire protocol ---------------------*- C++ -*-===//
+///
+/// \file
+/// The framed request/response protocol spoken over the verification
+/// server's unix-domain socket. Requests are `[1-byte type][4-byte LE
+/// payload length][payload]`; responses are `[1-byte status][4-byte LE
+/// payload length][payload]`. The protocol is strictly lockstep: every
+/// request frame gets exactly one response frame before the next request
+/// is read. See docs/serving.md for the frame catalogue, payload layouts,
+/// and a worked session.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_SERVER_PROTOCOL_H
+#define IRDL_SERVER_PROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace irdl {
+namespace serve {
+
+enum class FrameType : uint8_t {
+  /// One-shot verification of a whole module (named payload, text or
+  /// module-only `.irbc`). Response diagnostics are byte-identical to an
+  /// `irdl_opt` run over the same input.
+  Verify = 1,
+  /// Opens a verification stream; chunks are verified as they arrive.
+  VerifyBegin = 2,
+  /// One stream chunk (text or module-only `.irbc`), a batch of
+  /// function-like top-level ops.
+  VerifyChunk = 3,
+  /// Closes the stream; the response carries the combined verdict.
+  VerifyEnd = 4,
+  /// Registers the dialects of a named `.irdl`/spec-`.irbc` buffer into a
+  /// new epoch.
+  LoadDialect = 5,
+  /// Replaces previously loaded dialects of the same names in a new
+  /// epoch; in-flight requests finish against their pinned epoch.
+  ReloadDialect = 6,
+  /// Prometheus text exposition of the process metrics registry.
+  Metrics = 7,
+  /// Graceful server stop (acknowledged before the listener closes).
+  Shutdown = 8,
+  /// Liveness probe.
+  Ping = 9,
+};
+
+enum class FrameStatus : uint8_t {
+  Ok = 0,
+  /// The request was understood but the work failed (verification error,
+  /// dialect load error); the payload carries rendered diagnostics.
+  Fail = 1,
+  /// The frame itself was malformed (unknown type, oversized payload,
+  /// bad named-payload header, stream misuse); the connection is closed
+  /// after this response.
+  ProtocolError = 2,
+};
+
+/// Hard per-frame payload ceiling. A length prefix beyond this is treated
+/// as a protocol error rather than an allocation request.
+inline constexpr size_t MaxFramePayload = 256u << 20; // 256 MiB
+
+/// Returns a human-readable frame-type name ("VERIFY", "LOAD_DIALECT",
+/// ...), used for metric labels and protocol errors.
+std::string_view frameTypeName(FrameType T);
+bool isKnownFrameType(uint8_t T);
+
+struct RequestFrame {
+  FrameType Type;
+  std::string Payload;
+};
+
+struct ResponseFrame {
+  FrameStatus Status;
+  std::string Payload;
+};
+
+/// Outcome of reading one frame off a socket.
+enum class ReadOutcome {
+  Ok,
+  /// Orderly EOF before the first header byte — the peer is done.
+  Disconnect,
+  /// Truncated header/payload, I/O error, unknown type, or an oversized
+  /// length prefix; \p Error describes it.
+  Error,
+};
+
+bool writeRequestFrame(int Fd, FrameType Type, std::string_view Payload);
+ReadOutcome readRequestFrame(int Fd, RequestFrame &Frame,
+                             std::string &Error);
+
+bool writeResponseFrame(int Fd, FrameStatus Status,
+                        std::string_view Payload);
+ReadOutcome readResponseFrame(int Fd, ResponseFrame &Frame,
+                              std::string &Error);
+
+/// Verify/VerifyBegin/VerifyChunk/LoadDialect/ReloadDialect payloads carry
+/// a buffer name ahead of the content — `[2-byte LE name length][name]
+/// [content]` — so served diagnostics render the same "file" name an
+/// `irdl_opt` invocation would.
+std::string encodeNamedPayload(std::string_view Name,
+                               std::string_view Content);
+
+/// Splits a named payload; returns false if the header is malformed.
+bool decodeNamedPayload(std::string_view Payload, std::string_view &Name,
+                        std::string_view &Content);
+
+} // namespace serve
+} // namespace irdl
+
+#endif // IRDL_SERVER_PROTOCOL_H

@@ -1,0 +1,65 @@
+//===- Signal.cpp -----------------------------------------------------===//
+
+#include "support/Signal.h"
+
+#include <atomic>
+#include <csignal>
+#include <utility>
+
+#include <unistd.h>
+
+using namespace irdl;
+
+namespace {
+
+enum class Mode { None, ExitFlush, StopNotify };
+
+// Signal handlers cannot carry closures, so the installed callback lives in
+// a process-wide slot. Only one irdl handler is active at a time (drivers
+// install exactly one, in main, before spawning work).
+std::function<void()> &callbackSlot() {
+  static std::function<void()> Callback;
+  return Callback;
+}
+
+std::atomic<Mode> ActiveMode{Mode::None};
+std::atomic<bool> HandlerEntered{false};
+
+void handleSignal(int Signo) {
+  // Second signal while the first is still being serviced: the flush (or
+  // the graceful shutdown it requested) is stuck — bail out hard.
+  if (HandlerEntered.exchange(true, std::memory_order_acq_rel))
+    _exit(128 + Signo);
+  Mode M = ActiveMode.load(std::memory_order_acquire);
+  if (auto &Callback = callbackSlot())
+    Callback();
+  if (M == Mode::ExitFlush)
+    _exit(128 + Signo);
+  // StopNotify: return and let the interrupted thread resume; the server
+  // loop observes its stop flag and unwinds normally.
+  HandlerEntered.store(false, std::memory_order_release);
+}
+
+void installHandler(Mode M, std::function<void()> Callback) {
+  callbackSlot() = std::move(Callback);
+  ActiveMode.store(M, std::memory_order_release);
+  struct sigaction SA;
+  SA.sa_handler = handleSignal;
+  sigemptyset(&SA.sa_mask);
+  // Block the sibling signal while handling one so flush runs at most once.
+  sigaddset(&SA.sa_mask, SIGINT);
+  sigaddset(&SA.sa_mask, SIGTERM);
+  SA.sa_flags = 0; // No SA_RESTART: blocking accept/recv must return EINTR.
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+}
+
+} // namespace
+
+void irdl::installExitFlushHandler(std::function<void()> Flush) {
+  installHandler(Mode::ExitFlush, std::move(Flush));
+}
+
+void irdl::installStopNotifyHandler(std::function<void()> Notify) {
+  installHandler(Mode::StopNotify, std::move(Notify));
+}

@@ -1,0 +1,38 @@
+//===- Signal.h - Flush-on-interrupt signal handlers -------------*- C++ -*-===//
+///
+/// \file
+/// SIGINT/SIGTERM handling for the drivers: a one-shot interrupt handler
+/// that either flushes report artifacts (--metrics-json/--trace-json)
+/// before exiting with the conventional 128+signo status, or notifies a
+/// long-lived server loop to wind down gracefully. The drivers are
+/// synchronous tools, so running the flush callback from the handler is
+/// the pragmatic choice: the alternative (dropping the artifacts a CI job
+/// is about to collect) is strictly worse. Notify callbacks, in contrast,
+/// must stick to async-signal-safe work (atomic stores, closing an fd,
+/// writing a self-pipe).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_SUPPORT_SIGNAL_H
+#define IRDL_SUPPORT_SIGNAL_H
+
+#include <functional>
+
+namespace irdl {
+
+/// Installs a SIGINT/SIGTERM handler that invokes \p Flush once (a second
+/// signal during the flush exits immediately) and then _exits with
+/// 128+signo. Replaces any previously installed irdl handler.
+void installExitFlushHandler(std::function<void()> Flush);
+
+/// Installs a SIGINT/SIGTERM handler that invokes \p Notify and returns,
+/// leaving process shutdown to the normal control flow (the server's
+/// accept loop observing its stop flag). \p Notify runs in signal context
+/// and must only do async-signal-safe work. A second signal while a
+/// previous notification is still pending exits immediately (escape hatch
+/// for a hung shutdown).
+void installStopNotifyHandler(std::function<void()> Notify);
+
+} // namespace irdl
+
+#endif // IRDL_SUPPORT_SIGNAL_H

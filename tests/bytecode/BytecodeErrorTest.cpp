@@ -112,6 +112,102 @@ TEST(BytecodeError, TruncationAtEveryOffsetIsHandled) {
   }
 }
 
+/// Byte offsets of every structural seam in the section container: end of
+/// the header, each section's id byte, payload start, and payload end —
+/// the boundaries a socket read is most likely to chop at.
+std::vector<size_t> sectionBoundaries(const std::string &Buffer) {
+  std::vector<size_t> Bounds;
+  size_t Pos = 4; // magic
+  while (Pos < Buffer.size() &&
+         (static_cast<uint8_t>(Buffer[Pos]) & 0x80))
+    ++Pos;
+  ++Pos; // last version-varint byte
+  Bounds.push_back(Pos);
+  while (Pos < Buffer.size()) {
+    Bounds.push_back(Pos); // section id
+    ++Pos;
+    uint64_t Len = 0;
+    unsigned Shift = 0;
+    while (Pos < Buffer.size()) {
+      uint8_t B = static_cast<uint8_t>(Buffer[Pos++]);
+      Len |= static_cast<uint64_t>(B & 0x7F) << Shift;
+      Shift += 7;
+      if (!(B & 0x80))
+        break;
+    }
+    Bounds.push_back(Pos); // payload start
+    Pos += Len;
+    Bounds.push_back(Pos); // payload end
+  }
+  return Bounds;
+}
+
+TEST(BytecodeError, TruncationSweepAtSectionBoundaries) {
+  std::string Buffer = makeValidBuffer();
+  std::vector<size_t> Bounds = sectionBoundaries(Buffer);
+  // Strings + Specs + TypeAttrPool + IR: four sections, three seams each,
+  // plus the header end.
+  ASSERT_GE(Bounds.size(), 13u);
+  EXPECT_EQ(Bounds.back(), Buffer.size());
+  for (size_t Boundary : Bounds)
+    for (size_t Len : {Boundary - 1, Boundary, Boundary + 1}) {
+      // The full-length "chop" is the valid file itself; strict prefixes
+      // only.
+      if (Len >= Buffer.size())
+        continue;
+      std::string Rendered;
+      BytecodeReadResult Result;
+      bool Ok = tryRead(Buffer.substr(0, Len), &Rendered, &Result);
+      if (Ok) {
+        // Ending exactly after a completed section is a structurally
+        // valid smaller file — but never yields the full module.
+        EXPECT_FALSE(Result.Module) << "chopped at " << Len;
+      } else {
+        EXPECT_NE(Rendered.find("invalid bytecode"), std::string::npos)
+            << "chopped at " << Len << ": " << Rendered;
+      }
+    }
+}
+
+TEST(BytecodeError, HasSpecsPreScan) {
+  // Full buffer: specs + module.
+  std::string Full = makeValidBuffer();
+  EXPECT_TRUE(bytecodeBufferHasSpecs(Full));
+
+  // Module-only buffer.
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags(&SrcMgr);
+  auto M = loadIRDLFile(Ctx, std::string(IRDL_DIALECTS_DIR) +
+                                 "/cmath.irdl",
+                        SrcMgr, Diags);
+  ASSERT_NE(M, nullptr);
+  OwningOpRef IR = parseSourceString(
+      Ctx, "std.func @f(%p: !cmath.complex<f32>) { std.return }", SrcMgr,
+      Diags);
+  ASSERT_TRUE(IR) << Diags.renderAll();
+  BytecodeWriter ModuleOnly;
+  ModuleOnly.setModule(IR.get());
+  EXPECT_FALSE(bytecodeBufferHasSpecs(ModuleOnly.write()));
+
+  // Spec-only buffer.
+  BytecodeWriter SpecOnly;
+  SpecOnly.addModuleSpecs(*M);
+  std::string SpecBuffer = SpecOnly.write();
+  EXPECT_TRUE(bytecodeBufferHasSpecs(SpecBuffer));
+
+  // A prefix truncated inside the Specs payload still reports specs: the
+  // reader would register skeletons up to the truncation point, which is
+  // exactly what the server's pre-scan must reject.
+  EXPECT_TRUE(bytecodeBufferHasSpecs(
+      SpecBuffer.substr(0, SpecBuffer.size() - 1)));
+
+  // Non-bytecode and non-walkable buffers scan as spec-free (the reader
+  // itself fails on them before registering anything).
+  EXPECT_FALSE(bytecodeBufferHasSpecs("not bytecode"));
+  EXPECT_FALSE(bytecodeBufferHasSpecs("IRBC"));
+}
+
 TEST(BytecodeError, SingleByteCorruptionNeverCrashes) {
   std::string Buffer = makeValidBuffer();
   for (size_t I = 4; I < Buffer.size(); ++I) {

@@ -10,6 +10,8 @@
 
 #include "corpus/Corpus.h"
 #include "corpus/ModuleSynthesizer.h"
+#include "ir/Block.h"
+#include "ir/Region.h"
 #include "ir/Verifier.h"
 #include "support/Statistic.h"
 #include "support/Threading.h"
@@ -17,7 +19,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 using namespace irdl;
 
@@ -76,6 +80,77 @@ TEST(ThreadingDeterminismTest, RepeatedParallelVerifyIsStable) {
       First = Out;
     else
       EXPECT_EQ(Out, First) << "iteration " << I;
+  }
+  setGlobalThreadCount(0);
+}
+
+TEST(ThreadingDeterminismTest, ReplayOrderingAcrossEpochs) {
+  // The serving path (src/server) pins every streamed chunk to the epoch
+  // that was current at VERIFY_BEGIN, hands each worker a private
+  // DiagnosticEngine, and replays them in chunk order at VERIFY_END.
+  // Workers finish in arbitrary order; the replayed stream must come out
+  // in submission order regardless — including when consecutive chunks
+  // verified against different epochs (so their diagnostics were
+  // produced by engines with different SourceMgrs).
+  constexpr unsigned NumChunks = 16;
+  std::vector<DiagnosticEngine> Engines(NumChunks);
+  std::vector<std::thread> Workers;
+  // Reverse-staggered completion: chunk 15 finishes first, chunk 0 last.
+  for (unsigned I = 0; I != NumChunks; ++I)
+    Workers.emplace_back([&Engines, I]() {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds((NumChunks - I) * 100));
+      Engines[I]
+          .emitError("chunk " + std::to_string(I) + " epoch " +
+                     std::to_string(I % 2 ? 2 : 3))
+          .attachNote(SMLoc(), "from epoch-pinned engine");
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  DiagnosticEngine Sink;
+  for (const DiagnosticEngine &E : Engines)
+    Sink.replayAll(E);
+
+  ASSERT_EQ(Sink.getDiagnostics().size(), NumChunks);
+  std::string Expected;
+  for (unsigned I = 0; I != NumChunks; ++I)
+    Expected += "error: chunk " + std::to_string(I) + " epoch " +
+                std::to_string(I % 2 ? 2 : 3) +
+                "\nnote: from epoch-pinned engine\n";
+  EXPECT_EQ(Sink.renderAll(), Expected);
+  EXPECT_EQ(Sink.getNumErrors(), NumChunks);
+}
+
+TEST(ThreadingDeterminismTest, IncrementalVerifyMatchesSequential) {
+  // verifyOpsIncremental is the chunk driver behind the serve stream:
+  // the ops of one chunk verified in parallel with per-op engines, then
+  // replayed in op order with fail-fast. Its verdict and stream must
+  // match the sequential loop for every corpus dialect.
+  IRContext Ctx;
+  SourceMgr SrcMgr;
+  DiagnosticEngine Diags(&SrcMgr);
+  CorpusLoadResult Corpus = loadSyntheticCorpus(Ctx, SrcMgr, Diags);
+  ASSERT_TRUE(static_cast<bool>(Corpus)) << Diags.renderAll();
+
+  for (const auto &Spec : Corpus.AnalysisDialects) {
+    OwningOpRef M = synthesizeModule(Ctx, *Spec);
+    ASSERT_TRUE(static_cast<bool>(M)) << Spec->Name;
+    std::vector<Operation *> Ops;
+    for (Operation &Op : M->getRegion(0).front())
+      Ops.push_back(&Op);
+
+    setGlobalThreadCount(1);
+    DiagnosticEngine Seq(&SrcMgr);
+    bool SeqOk = succeeded(verifyOpsIncremental(Ops, Seq));
+
+    setGlobalThreadCount(8);
+    DiagnosticEngine Par(&SrcMgr);
+    bool ParOk = succeeded(verifyOpsIncremental(Ops, Par));
+
+    EXPECT_EQ(SeqOk, ParOk) << "verdict diverged for " << Spec->Name;
+    EXPECT_EQ(Seq.renderAll(), Par.renderAll())
+        << "diagnostics diverged for " << Spec->Name;
   }
   setGlobalThreadCount(0);
 }
