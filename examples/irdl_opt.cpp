@@ -11,7 +11,7 @@
 ///            [--mt=0|1|N] [--compiled-constraints=0|1] [--timing]
 ///            [--stats] [--stats-json=FILE] [--trace-json=FILE]
 ///            [--metrics] [--metrics-json=FILE] [--profile-constraints]
-///            [input.mlir]
+///            [--spec-cache-dir=DIR] [input.mlir]
 ///
 /// With no --dialect, loads dialects/cmath.irdl. With no input, reads
 /// stdin. Unknown flags and unknown pass names are hard errors. Both
@@ -45,6 +45,12 @@
 ///   --emit-bytecode    write the result module (plus every dialect
 ///                      loaded from text) as bytecode instead of text;
 ///                      with =FILE to disk, otherwise to stdout
+///   --spec-cache-dir=DIR
+///                      cache compiled dialect specs on disk, keyed by
+///                      the content hash of their source: a hit replaces
+///                      the IRDL frontend with an mmap'd bytecode load
+///                      whose compiled constraint programs alias the
+///                      mapping (docs/serialization.md)
 ///
 /// Examples:
 ///
@@ -54,6 +60,7 @@
 ///   build/examples/irdl_opt out.irbc   # reads dialects + IR back
 
 #include "bytecode/Bytecode.h"
+#include "bytecode/SpecCache.h"
 #include "ir/Block.h"
 #include "ir/IRParser.h"
 #include "ir/Pass.h"
@@ -63,6 +70,8 @@
 #include "irdl/ConstraintProfiler.h"
 #include "irdl/IRDL.h"
 #include "support/File.h"
+#include "support/Hashing.h"
+#include "support/MappedFile.h"
 #include "support/Metrics.h"
 #include "support/Signal.h"
 #include "support/Statistic.h"
@@ -117,6 +126,7 @@ int main(int argc, char **argv) {
   std::string BytecodeFile;
   std::string StatsJsonFile;
   std::string MetricsJsonFile;
+  std::string SpecCacheDir;
   bool EmitBytecode = false;
   bool Generic = false;
   bool Timing = false;
@@ -173,6 +183,13 @@ int main(int argc, char **argv) {
         return 1;
       }
     }
+    else if (Arg.rfind("--spec-cache-dir=", 0) == 0) {
+      SpecCacheDir = Arg.substr(std::string("--spec-cache-dir=").size());
+      if (SpecCacheDir.empty()) {
+        std::cerr << "--spec-cache-dir= requires a directory name\n";
+        return 1;
+      }
+    }
     else if (Arg == "--emit-bytecode")
       EmitBytecode = true;
     else if (Arg.rfind("--emit-bytecode=", 0) == 0) {
@@ -224,7 +241,8 @@ int main(int argc, char **argv) {
                    "                [--stats-json=FILE] [--trace-json=FILE] "
                    "[--metrics]\n"
                    "                [--metrics-json=FILE] "
-                   "[--profile-constraints] [input]\n";
+                   "[--profile-constraints]\n"
+                   "                [--spec-cache-dir=DIR] [input]\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "unknown option " << Arg << " (see --help)\n";
@@ -332,21 +350,48 @@ int main(int argc, char **argv) {
   {
     IRDL_TIME_SCOPE("load-dialects");
     for (const std::string &Path : DialectFiles) {
-      std::string Buffer, Error;
-      if (failed(readFileToString(Path, Buffer, Error))) {
+      std::string Error;
+      std::shared_ptr<MappedFile> File = MappedFile::open(Path, Error);
+      if (!File) {
         std::cerr << "cannot read dialect file " << Path << ": " << Error
                   << "\n";
         return 1;
       }
-      if (isBytecodeBuffer(Buffer)) {
+      if (isBytecodeBuffer(File->data())) {
+        // Zero-copy: compiled programs in the buffer alias the mapping,
+        // which they keep alive past this scope.
         BytecodeReader Reader(Ctx, Diags);
         BytecodeReadResult Result;
-        if (failed(Reader.read(Buffer, Result))) {
+        if (failed(Reader.read(File->data(), Result, Path, File))) {
           std::cerr << Diags.renderAll();
           return 1;
         }
         if (Result.Specs)
           LoadedSpecs.append(std::move(*Result.Specs));
+        continue;
+      }
+      std::string Buffer(File->data());
+      File.reset();
+      if (!SpecCacheDir.empty()) {
+        // Content-hash cache: a prior run already parsed, compiled, and
+        // serialized this exact text — mmap-load the compiled entry
+        // instead of running the frontend.
+        uint64_t Hash = hashSpecBuffer(Buffer);
+        BytecodeReadResult Cached;
+        if (succeeded(loadCachedSpec(SpecCacheDir, Hash, Ctx, Diags,
+                                     Cached)) &&
+            Cached.Specs) {
+          LoadedSpecs.append(std::move(*Cached.Specs));
+          continue;
+        }
+        auto Loaded = loadIRDL(Ctx, Buffer, SrcMgr, Diags, {}, Path);
+        if (!Loaded) {
+          std::cerr << Diags.renderAll();
+          return 1;
+        }
+        if (failed(storeCachedSpec(SpecCacheDir, Hash, *Loaded, Diags)))
+          std::cerr << Diags.renderAll();
+        LoadedSpecs.append(std::move(*Loaded));
         continue;
       }
       auto Loaded = loadIRDL(Ctx, Buffer, SrcMgr, Diags, {}, Path);
@@ -362,7 +407,8 @@ int main(int argc, char **argv) {
   if (isBytecodeBuffer(Input)) {
     BytecodeReader Reader(Ctx, Diags);
     BytecodeReadResult Result;
-    if (failed(Reader.read(Input, Result))) {
+    if (failed(Reader.read(Input, Result,
+                           InputFile.empty() ? "<stdin>" : InputFile))) {
       std::cerr << Diags.renderAll();
       return 1;
     }

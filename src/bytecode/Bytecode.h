@@ -75,6 +75,12 @@ public:
   /// The operation is not modified; it must outlive write().
   void setModule(Operation *Root);
 
+  /// Records the 64-bit content hash of the source this buffer is being
+  /// generated from. Nonzero hashes are emitted into the Meta section,
+  /// which the on-disk spec cache checks to invalidate stale entries
+  /// (docs/serialization.md, "Spec cache").
+  void setSourceHash(uint64_t Hash);
+
   /// Renders the full buffer: magic, version, and all sections.
   std::string write();
 
@@ -93,6 +99,9 @@ private:
 struct BytecodeReadResult {
   std::unique_ptr<IRDLModule> Specs;
   OwningOpRef Module;
+  /// The source content hash from the Meta section, or 0 when the buffer
+  /// carries none.
+  uint64_t SourceHash = 0;
 };
 
 /// Deserializes `.irbc` buffers into an IRContext. Dialect specs are
@@ -113,7 +122,19 @@ public:
   /// Reads \p Buffer. On failure returns failure() with diagnostics
   /// emitted; the context may then contain partially registered dialect
   /// skeletons (same contract as a failed textual loadIRDL).
-  LogicalResult read(std::string_view Buffer, BytecodeReadResult &Result);
+  ///
+  /// \p BufferName, when nonempty, labels diagnostics that concern the
+  /// buffer as a whole (version mismatch, bad magic) so a failing
+  /// `--dialect foo.irbc` names the offending file.
+  ///
+  /// \p Backing, when non-null, asserts that \p Buffer stays valid for
+  /// as long as \p Backing is referenced — typically the MappedFile the
+  /// view points into. The reader then backs compiled-program storage
+  /// directly by the buffer (zero-copy) instead of copying; programs
+  /// keep a reference so the mapping outlives them.
+  LogicalResult read(std::string_view Buffer, BytecodeReadResult &Result,
+                     std::string BufferName = {},
+                     std::shared_ptr<const void> Backing = nullptr);
 
 private:
   struct Impl;
@@ -137,6 +158,14 @@ LogicalResult readBytecodeFile(const std::string &Path, IRContext &Ctx,
                                DiagnosticEngine &Diags,
                                BytecodeReadResult &Result,
                                const IRDLLoadOptions &Opts = {});
+
+/// Like readBytecodeFile, but memory-maps \p Path (support/MappedFile)
+/// and reads zero-copy: compiled-program storage aliases the read-only
+/// mapping, which stays alive for as long as any loaded program does.
+LogicalResult readBytecodeFileMapped(const std::string &Path, IRContext &Ctx,
+                                     DiagnosticEngine &Diags,
+                                     BytecodeReadResult &Result,
+                                     const IRDLLoadOptions &Opts = {});
 
 } // namespace irdl
 

@@ -12,11 +12,13 @@
 #include "bytecode/Bytecode.h"
 
 #include "bytecode/Encoding.h"
+#include "bytecode/ProgramSerializer.h"
 #include "ir/Block.h"
 #include "ir/Region.h"
 #include "irdl/CppExpr.h"
 #include "irdl/Registration.h"
 #include "support/File.h"
+#include "support/MappedFile.h"
 #include "support/Metrics.h"
 #include "support/Statistic.h"
 #include "support/Timing.h"
@@ -83,6 +85,21 @@ struct BytecodeReader::Impl {
 
   std::vector<std::string_view> Strings;
   bool StringsRead = false;
+  /// Names whole-buffer diagnostics (bad magic, version mismatch) after
+  /// the file the buffer came from; empty for anonymous buffers.
+  std::string BufferName;
+  /// Keeps the input buffer alive when program storage aliases it
+  /// (mmap-backed reads); null for owned buffers, which forces the
+  /// copy-decode path in ProgramReader.
+  std::shared_ptr<const void> Backing;
+
+  /// Specs decoded from the Specs section but not yet registered:
+  /// registration (which compiles any constraint slot lacking a program)
+  /// is deferred until after the Programs section has had a chance to
+  /// install serialized programs into these slots.
+  std::vector<std::shared_ptr<DialectSpec>> PendingSpecs;
+  bool HaveSpecs = false;
+  bool SpecsRegistered = false;
   /// Combined type/attribute pool; every entry is a Type or Attr
   /// ParamValue.
   std::vector<ParamValue> Pool;
@@ -902,8 +919,7 @@ struct BytecodeReader::Impl {
     return success();
   }
 
-  LogicalResult readSpecsSection(BytecodeCursor &C,
-                                 BytecodeReadResult &Result) {
+  LogicalResult readSpecsSection(BytecodeCursor &C) {
     IRDL_TIME_SCOPE("read-specs");
     uint64_t NumDialects;
     if (!readCount(C, "dialect count", NumDialects))
@@ -949,16 +965,152 @@ struct BytecodeReader::Impl {
         return BC.error("trailing bytes in dialect body");
     }
 
-    // Pass 3: the regular registration pass — verifiers, terminator
-    // flags, format hooks — identical to a textual load.
+    // Pass 3 — registration — is deferred to ensureSpecsRegistered(): a
+    // Programs section, when present, installs serialized constraint
+    // programs into the spec slots first, so registration skips
+    // recompiling them.
+    HaveSpecs = true;
+    for (PendingDialect &P : Pending)
+      PendingSpecs.push_back(std::move(P.Spec));
+    return success();
+  }
+
+  /// Runs the regular registration pass — verifiers, terminator flags,
+  /// format hooks, and compilation of any constraint slot that did not
+  /// arrive with a serialized program — over the decoded specs. Called
+  /// once, after the Programs section (if any) and before any section
+  /// that needs the dialects registered.
+  LogicalResult ensureSpecsRegistered(BytecodeReadResult &Result) {
+    if (SpecsRegistered || !HaveSpecs)
+      return success();
+    SpecsRegistered = true;
     auto Module = std::make_unique<IRDLModule>();
-    for (PendingDialect &P : Pending) {
-      if (failed(registerDialectSpec(P.Spec, Ctx, Diags, Opts)))
+    for (std::shared_ptr<DialectSpec> &Spec : PendingSpecs) {
+      if (failed(registerDialectSpec(Spec, Ctx, Diags, Opts)))
         return failure();
-      Module->Dialects.push_back(std::move(P.Spec));
+      Module->Dialects.push_back(std::move(Spec));
       ++NumSpecsRead;
     }
+    PendingSpecs.clear();
     Result.Specs = std::move(Module);
+    return success();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Programs section
+  //===------------------------------------------------------------------===//
+
+  /// Decodes the compiled-program section into the pending specs'
+  /// constraint slots. Slot order and counts are implied by the Specs
+  /// section (already decoded); the section carries only a per-dialect
+  /// presence byte plus the programs themselves.
+  LogicalResult readProgramsSection(BytecodeCursor &C) {
+    IRDL_TIME_SCOPE("read-programs");
+    uint8_t PadCount;
+    if (!C.readByte(PadCount))
+      return failure();
+    if (PadCount >= ProgramSectionAlign)
+      return C.error("program section pad count " +
+                     std::to_string(PadCount) + " exceeds alignment");
+    std::string_view Pad;
+    if (!C.readBytes(PadCount, Pad))
+      return failure();
+    if (C.offset() % ProgramSectionAlign != 0)
+      return C.error("program section body is misaligned (offset " +
+                     std::to_string(C.offset()) + " mod " +
+                     std::to_string(ProgramSectionAlign) + " != 0)");
+
+    uint64_t NumDialects;
+    if (!readCount(C, "program dialect count", NumDialects))
+      return failure();
+    if (NumDialects != PendingSpecs.size())
+      return C.error("program section covers " + std::to_string(NumDialects) +
+                     " dialects but the spec section has " +
+                     std::to_string(PendingSpecs.size()));
+
+    ProgramReader PR(Ctx, Diags, Opts, Strings, Backing);
+    auto ReadParams = [&](std::vector<ParamSpec> &Params, uint64_t NumVars,
+                          const std::vector<ConstraintProgramPtr> &Vars) {
+      for (ParamSpec &P : Params) {
+        ConstraintProgramPtr Prog;
+        if (failed(PR.readOptional(C, NumVars, /*WithVarPrograms=*/false,
+                                   Vars, Prog)))
+          return failure();
+        P.Prog = std::move(Prog);
+      }
+      return success();
+    };
+    auto ReadOperands = [&](std::vector<OperandSpec> &Specs, uint64_t NumVars,
+                            const std::vector<ConstraintProgramPtr> &Vars) {
+      for (OperandSpec &S : Specs) {
+        ConstraintProgramPtr Prog;
+        if (failed(PR.readOptional(C, NumVars, /*WithVarPrograms=*/false,
+                                   Vars, Prog)))
+          return failure();
+        S.Prog = std::move(Prog);
+      }
+      return success();
+    };
+
+    for (std::shared_ptr<DialectSpec> &Spec : PendingSpecs) {
+      uint8_t HasPrograms;
+      if (!C.readByte(HasPrograms))
+        return failure();
+      if (HasPrograms > 1)
+        return C.error("invalid program presence byte " +
+                       std::to_string(HasPrograms));
+      if (!HasPrograms)
+        continue;
+      static const std::vector<ConstraintProgramPtr> NoVars;
+      for (TypeOrAttrSpec &TA : Spec->Types)
+        if (failed(ReadParams(TA.Params, 0, NoVars)))
+          return failure();
+      for (TypeOrAttrSpec &TA : Spec->Attrs)
+        if (failed(ReadParams(TA.Params, 0, NoVars)))
+          return failure();
+      for (OpSpec &Op : Spec->Ops) {
+        uint64_t NumVarPrograms;
+        if (!readCount(C, "variable program count", NumVarPrograms))
+          return failure();
+        if (NumVarPrograms != Op.VarConstraints.size())
+          return C.error("operation '" + Op.Name + "' has " +
+                         std::to_string(Op.VarConstraints.size()) +
+                         " constraint variables but the program section "
+                         "carries " +
+                         std::to_string(NumVarPrograms));
+        std::vector<ConstraintProgramPtr> Vars;
+        Vars.reserve(NumVarPrograms);
+        for (uint64_t I = 0; I != NumVarPrograms; ++I) {
+          ConstraintProgramPtr VP;
+          if (failed(PR.readOptional(C, /*NumVars=*/0,
+                                     /*WithVarPrograms=*/false, NoVars, VP)))
+            return failure();
+          Vars.push_back(std::move(VP));
+        }
+        uint64_t NumVars = Vars.size();
+        if (failed(ReadOperands(Op.Operands, NumVars, Vars)) ||
+            failed(ReadOperands(Op.Results, NumVars, Vars)) ||
+            failed(ReadParams(Op.Attributes, NumVars, Vars)))
+          return failure();
+        for (RegionSpec &R : Op.Regions)
+          if (failed(ReadOperands(R.Args, NumVars, Vars)))
+            return failure();
+        Op.VarPrograms = std::move(Vars);
+      }
+    }
+    return success();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Meta section
+  //===------------------------------------------------------------------===//
+
+  LogicalResult readMetaSection(BytecodeCursor &C,
+                                BytecodeReadResult &Result) {
+    uint64_t Hash;
+    if (!C.readFixed64(Hash))
+      return failure();
+    Result.SourceHash = Hash;
     return success();
   }
 
@@ -1113,10 +1265,16 @@ struct BytecodeReader::Impl {
   // Top level
   //===------------------------------------------------------------------===//
 
+  /// Prefixes whole-buffer diagnostics with the buffer's name, when one
+  /// was supplied — a failing `--dialect foo.irbc` then names the file.
+  std::string named(std::string Msg) const {
+    return BufferName.empty() ? Msg : BufferName + ": " + std::move(Msg);
+  }
+
   LogicalResult read(std::string_view Buffer, BytecodeReadResult &Result) {
     IRDL_TIME_SCOPE("bytecode-read");
     if (!isBytecodeBuffer(Buffer)) {
-      Diags.emitError(SMLoc(), "not an .irbc buffer (bad magic)");
+      Diags.emitError(SMLoc(), named("not an .irbc buffer (bad magic)"));
       return failure();
     }
     NumBytesRead += Buffer.size();
@@ -1125,9 +1283,10 @@ struct BytecodeReader::Impl {
     if (!C.readVarInt(Version))
       return failure();
     if (Version != FormatVersion) {
-      Diags.emitError(SMLoc(), "unsupported bytecode version " +
-                                   std::to_string(Version) + " (expected " +
-                                   std::to_string(FormatVersion) + ")");
+      Diags.emitError(SMLoc(),
+                      named("unsupported bytecode version " +
+                            std::to_string(Version) + " (expected " +
+                            std::to_string(FormatVersion) + ")"));
       return failure();
     }
 
@@ -1136,12 +1295,12 @@ struct BytecodeReader::Impl {
       uint8_t Id;
       if (!C.readByte(Id))
         return failure();
-      if (Id <= LastId || Id > static_cast<uint8_t>(SectionId::IR))
+      if (Id <= LastId || Id > static_cast<uint8_t>(SectionId::Meta))
         return C.error("unknown, duplicate, or out-of-order section id " +
                        std::to_string(Id));
       LastId = Id;
       uint64_t Len;
-      if (!C.readVarInt(Len))
+      if (!C.readFixed64(Len))
         return failure();
       size_t PayloadBase = C.offset();
       std::string_view Payload;
@@ -1151,6 +1310,12 @@ struct BytecodeReader::Impl {
         return C.error("section " + std::to_string(Id) +
                        " precedes the string table");
 
+      // Spec registration waits for the Programs section (which installs
+      // serialized programs); any later section needs it done.
+      if (Id > static_cast<uint8_t>(SectionId::Programs) &&
+          failed(ensureSpecsRegistered(Result)))
+        return failure();
+
       BytecodeCursor SC(Payload, Diags, PayloadBase);
       LogicalResult SectionResult = success();
       switch (static_cast<SectionId>(Id)) {
@@ -1158,7 +1323,10 @@ struct BytecodeReader::Impl {
         SectionResult = readStringsSection(SC);
         break;
       case SectionId::Specs:
-        SectionResult = readSpecsSection(SC, Result);
+        SectionResult = readSpecsSection(SC);
+        break;
+      case SectionId::Programs:
+        SectionResult = readProgramsSection(SC);
         break;
       case SectionId::TypeAttrPool:
         SectionResult = readPoolSection(SC);
@@ -1166,13 +1334,16 @@ struct BytecodeReader::Impl {
       case SectionId::IR:
         SectionResult = readIRSection(SC, Result);
         break;
+      case SectionId::Meta:
+        SectionResult = readMetaSection(SC, Result);
+        break;
       }
       if (failed(SectionResult))
         return failure();
       if (!SC.atEnd())
         return SC.error("trailing bytes in section " + std::to_string(Id));
     }
-    return success();
+    return ensureSpecsRegistered(Result);
   }
 };
 
@@ -1200,7 +1371,7 @@ bool irdl::bytecodeBufferHasSpecs(std::string_view Buffer) {
     if (Id == static_cast<uint8_t>(SectionId::Specs))
       return true;
     uint64_t Len;
-    if (!C.readVarInt(Len))
+    if (!C.readFixed64(Len))
       return false;
     std::string_view Skipped;
     if (!C.readBytes(Len, Skipped))
@@ -1210,8 +1381,12 @@ bool irdl::bytecodeBufferHasSpecs(std::string_view Buffer) {
 }
 
 LogicalResult BytecodeReader::read(std::string_view Buffer,
-                                   BytecodeReadResult &Result) {
+                                   BytecodeReadResult &Result,
+                                   std::string BufferName,
+                                   std::shared_ptr<const void> Backing) {
   Impl I(Ctx, Diags, Opts);
+  I.BufferName = std::move(BufferName);
+  I.Backing = std::move(Backing);
   if (!metricsEnabled())
     return I.read(Buffer, Result);
 
@@ -1278,5 +1453,23 @@ LogicalResult irdl::readBytecodeFile(const std::string &Path, IRContext &Ctx,
     return failure();
   }
   BytecodeReader Reader(Ctx, Diags, Opts);
-  return Reader.read(Buffer, Result);
+  return Reader.read(Buffer, Result, Path);
+}
+
+LogicalResult irdl::readBytecodeFileMapped(const std::string &Path,
+                                           IRContext &Ctx,
+                                           DiagnosticEngine &Diags,
+                                           BytecodeReadResult &Result,
+                                           const IRDLLoadOptions &Opts) {
+  std::string Error;
+  std::shared_ptr<MappedFile> File = MappedFile::open(Path, Error);
+  if (!File) {
+    Diags.emitError(SMLoc(), Error);
+    return failure();
+  }
+  BytecodeReader Reader(Ctx, Diags, Opts);
+  // The mapping is handed to the reader as the backing object: compiled
+  // programs that alias it keep it referenced, so the mapping lives for
+  // exactly as long as any zero-copy program does.
+  return Reader.read(File->data(), Result, Path, File);
 }

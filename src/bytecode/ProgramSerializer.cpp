@@ -1,0 +1,648 @@
+//===- ProgramSerializer.cpp - ConstraintProgram <-> .irbc ----------------===//
+
+#include "bytecode/ProgramSerializer.h"
+
+#include "ir/Context.h"
+#include "irdl/CppExpr.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <tuple>
+#include <type_traits>
+
+using namespace irdl;
+using namespace irdl::bytecode;
+
+// The zero-copy contract: the wire form of the flat arrays is exactly
+// the in-memory form on a little-endian host. Any change to CInstr's
+// layout is a bytecode format break (bump FormatVersion).
+static_assert(sizeof(CInstr) == 12, "CInstr wire layout changed");
+static_assert(std::is_trivially_copyable_v<CInstr>,
+              "CInstr must be memcpy-safe");
+static_assert(offsetof(CInstr, Op) == 0 && offsetof(CInstr, Flags) == 1 &&
+                  offsetof(CInstr, NumChildren) == 2 &&
+                  offsetof(CInstr, A) == 4 &&
+                  offsetof(CInstr, ChildrenBegin) == 8,
+              "CInstr field order changed");
+
+static constexpr bool HostIsLittleEndian =
+    std::endian::native == std::endian::little;
+
+/// Known CInstr flag bits; anything else in a decoded buffer is corrupt.
+static constexpr uint8_t KnownFlags =
+    CInstr::FlagBaseOnly | CInstr::FlagMemo;
+
+namespace {
+/// Dispatch-table key kinds on the wire.
+enum class TableKeyKind : uint8_t { Type = 0, Attr = 1 };
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Writing
+//===----------------------------------------------------------------------===//
+
+void ProgramWriter::writeOptional(const ConstraintProgram *P,
+                                  bool WithVarPrograms) {
+  Body.writeByte(P ? 1 : 0);
+  if (P)
+    writeProgram(*P, WithVarPrograms);
+}
+
+void ProgramWriter::writeProgram(const ConstraintProgram &P,
+                                 bool WithVarPrograms) {
+  Body.writeVarInt(P.InstrCount);
+  Body.writeVarInt(P.ChildCount);
+  Body.writeVarInt(P.TableAltCount);
+
+  // The three flat arrays, raw little-endian at 8-aligned (body-relative
+  // == absolute) offsets. Field-wise emission keeps the file identical
+  // regardless of host endianness.
+  Body.alignTo(ProgramSectionAlign);
+  for (uint32_t I = 0; I != P.InstrCount; ++I) {
+    const CInstr &Ins = P.InstrArr[I];
+    Body.writeByte(static_cast<uint8_t>(Ins.Op));
+    Body.writeByte(Ins.Flags);
+    Body.writeByte(static_cast<uint8_t>(Ins.NumChildren));
+    Body.writeByte(static_cast<uint8_t>(Ins.NumChildren >> 8));
+    Body.writeFixed32(Ins.A);
+    Body.writeFixed32(Ins.ChildrenBegin);
+  }
+  Body.alignTo(ProgramSectionAlign);
+  for (uint32_t I = 0; I != P.ChildCount; ++I)
+    Body.writeFixed32(P.ChildArr[I]);
+  Body.alignTo(ProgramSectionAlign);
+  for (uint32_t I = 0; I != P.TableAltCount; ++I)
+    Body.writeFixed32(P.TableAltArr[I]);
+
+  // Pools. Uniqued definition pointers travel as qualified names and are
+  // re-resolved against the destination context.
+  Body.writeVarInt(P.TypeDefs.size());
+  for (const TypeDefinition *Def : P.TypeDefs)
+    WriteString(Body, Def->getFullName());
+  Body.writeVarInt(P.AttrDefs.size());
+  for (const AttrDefinition *Def : P.AttrDefs)
+    WriteString(Body, Def->getFullName());
+  Body.writeVarInt(P.Ints.size());
+  for (const IntVal &V : P.Ints) {
+    Body.writeVarInt(V.Width);
+    Body.writeByte(static_cast<uint8_t>(V.Sign));
+    Body.writeSignedVarInt(V.Value);
+  }
+  Body.writeVarInt(P.Floats.size());
+  for (const FloatVal &V : P.Floats) {
+    Body.writeVarInt(V.Width);
+    Body.writeDouble(V.Value);
+  }
+  Body.writeVarInt(P.Strings.size());
+  for (const std::string &S : P.Strings)
+    WriteString(Body, S);
+  Body.writeVarInt(P.EnumDefs.size());
+  for (const EnumDef *Def : P.EnumDefs)
+    WriteString(Body, Def->getFullName());
+  Body.writeVarInt(P.EnumVals.size());
+  for (const EnumVal &V : P.EnumVals) {
+    WriteString(Body, V.Def->getFullName());
+    Body.writeVarInt(V.Index);
+  }
+  // std::function slots travel as the sources/names they were built
+  // from; the reader recompiles / re-resolves them.
+  Body.writeVarInt(P.CppSrcs.size());
+  for (const std::string &Src : P.CppSrcs)
+    WriteString(Body, Src);
+  Body.writeVarInt(P.NativeNames.size());
+  for (const std::string &Name : P.NativeNames)
+    WriteString(Body, Name);
+
+  // Dispatch tables: (key kind, key pool index, alt slice) triples. The
+  // slices index the TableAlts array written above; entries are sorted
+  // for byte-deterministic output (unordered_map iteration is not).
+  Body.writeVarInt(P.Tables.size());
+  for (const ConstraintProgram::DispatchTable &Table : P.Tables) {
+    struct Entry {
+      TableKeyKind Kind;
+      uint32_t PoolIdx;
+      uint32_t Begin;
+      uint32_t Count;
+    };
+    std::vector<Entry> Entries;
+    Entries.reserve(Table.Map.size());
+    for (const auto &[Key, Slice] : Table.Map) {
+      Entry E{TableKeyKind::Type, 0, Slice.first, Slice.second};
+      bool Found = false;
+      for (uint32_t I = 0; I != P.TypeDefs.size() && !Found; ++I)
+        if (P.TypeDefs[I] == Key) {
+          E.Kind = TableKeyKind::Type;
+          E.PoolIdx = I;
+          Found = true;
+        }
+      for (uint32_t I = 0; I != P.AttrDefs.size() && !Found; ++I)
+        if (P.AttrDefs[I] == Key) {
+          E.Kind = TableKeyKind::Attr;
+          E.PoolIdx = I;
+          Found = true;
+        }
+      assert(Found && "dispatch key missing from definition pools");
+      Entries.push_back(E);
+    }
+    std::sort(Entries.begin(), Entries.end(),
+              [](const Entry &A, const Entry &B) {
+                return std::tie(A.Kind, A.PoolIdx) <
+                       std::tie(B.Kind, B.PoolIdx);
+              });
+    Body.writeVarInt(Entries.size());
+    for (const Entry &E : Entries) {
+      Body.writeByte(static_cast<uint8_t>(E.Kind));
+      Body.writeVarInt(E.PoolIdx);
+      Body.writeVarInt(E.Begin);
+      Body.writeVarInt(E.Count);
+    }
+  }
+
+  if (WithVarPrograms) {
+    Body.writeVarInt(P.VarPrograms.size());
+    for (const ConstraintProgramPtr &VP : P.VarPrograms)
+      writeOptional(VP.get(), /*WithVarPrograms=*/false);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reading
+//===----------------------------------------------------------------------===//
+
+bool ProgramReader::readString(BytecodeCursor &C, std::string_view &Out) {
+  uint64_t Id;
+  if (!C.readVarIntBelow(Strings.size(), "string index", Id))
+    return false;
+  Out = Strings[Id];
+  return true;
+}
+
+LogicalResult
+ProgramReader::readOptional(BytecodeCursor &C, uint64_t NumVars,
+                            bool WithVarPrograms,
+                            std::vector<ConstraintProgramPtr> VarPrograms,
+                            ConstraintProgramPtr &Out) {
+  Out = nullptr;
+  uint8_t Present;
+  if (!C.readByte(Present))
+    return failure();
+  if (Present > 1) {
+    C.error("invalid program presence byte " + std::to_string(Present));
+    return failure();
+  }
+  if (!Present)
+    return success();
+  std::shared_ptr<ConstraintProgram> P =
+      readProgram(C, NumVars, WithVarPrograms);
+  if (!P)
+    return failure();
+  if (!WithVarPrograms)
+    P->VarPrograms = std::move(VarPrograms);
+  Out = std::move(P);
+  return success();
+}
+
+std::shared_ptr<ConstraintProgram>
+ProgramReader::readProgram(BytecodeCursor &C, uint64_t NumVars,
+                           bool WithVarPrograms) {
+  auto P = std::make_shared<ConstraintProgram>();
+
+  uint64_t NumInstrs, NumChildren, NumTableAlts;
+  // Each instruction/index occupies a fixed byte count, so the remaining
+  // payload bounds the plausible element counts — corrupt sizes are
+  // rejected before any allocation.
+  if (!C.readVarIntBelow(C.remaining() / sizeof(CInstr) + 1,
+                         "program instruction count", NumInstrs) ||
+      !C.readVarIntBelow(C.remaining() / sizeof(uint32_t) + 1,
+                         "program child count", NumChildren) ||
+      !C.readVarIntBelow(C.remaining() / sizeof(uint32_t) + 1,
+                         "program table-alt count", NumTableAlts))
+    return nullptr;
+  if (NumInstrs == 0) {
+    C.error("empty constraint program");
+    return nullptr;
+  }
+
+  // The flat arrays. Zero-copy when the memory cooperates; otherwise a
+  // field-wise copy-decode with identical semantics.
+  auto ReadArray = [&](size_t ElemSize, uint64_t Count,
+                       std::string_view &Raw) {
+    if (!C.skipAlignment(ProgramSectionAlign))
+      return false;
+    return C.readBytes(Count * ElemSize, Raw);
+  };
+  auto CanAlias = [&](std::string_view Raw, size_t Align) {
+    return HostIsLittleEndian && Backing &&
+           reinterpret_cast<uintptr_t>(Raw.data()) % Align == 0;
+  };
+
+  std::string_view RawInstrs, RawChildren, RawAlts;
+  if (!ReadArray(sizeof(CInstr), NumInstrs, RawInstrs) ||
+      !ReadArray(sizeof(uint32_t), NumChildren, RawChildren) ||
+      !ReadArray(sizeof(uint32_t), NumTableAlts, RawAlts))
+    return nullptr;
+
+  bool Aliased = false;
+  if (CanAlias(RawInstrs, alignof(CInstr))) {
+    P->InstrArr = reinterpret_cast<const CInstr *>(RawInstrs.data());
+    Aliased = true;
+  } else {
+    P->OwnedInstrs.resize(NumInstrs);
+    for (uint64_t I = 0; I != NumInstrs; ++I) {
+      const unsigned char *B = reinterpret_cast<const unsigned char *>(
+          RawInstrs.data() + I * sizeof(CInstr));
+      CInstr &Ins = P->OwnedInstrs[I];
+      Ins.Op = static_cast<COpcode>(B[0]);
+      Ins.Flags = B[1];
+      Ins.NumChildren = static_cast<uint16_t>(B[2] | (B[3] << 8));
+      Ins.A = static_cast<uint32_t>(B[4]) | (static_cast<uint32_t>(B[5]) << 8) |
+              (static_cast<uint32_t>(B[6]) << 16) |
+              (static_cast<uint32_t>(B[7]) << 24);
+      Ins.ChildrenBegin = static_cast<uint32_t>(B[8]) |
+                          (static_cast<uint32_t>(B[9]) << 8) |
+                          (static_cast<uint32_t>(B[10]) << 16) |
+                          (static_cast<uint32_t>(B[11]) << 24);
+    }
+    P->InstrArr = P->OwnedInstrs.data();
+  }
+  P->InstrCount = static_cast<uint32_t>(NumInstrs);
+
+  auto BindU32Array = [&](std::string_view Raw, uint64_t Count,
+                          const uint32_t *&Arr, uint32_t &CountOut,
+                          std::vector<uint32_t> &Owned) {
+    if (CanAlias(Raw, alignof(uint32_t))) {
+      Arr = reinterpret_cast<const uint32_t *>(Raw.data());
+      Aliased = true;
+    } else {
+      Owned.resize(Count);
+      for (uint64_t I = 0; I != Count; ++I) {
+        const unsigned char *B = reinterpret_cast<const unsigned char *>(
+            Raw.data() + I * sizeof(uint32_t));
+        Owned[I] = static_cast<uint32_t>(B[0]) |
+                   (static_cast<uint32_t>(B[1]) << 8) |
+                   (static_cast<uint32_t>(B[2]) << 16) |
+                   (static_cast<uint32_t>(B[3]) << 24);
+      }
+      Arr = Owned.data();
+    }
+    CountOut = static_cast<uint32_t>(Count);
+  };
+  BindU32Array(RawChildren, NumChildren, P->ChildArr, P->ChildCount,
+               P->OwnedChildren);
+  BindU32Array(RawAlts, NumTableAlts, P->TableAltArr, P->TableAltCount,
+               P->OwnedTableAlts);
+  // At least one array aliases the external buffer; keep it alive for
+  // the program's lifetime.
+  if (Aliased)
+    P->Backing = Backing;
+
+  // Pools.
+  auto ReadCount = [&](std::string_view What, uint64_t &N) {
+    return C.readVarIntBelow(C.remaining() + 1, What, N);
+  };
+  uint64_t N;
+  if (!ReadCount("type-def pool size", N))
+    return nullptr;
+  P->TypeDefs.reserve(N);
+  for (uint64_t I = 0; I != N; ++I) {
+    std::string_view Name;
+    if (!readString(C, Name))
+      return nullptr;
+    auto [It, Inserted] = TypeDefCache.try_emplace(Name, nullptr);
+    if (Inserted)
+      It->second = Ctx.resolveTypeDef(Name);
+    if (!It->second) {
+      C.error("unknown type definition '" + std::string(Name) +
+              "' in program pool");
+      return nullptr;
+    }
+    P->TypeDefs.push_back(It->second);
+  }
+  if (!ReadCount("attr-def pool size", N))
+    return nullptr;
+  P->AttrDefs.reserve(N);
+  for (uint64_t I = 0; I != N; ++I) {
+    std::string_view Name;
+    if (!readString(C, Name))
+      return nullptr;
+    auto [It, Inserted] = AttrDefCache.try_emplace(Name, nullptr);
+    if (Inserted)
+      It->second = Ctx.resolveAttrDef(Name);
+    if (!It->second) {
+      C.error("unknown attribute definition '" + std::string(Name) +
+              "' in program pool");
+      return nullptr;
+    }
+    P->AttrDefs.push_back(It->second);
+  }
+  if (!ReadCount("int pool size", N))
+    return nullptr;
+  P->Ints.resize(N);
+  for (uint64_t I = 0; I != N; ++I) {
+    uint64_t Width;
+    uint8_t Sign;
+    if (!C.readVarIntBelow(0x10000, "integer width", Width) ||
+        !C.readByte(Sign))
+      return nullptr;
+    if (Sign > static_cast<uint8_t>(Signedness::Unsigned)) {
+      C.error("invalid signedness " + std::to_string(Sign));
+      return nullptr;
+    }
+    P->Ints[I].Width = static_cast<uint16_t>(Width);
+    P->Ints[I].Sign = static_cast<Signedness>(Sign);
+    if (!C.readSignedVarInt(P->Ints[I].Value))
+      return nullptr;
+  }
+  if (!ReadCount("float pool size", N))
+    return nullptr;
+  P->Floats.resize(N);
+  for (uint64_t I = 0; I != N; ++I) {
+    uint64_t Width;
+    if (!C.readVarIntBelow(0x10000, "float width", Width))
+      return nullptr;
+    P->Floats[I].Width = static_cast<uint16_t>(Width);
+    if (!C.readDouble(P->Floats[I].Value))
+      return nullptr;
+  }
+  if (!ReadCount("string pool size", N))
+    return nullptr;
+  P->Strings.reserve(N);
+  for (uint64_t I = 0; I != N; ++I) {
+    std::string_view S;
+    if (!readString(C, S))
+      return nullptr;
+    P->Strings.emplace_back(S);
+  }
+  if (!ReadCount("enum-def pool size", N))
+    return nullptr;
+  P->EnumDefs.reserve(N);
+  auto ResolveEnum = [&](std::string_view Name) -> EnumDef * {
+    auto [It, Inserted] = EnumDefCache.try_emplace(Name, nullptr);
+    if (Inserted)
+      It->second = Ctx.resolveEnumDef(Name);
+    return It->second;
+  };
+  for (uint64_t I = 0; I != N; ++I) {
+    std::string_view Name;
+    if (!readString(C, Name))
+      return nullptr;
+    EnumDef *Def = ResolveEnum(Name);
+    if (!Def) {
+      C.error("unknown enum '" + std::string(Name) + "' in program pool");
+      return nullptr;
+    }
+    P->EnumDefs.push_back(Def);
+  }
+  if (!ReadCount("enum-value pool size", N))
+    return nullptr;
+  P->EnumVals.resize(N);
+  for (uint64_t I = 0; I != N; ++I) {
+    std::string_view Name;
+    uint64_t Index;
+    if (!readString(C, Name))
+      return nullptr;
+    EnumDef *Def = ResolveEnum(Name);
+    if (!Def) {
+      C.error("unknown enum '" + std::string(Name) + "' in program pool");
+      return nullptr;
+    }
+    if (!C.readVarIntBelow(Def->getCases().size(), "enum case index",
+                           Index))
+      return nullptr;
+    P->EnumVals[I].Def = Def;
+    P->EnumVals[I].Index = static_cast<unsigned>(Index);
+  }
+  if (!ReadCount("C++ predicate pool size", N))
+    return nullptr;
+  P->CppPreds.reserve(N);
+  P->CppSrcs.reserve(N);
+  for (uint64_t I = 0; I != N; ++I) {
+    std::string_view Src;
+    if (!readString(C, Src))
+      return nullptr;
+    auto [It, Inserted] = CppPredCache.try_emplace(Src);
+    if (Inserted) {
+      auto Expr = CppExpr::parse(Src, Diags);
+      if (!Expr) {
+        CppPredCache.erase(It);
+        C.error("failed to recompile IRDL-C++ constraint '" +
+                std::string(Src) + "'");
+        return nullptr;
+      }
+      It->second = [Expr](const ParamValue &V) {
+        CppExpr::EvalContext EC;
+        EC.Self = cppEvalFromParam(V);
+        auto B = Expr->evaluateBool(EC);
+        return B && *B;
+      };
+    }
+    P->CppPreds.push_back(It->second);
+    P->CppSrcs.emplace_back(Src);
+  }
+  if (!ReadCount("native hook pool size", N))
+    return nullptr;
+  P->NativeFns.reserve(N);
+  P->NativeNames.reserve(N);
+  for (uint64_t I = 0; I != N; ++I) {
+    std::string_view Name;
+    if (!readString(C, Name))
+      return nullptr;
+    auto [CacheIt, Inserted] = NativeFnCache.try_emplace(Name);
+    if (Inserted) {
+      auto It = Opts.NativeConstraints.find(std::string(Name));
+      if (It == Opts.NativeConstraints.end()) {
+        NativeFnCache.erase(CacheIt);
+        C.error("no native constraint registered under '" +
+                std::string(Name) + "'");
+        return nullptr;
+      }
+      CacheIt->second = It->second;
+    }
+    P->NativeFns.push_back(CacheIt->second);
+    P->NativeNames.emplace_back(Name);
+  }
+
+  // Dispatch tables: rebuilt per context from pool indices — the map
+  // keys are this context's uniqued definition pointers.
+  if (!ReadCount("dispatch table count", N))
+    return nullptr;
+  P->Tables.resize(N);
+  for (uint64_t T = 0; T != N; ++T) {
+    uint64_t NumEntries;
+    if (!ReadCount("dispatch table entry count", NumEntries))
+      return nullptr;
+    for (uint64_t E = 0; E != NumEntries; ++E) {
+      uint8_t Kind;
+      uint64_t PoolIdx, Begin, Count;
+      if (!C.readByte(Kind))
+        return nullptr;
+      const void *Key = nullptr;
+      if (Kind == static_cast<uint8_t>(TableKeyKind::Type)) {
+        if (!C.readVarIntBelow(P->TypeDefs.size(),
+                               "dispatch key type-pool index", PoolIdx))
+          return nullptr;
+        Key = P->TypeDefs[PoolIdx];
+      } else if (Kind == static_cast<uint8_t>(TableKeyKind::Attr)) {
+        if (!C.readVarIntBelow(P->AttrDefs.size(),
+                               "dispatch key attr-pool index", PoolIdx))
+          return nullptr;
+        Key = P->AttrDefs[PoolIdx];
+      } else {
+        C.error("invalid dispatch key kind " + std::to_string(Kind));
+        return nullptr;
+      }
+      if (!C.readVarIntBelow(P->TableAltCount + 1, "dispatch slice begin",
+                             Begin) ||
+          !C.readVarIntBelow(P->TableAltCount + 1, "dispatch slice count",
+                             Count))
+        return nullptr;
+      if (Begin + Count > P->TableAltCount) {
+        C.error("dispatch slice [" + std::to_string(Begin) + ", +" +
+                std::to_string(Count) + ") exceeds table-alt array of " +
+                std::to_string(P->TableAltCount));
+        return nullptr;
+      }
+      if (!P->Tables[T]
+               .Map
+               .emplace(Key, std::make_pair(static_cast<uint32_t>(Begin),
+                                            static_cast<uint32_t>(Count)))
+               .second) {
+        C.error("duplicate dispatch key in table " + std::to_string(T));
+        return nullptr;
+      }
+    }
+  }
+
+  if (WithVarPrograms) {
+    uint64_t NumVarProgs;
+    if (!ReadCount("variable program count", NumVarProgs))
+      return nullptr;
+    P->VarPrograms.resize(NumVarProgs);
+    for (uint64_t I = 0; I != NumVarProgs; ++I) {
+      ConstraintProgramPtr VP;
+      // Variable programs are compiled without nested variable programs
+      // (Var references inside them fall back to the tree), matching
+      // ConstraintCompiler::compileVarPrograms.
+      if (failed(readOptional(C, NumVars, /*WithVarPrograms=*/false, {},
+                              VP)))
+        return nullptr;
+      P->VarPrograms[I] = std::move(VP);
+    }
+  }
+
+  if (!validate(C, *P, NumVars))
+    return nullptr;
+  return P;
+}
+
+/// Structural validation of a decoded program: every index in bounds and
+/// every child/alternative edge strictly forward (the compiler emits
+/// pre-order programs, so this holds for all well-formed buffers and
+/// guarantees exec() terminates on anything we accept).
+bool ProgramReader::validate(BytecodeCursor &C, const ConstraintProgram &P,
+                             uint64_t NumVars) {
+  auto Reject = [&](uint32_t Pc, const std::string &Why) {
+    C.error("malformed program instruction " + std::to_string(Pc) + ": " +
+            Why);
+    return false;
+  };
+  for (uint32_t Pc = 0; Pc != P.InstrCount; ++Pc) {
+    const CInstr &I = P.InstrArr[Pc];
+    if (static_cast<uint8_t>(I.Op) > static_cast<uint8_t>(COpcode::Native))
+      return Reject(Pc, "unknown opcode " +
+                            std::to_string(static_cast<uint8_t>(I.Op)));
+    if (I.Flags & ~KnownFlags)
+      return Reject(Pc, "unknown flag bits");
+    if (static_cast<uint64_t>(I.ChildrenBegin) + I.NumChildren >
+        P.ChildCount)
+      return Reject(Pc, "child slice out of bounds");
+    for (uint16_t Ch = 0; Ch != I.NumChildren; ++Ch) {
+      uint32_t Child = P.ChildArr[I.ChildrenBegin + Ch];
+      if (Child <= Pc || Child >= P.InstrCount)
+        return Reject(Pc, "child edge to instruction " +
+                              std::to_string(Child) + " is not forward");
+    }
+    auto CheckPool = [&](size_t PoolSize, std::string_view PoolName) {
+      if (I.A < PoolSize)
+        return true;
+      return Reject(Pc, "index " + std::to_string(I.A) + " exceeds " +
+                            std::string(PoolName) + " pool");
+    };
+    switch (I.Op) {
+    case COpcode::TypeParams:
+      if (!CheckPool(P.TypeDefs.size(), "type-def"))
+        return false;
+      break;
+    case COpcode::AttrParams:
+      if (!CheckPool(P.AttrDefs.size(), "attr-def"))
+        return false;
+      break;
+    case COpcode::IntKind:
+    case COpcode::IntEq:
+      if (!CheckPool(P.Ints.size(), "int"))
+        return false;
+      break;
+    case COpcode::FloatKind:
+    case COpcode::FloatEq:
+      if (!CheckPool(P.Floats.size(), "float"))
+        return false;
+      break;
+    case COpcode::StringEq:
+    case COpcode::OpaqueKind:
+      if (!CheckPool(P.Strings.size(), "string"))
+        return false;
+      break;
+    case COpcode::EnumKind:
+      if (!CheckPool(P.EnumDefs.size(), "enum-def"))
+        return false;
+      break;
+    case COpcode::EnumEq:
+      if (!CheckPool(P.EnumVals.size(), "enum-value"))
+        return false;
+      break;
+    case COpcode::Var:
+      if (I.A >= NumVars)
+        return Reject(Pc, "variable index " + std::to_string(I.A) +
+                              " exceeds declared variable count " +
+                              std::to_string(NumVars));
+      break;
+    case COpcode::Cpp:
+      if (!CheckPool(P.CppPreds.size(), "C++ predicate"))
+        return false;
+      if (I.NumChildren != 1)
+        return Reject(Pc, "C++ constraint needs exactly one child");
+      break;
+    case COpcode::Native:
+      if (!CheckPool(P.NativeFns.size(), "native hook"))
+        return false;
+      if (I.NumChildren != 1)
+        return Reject(Pc, "native constraint needs exactly one child");
+      break;
+    case COpcode::Not:
+      if (I.NumChildren != 1)
+        return Reject(Pc, "negation needs exactly one child");
+      break;
+    case COpcode::ArrayOf:
+      if (I.NumChildren > 1)
+        return Reject(Pc, "array-of takes at most one child");
+      break;
+    case COpcode::AnyOfTable: {
+      if (!CheckPool(P.Tables.size(), "dispatch table"))
+        return false;
+      for (const auto &[Key, Slice] : P.Tables[I.A].Map)
+        for (uint32_t A = 0; A != Slice.second; ++A) {
+          uint32_t Alt = P.TableAltArr[Slice.first + A];
+          if (Alt <= Pc || Alt >= P.InstrCount)
+            return Reject(Pc, "dispatch edge to instruction " +
+                                  std::to_string(Alt) + " is not forward");
+        }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  return true;
+}

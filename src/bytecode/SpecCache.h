@@ -1,0 +1,104 @@
+//===- SpecCache.h - Content-hash dialect spec caching ------------*- C++ -*-===//
+///
+/// \file
+/// Content-hash based caching of IRDL dialect specifications, in two
+/// layers keyed by the same 64-bit FNV-1a hash (support/Hashing.h):
+///
+///  * An in-process cache (SpecLoadCache) mapping a spec buffer's hash to
+///    the IRContext + IRDLModule it was loaded into, so repeated loads of
+///    identical spec content inside one process skip parsing,
+///    compilation, and registration entirely.
+///
+///  * An on-disk cache directory (`irdl_opt --spec-cache-dir=DIR`) where
+///    each entry is a compiled `.irbc` spec buffer named by the hex hash
+///    of its *source* text. A hit replaces frontend parsing with an
+///    mmap'd bytecode load whose compiled programs alias the mapping.
+///    Entries embed the source hash in their Meta section; an entry
+///    whose embedded hash does not match its filename hash is stale
+///    (e.g. truncated or hand-edited) and is invalidated.
+///
+/// The hash is computed by hashSpecBuffer(): textual buffers hash their
+/// full contents; bytecode buffers hash the canonical spec sections
+/// (Strings, Specs, Programs) only, so a buffer that merely gained a
+/// Meta section or an IR payload still dedups against its spec-identical
+/// sibling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_BYTECODE_SPECCACHE_H
+#define IRDL_BYTECODE_SPECCACHE_H
+
+#include "bytecode/Bytecode.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace irdl {
+
+/// The 64-bit content hash of a spec buffer. Stable across processes and
+/// suitable for on-disk cache keys. Bytecode buffers are canonicalized
+/// to their Strings/Specs/Programs sections; anything else (including
+/// malformed bytecode) hashes whole.
+uint64_t hashSpecBuffer(std::string_view Buffer);
+
+/// One in-process cache entry: the context the specs were registered
+/// into plus the module describing them. Verification against the cached
+/// dialects must happen in the cached context (types and attributes are
+/// uniqued per context).
+struct CachedSpecs {
+  std::shared_ptr<IRContext> Ctx;
+  std::shared_ptr<IRDLModule> Module;
+};
+
+/// Process-wide spec load cache keyed by content hash. Thread-safe.
+/// Exposes `irdl_spec_cache_hits` / `irdl_spec_cache_misses` counters
+/// when metrics are enabled.
+class SpecLoadCache {
+public:
+  static SpecLoadCache &instance();
+
+  /// Returns the entry for \p Hash, or null. Counts a hit or miss.
+  std::shared_ptr<const CachedSpecs> lookup(uint64_t Hash);
+
+  /// Inserts (or replaces) the entry for \p Hash.
+  void insert(uint64_t Hash, CachedSpecs Entry);
+
+  size_t size() const;
+  void clear();
+
+private:
+  SpecLoadCache() = default;
+  mutable std::mutex M;
+  std::unordered_map<uint64_t, std::shared_ptr<const CachedSpecs>> Map;
+};
+
+/// The on-disk cache file for \p Hash under \p Dir:
+/// `DIR/<16-hex-digit hash>.irbc`.
+std::string specCachePath(const std::string &Dir, uint64_t Hash);
+
+/// Attempts to load the cached compiled spec for \p Hash from \p Dir via
+/// the zero-copy mmap path. Returns failure — silently, with no
+/// diagnostics — when the entry is absent; emits diagnostics and deletes
+/// the entry when it exists but is stale (embedded Meta hash does not
+/// match) or unreadable. On success the specs are registered into
+/// \p Ctx and returned in \p Result.
+LogicalResult loadCachedSpec(const std::string &Dir, uint64_t Hash,
+                             IRContext &Ctx, DiagnosticEngine &Diags,
+                             BytecodeReadResult &Result,
+                             const IRDLLoadOptions &Opts = {});
+
+/// Serializes \p Specs (with compiled programs and \p Hash embedded in
+/// the Meta section) into the cache entry for \p Hash under \p Dir.
+/// Writes to a temporary file first and renames into place, so
+/// concurrent readers never observe a partial entry.
+LogicalResult storeCachedSpec(const std::string &Dir, uint64_t Hash,
+                              const IRDLModule &Specs,
+                              DiagnosticEngine &Diags);
+
+} // namespace irdl
+
+#endif // IRDL_BYTECODE_SPECCACHE_H

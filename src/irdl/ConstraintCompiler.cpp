@@ -66,8 +66,9 @@ public:
 
   ConstraintProgramPtr take(const ConstraintPtr &Root) {
     emit(*Root);
+    P->finalizeOwnedStorage();
     ++NumProgramsCompiled;
-    NumInstrsEmitted += P->Instrs.size();
+    NumInstrsEmitted += P->OwnedInstrs.size();
     return P;
   }
 
@@ -78,8 +79,8 @@ private:
     if (C.getKind() == Kind::Named)
       return emit(*C.getChildren()[0]);
 
-    uint32_t Idx = (uint32_t)P->Instrs.size();
-    P->Instrs.emplace_back();
+    uint32_t Idx = (uint32_t)P->OwnedInstrs.size();
+    P->OwnedInstrs.emplace_back();
 
     // Children first (pre-order: the subtree of Idx is exactly
     // [Idx, Instrs.size()) when this frame returns), then the child
@@ -89,11 +90,11 @@ private:
     for (const ConstraintPtr &Ch : C.getChildren())
       ChildIdx.push_back(emit(*Ch));
 
-    uint32_t Begin = (uint32_t)P->Children.size();
-    P->Children.insert(P->Children.end(), ChildIdx.begin(), ChildIdx.end());
+    uint32_t Begin = (uint32_t)P->OwnedChildren.size();
+    P->OwnedChildren.insert(P->OwnedChildren.end(), ChildIdx.begin(), ChildIdx.end());
 
     assert(ChildIdx.size() <= UINT16_MAX && "constraint fan-out too large");
-    CInstr &I = P->Instrs[Idx];
+    CInstr &I = P->OwnedInstrs[Idx];
     I.NumChildren = (uint16_t)ChildIdx.size();
     I.ChildrenBegin = Begin;
 
@@ -177,10 +178,14 @@ private:
     case Kind::Cpp:
       I.Op = COpcode::Cpp;
       I.A = pushPool(P->CppPreds, C.getCppPred());
+      // Keep the predicate source alongside: it is the serializable form
+      // the bytecode writer persists and the reader recompiles from.
+      pushPool(P->CppSrcs, C.getString());
       break;
     case Kind::Native:
       I.Op = COpcode::Native;
       I.A = pushPool(P->NativeFns, C.getNativeFn());
+      pushPool(P->NativeNames, C.getString());
       break;
     case Kind::Named:
       assert(false && "Named handled above");
@@ -190,10 +195,10 @@ private:
     // A variable-free, C++-free subprogram is a pure function of the
     // (uniqued) value it matches — cache its verdict when it is big
     // enough that the probe beats re-running it.
-    size_t SubtreeSize = P->Instrs.size() - Idx;
+    size_t SubtreeSize = P->OwnedInstrs.size() - Idx;
     if (!C.requiresCpp() && !C.referencesVar() &&
         SubtreeSize >= ConstraintCompiler::MemoMinInstrs) {
-      P->Instrs[Idx].Flags |= CInstr::FlagMemo;
+      P->OwnedInstrs[Idx].Flags |= CInstr::FlagMemo;
       ++NumMemoPoints;
     }
     return Idx;
@@ -229,11 +234,11 @@ private:
     }
     for (auto &[Key, Slice] : Table.Map) {
       std::vector<uint32_t> &Group = Groups[Slice.first];
-      Slice = {(uint32_t)P->TableAlts.size(), (uint32_t)Group.size()};
-      P->TableAlts.insert(P->TableAlts.end(), Group.begin(), Group.end());
+      Slice = {(uint32_t)P->OwnedTableAlts.size(), (uint32_t)Group.size()};
+      P->OwnedTableAlts.insert(P->OwnedTableAlts.end(), Group.begin(), Group.end());
     }
 
-    CInstr &I = P->Instrs[Idx];
+    CInstr &I = P->OwnedInstrs[Idx];
     I.Op = COpcode::AnyOfTable;
     I.A = (uint32_t)P->Tables.size();
     P->Tables.push_back(std::move(Table));

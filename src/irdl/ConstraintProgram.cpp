@@ -117,7 +117,7 @@ ConstraintProgram::ConstraintProgram() {
 
 bool ConstraintProgram::run(const ParamValue &V, MatchContext &MC) const {
   ++NumProgramRuns;
-  assert(!Instrs.empty() && "empty constraint program");
+  assert(InstrCount != 0 && "empty constraint program");
   if (constraintProfilingEnabled()) {
     uint64_t Begin = steadyNowNs();
     bool Result = exec(0, V, MC);
@@ -149,7 +149,7 @@ static bool matchEnum(const ParamValue &V, const EnumDef *EDef,
 
 bool ConstraintProgram::exec(uint32_t Pc, const ParamValue &V,
                              MatchContext &MC) const {
-  const CInstr &I = Instrs[Pc];
+  const CInstr &I = InstrArr[Pc];
 
   // Memoized subprograms are variable-free and C++-free, so their verdict
   // over a uniqued value is a pure function of the storage pointer — and
@@ -177,7 +177,7 @@ bool ConstraintProgram::exec(uint32_t Pc, const ParamValue &V,
   }
 
   bool Result = [&]() -> bool {
-    const uint32_t *Child = Children.data() + I.ChildrenBegin;
+    const uint32_t *Child = ChildArr + I.ChildrenBegin;
     switch (I.Op) {
     case COpcode::AnyType:
       return V.isType();
@@ -288,7 +288,7 @@ bool ConstraintProgram::exec(uint32_t Pc, const ParamValue &V,
       auto [Begin, Count] = It->second;
       for (uint32_t C = 0; C != Count; ++C) {
         MatchContext::Mark M = MC.mark();
-        if (exec(TableAlts[Begin + C], V, MC))
+        if (exec(TableAltArr[Begin + C], V, MC))
           return true;
         MC.undoTo(M);
       }
@@ -346,14 +346,14 @@ bool ConstraintProgram::exec(uint32_t Pc, const ParamValue &V,
 
 std::optional<ParamValue>
 ConstraintProgram::concreteValue(const MatchContext &MC) const {
-  assert(!Instrs.empty() && "empty constraint program");
+  assert(InstrCount != 0 && "empty constraint program");
   return concreteAt(0, MC);
 }
 
 std::optional<ParamValue>
 ConstraintProgram::concreteAt(uint32_t Pc, const MatchContext &MC) const {
-  const CInstr &I = Instrs[Pc];
-  const uint32_t *Child = Children.data() + I.ChildrenBegin;
+  const CInstr &I = InstrArr[Pc];
+  const uint32_t *Child = ChildArr + I.ChildrenBegin;
   switch (I.Op) {
   case COpcode::TypeParams: {
     const TypeDefinition *Def = TypeDefs[I.A];
@@ -445,8 +445,8 @@ void ConstraintProgram::clearMemoCache() const {
 
 std::string ConstraintProgram::dump() const {
   std::ostringstream OS;
-  for (size_t Pc = 0, E = Instrs.size(); Pc != E; ++Pc) {
-    const CInstr &I = Instrs[Pc];
+  for (size_t Pc = 0, E = InstrCount; Pc != E; ++Pc) {
+    const CInstr &I = InstrArr[Pc];
     OS << Pc << ": " << getOpcodeName(I.Op);
     switch (I.Op) {
     case COpcode::TypeParams:
@@ -492,7 +492,7 @@ std::string ConstraintProgram::dump() const {
       for (uint16_t C = 0; C != I.NumChildren; ++C) {
         if (C)
           OS << " ";
-        OS << Children[I.ChildrenBegin + C];
+        OS << ChildArr[I.ChildrenBegin + C];
       }
       OS << "]";
     }

@@ -46,6 +46,11 @@ namespace detail {
 class ConstraintProgramBuilder;
 } // namespace detail
 
+namespace bytecode {
+class ProgramWriter;
+class ProgramReader;
+} // namespace bytecode
+
 /// Opcodes of the compiled constraint interpreter. Every Constraint::Kind
 /// lowers to exactly one opcode except AnyOf, which compiles to
 /// AnyOfTable when all alternatives are dispatchable on a uniqued
@@ -84,7 +89,7 @@ std::string_view getOpcodeName(COpcode Op);
 /// a contiguous (Begin, Count) slice of the program's child-index array,
 /// so walking a subtree touches only two flat arrays.
 struct CInstr {
-  COpcode Op;
+  COpcode Op = COpcode::AnyType;
   /// Instruction flag bits (FlagBaseOnly / FlagMemo).
   uint8_t Flags = 0;
   /// Number of child programs.
@@ -123,8 +128,11 @@ public:
   // Introspection (tests, docs, statistics)
   //===------------------------------------------------------------------===//
 
-  size_t getNumInstrs() const { return Instrs.size(); }
-  const CInstr &getInstr(size_t I) const { return Instrs[I]; }
+  size_t getNumInstrs() const { return InstrCount; }
+  const CInstr &getInstr(size_t I) const { return InstrArr[I]; }
+  /// True when the flat arrays alias external memory (an mmap'd `.irbc`
+  /// buffer) instead of owned vectors — the zero-copy load path.
+  bool isExternallyBacked() const { return Backing != nullptr; }
   /// Globally unique id (monotone counter), so cache keys and traces can
   /// name a program even after its spec is gone.
   uint64_t getId() const { return Id; }
@@ -159,15 +167,46 @@ public:
 private:
   friend class ConstraintCompiler;
   friend class detail::ConstraintProgramBuilder;
+  friend class bytecode::ProgramWriter;
+  friend class bytecode::ProgramReader;
 
   bool exec(uint32_t Pc, const ParamValue &V, MatchContext &MC) const;
   std::optional<ParamValue> concreteAt(uint32_t Pc,
                                        const MatchContext &MC) const;
 
-  /// Flat instruction array; entry point is Instrs[0].
-  std::vector<CInstr> Instrs;
-  /// Child instruction indices, grouped per instruction.
-  std::vector<uint32_t> Children;
+  /// Points the flat-array views at the owned vectors. The builder (and
+  /// any other producer that fills OwnedInstrs/OwnedChildren/
+  /// OwnedTableAlts) must call this exactly once, after the vectors stop
+  /// growing.
+  void finalizeOwnedStorage() {
+    InstrArr = OwnedInstrs.data();
+    InstrCount = static_cast<uint32_t>(OwnedInstrs.size());
+    ChildArr = OwnedChildren.data();
+    ChildCount = static_cast<uint32_t>(OwnedChildren.size());
+    TableAltArr = OwnedTableAlts.data();
+    TableAltCount = static_cast<uint32_t>(OwnedTableAlts.size());
+  }
+
+  /// The hot-path storage: raw views over either the Owned* vectors
+  /// below or an externally owned read-only mapping (Backing). exec()
+  /// touches only these — no pointer fixups, no indirection through the
+  /// vectors — which is what lets an mmap'd `.irbc` Programs section
+  /// back them directly.
+  const CInstr *InstrArr = nullptr;
+  uint32_t InstrCount = 0;
+  const uint32_t *ChildArr = nullptr;
+  uint32_t ChildCount = 0;
+  const uint32_t *TableAltArr = nullptr;
+  uint32_t TableAltCount = 0;
+
+  /// Owned storage for compiler-built (or copy-decoded) programs; empty
+  /// when the views alias external memory.
+  std::vector<CInstr> OwnedInstrs;
+  std::vector<uint32_t> OwnedChildren;
+  std::vector<uint32_t> OwnedTableAlts;
+
+  /// Keep-alive for externally backed storage (the mmap'd buffer).
+  std::shared_ptr<const void> Backing;
 
   // Literal/definition pools (indexed by CInstr::A).
   std::vector<const TypeDefinition *> TypeDefs;
@@ -179,6 +218,12 @@ private:
   std::vector<EnumVal> EnumVals;
   std::vector<CppParamPredicate> CppPreds;
   std::vector<NativeConstraintFn> NativeFns;
+  /// Serialization twins of CppPreds/NativeFns: the C++ predicate source
+  /// and native-hook name each slot was built from. std::function cannot
+  /// be serialized, so the `.irbc` writer persists these and the reader
+  /// recompiles/re-resolves per context.
+  std::vector<std::string> CppSrcs;
+  std::vector<std::string> NativeNames;
 
   /// AnyOf dispatch: uniqued definition pointer -> (Begin, Count) slice
   /// of TableAlts holding the alternatives rooted in that definition, in

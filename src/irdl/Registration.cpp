@@ -361,9 +361,10 @@ LogicalResult irdl::registerDialectSpec(std::shared_ptr<DialectSpec> Spec,
                                         DiagnosticEngine &Diags,
                                         const IRDLLoadOptions &Opts) {
   // Compile every resolved constraint into its flat program form up
-  // front, so verification never pays the lowering cost. Bytecode
-  // round-trips rebuild specs and land here too, so programs never need
-  // serializing (.irbc is unaffected).
+  // front, so verification never pays the lowering cost. Slots that
+  // already carry a program — bytecode loads deserialize compiled
+  // programs straight from the v2 Programs section — are kept as-is;
+  // only their profiler attribution is (re-)registered.
   {
     IRDL_TIME_SCOPE("irdl.compile-constraint-programs");
     // Every program is registered with the constraint profiler under a
@@ -374,7 +375,8 @@ LogicalResult irdl::registerDialectSpec(std::shared_ptr<DialectSpec> Spec,
     auto CompileParams = [&](std::vector<ParamSpec> &Params,
                              const std::string &Owner) {
       for (ParamSpec &P : Params) {
-        P.Prog = ConstraintCompiler::compile(P.Constr);
+        if (!P.Prog)
+          P.Prog = ConstraintCompiler::compile(P.Constr);
         Prof.registerProgram(P.Prog, Owner + " param '" + P.Name + "'");
       }
     };
@@ -384,28 +386,34 @@ LogicalResult irdl::registerDialectSpec(std::shared_ptr<DialectSpec> Spec,
       CompileParams(TS.Params, Spec->Name + "." + TS.Name);
     for (OpSpec &OS : Spec->Ops) {
       std::string Owner = Spec->Name + "." + OS.Name;
-      OS.VarPrograms =
-          ConstraintCompiler::compileVarPrograms(OS.VarConstraints);
+      if (OS.VarPrograms.empty())
+        OS.VarPrograms =
+            ConstraintCompiler::compileVarPrograms(OS.VarConstraints);
       for (size_t I = 0; I != OS.VarPrograms.size(); ++I)
         Prof.registerProgram(
             OS.VarPrograms[I],
             Owner + " var '" +
                 (I < OS.VarNames.size() ? OS.VarNames[I] : "?") + "'");
       for (OperandSpec &O : OS.Operands) {
-        O.Prog = ConstraintCompiler::compile(O.Constr, OS.VarPrograms);
+        if (!O.Prog)
+          O.Prog = ConstraintCompiler::compile(O.Constr, OS.VarPrograms);
         Prof.registerProgram(O.Prog, Owner + " operand '" + O.Name + "'");
       }
       for (OperandSpec &R : OS.Results) {
-        R.Prog = ConstraintCompiler::compile(R.Constr, OS.VarPrograms);
+        if (!R.Prog)
+          R.Prog = ConstraintCompiler::compile(R.Constr, OS.VarPrograms);
         Prof.registerProgram(R.Prog, Owner + " result '" + R.Name + "'");
       }
       for (ParamSpec &A : OS.Attributes) {
-        A.Prog = ConstraintCompiler::compile(A.Constr, OS.VarPrograms);
+        if (!A.Prog)
+          A.Prog = ConstraintCompiler::compile(A.Constr, OS.VarPrograms);
         Prof.registerProgram(A.Prog, Owner + " attr '" + A.Name + "'");
       }
       for (RegionSpec &RS : OS.Regions)
         for (OperandSpec &Arg : RS.Args) {
-          Arg.Prog = ConstraintCompiler::compile(Arg.Constr, OS.VarPrograms);
+          if (!Arg.Prog)
+            Arg.Prog =
+                ConstraintCompiler::compile(Arg.Constr, OS.VarPrograms);
           Prof.registerProgram(Arg.Prog,
                                Owner + " region arg '" + Arg.Name + "'");
         }

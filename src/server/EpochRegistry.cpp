@@ -3,11 +3,28 @@
 #include "server/EpochRegistry.h"
 
 #include "bytecode/Bytecode.h"
+#include "bytecode/SpecCache.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 
 using namespace irdl;
 using namespace irdl::serve;
+
+namespace {
+
+/// Reload dedup accounting. Like the request counters in Server.cpp,
+/// recorded unconditionally: the METRICS endpoint must show cache
+/// behavior regardless of library instrumentation opt-in.
+Counter &specCacheCounter(bool Hit) {
+  return MetricsRegistry::instance().getCounter(
+      Hit ? "irdl_serve_spec_cache_hits" : "irdl_serve_spec_cache_misses",
+      Hit ? "dialect reloads skipped because the spec content hash matched "
+            "an already loaded source"
+          : "dialect loads/reloads that rebuilt the registry epoch");
+}
+
+} // namespace
 
 EpochRegistry::EpochRegistry() {
   auto Boot = std::make_shared<Epoch>();
@@ -80,7 +97,8 @@ LogicalResult EpochRegistry::loadDialect(std::string Name,
   Epoch Scratch;
   Scratch.Ctx = std::make_unique<IRContext>();
   Scratch.SrcMgr = std::make_unique<SourceMgr>();
-  Source S{std::move(Name), std::move(Buffer), {}};
+  Source S{std::move(Name), std::move(Buffer), {}, 0};
+  S.Hash = hashSpecBuffer(S.Buffer);
   std::vector<std::string> NewNames;
   if (failed(loadInto(Scratch, S, NewNames, DiagText)))
     return failure();
@@ -93,6 +111,7 @@ LogicalResult EpochRegistry::loadDialect(std::string Name,
                    Existing.Name + "'); use RELOAD_DIALECT to replace it";
         return failure();
       }
+  specCacheCounter(/*Hit=*/false).inc();
   std::vector<Source> NewSources = Sources;
   NewSources.push_back(std::move(S));
   return rebuild(std::move(NewSources), DiagText);
@@ -102,10 +121,19 @@ LogicalResult EpochRegistry::reloadDialect(std::string Name,
                                            std::string Buffer,
                                            std::string &DiagText) {
   std::lock_guard<std::mutex> Lock(Mutex);
+  // Dedup before any scratch work: a reload whose content hash (and, to
+  // rule out collisions, bytes) matches an already loaded source cannot
+  // change the registry — skip the rebuild and keep the epoch published.
+  uint64_t Hash = hashSpecBuffer(Buffer);
+  for (const Source &Existing : Sources)
+    if (Existing.Hash == Hash && Existing.Buffer == Buffer) {
+      specCacheCounter(/*Hit=*/true).inc();
+      return success();
+    }
   Epoch Scratch;
   Scratch.Ctx = std::make_unique<IRContext>();
   Scratch.SrcMgr = std::make_unique<SourceMgr>();
-  Source S{std::move(Name), std::move(Buffer), {}};
+  Source S{std::move(Name), std::move(Buffer), {}, Hash};
   std::vector<std::string> NewNames;
   if (failed(loadInto(Scratch, S, NewNames, DiagText)))
     return failure();
@@ -120,6 +148,7 @@ LogicalResult EpochRegistry::reloadDialect(std::string Name,
     if (!Replaced)
       NewSources.push_back(Existing);
   }
+  specCacheCounter(/*Hit=*/false).inc();
   NewSources.push_back(std::move(S));
   return rebuild(std::move(NewSources), DiagText);
 }

@@ -68,6 +68,12 @@ public:
   /// that defines any dialect name \p Buffer defines. The replaced
   /// definitions exist only in the new epoch; requests pinned to older
   /// epochs still verify against the old spec.
+  ///
+  /// Reloads are deduplicated by content hash (bytecode/SpecCache.h): a
+  /// buffer whose hash (and bytes) match an already loaded source is a
+  /// no-op — the current epoch stays published, no rebuild runs, and the
+  /// `irdl_serve_spec_cache_hits` counter ticks. Rebuilds tick
+  /// `irdl_serve_spec_cache_misses`.
   LogicalResult reloadDialect(std::string Name, std::string Buffer,
                               std::string &DiagText);
 
@@ -77,6 +83,8 @@ private:
     std::string Buffer;
     /// Dialect names the buffer defines, discovered at load time.
     std::vector<std::string> DialectNames;
+    /// Content hash of Buffer (hashSpecBuffer), the reload dedup key.
+    uint64_t Hash = 0;
   };
 
   /// Loads \p Buffer into \p Target, appending the loaded module(s) to

@@ -2,7 +2,8 @@
 ///
 /// \file
 /// Hash combinators used by the context-uniquing maps for types and
-/// attributes.
+/// attributes, plus the stable 64-bit content hash (FNV-1a) used by the
+/// spec cache and the `.irbc` Meta section.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -10,7 +11,9 @@
 #define IRDL_SUPPORT_HASHING_H
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string_view>
 
 namespace irdl {
 
@@ -25,6 +28,23 @@ size_t hashValues(const Ts &...Values) {
   size_t Seed = 0;
   (hashCombine(Seed, std::hash<Ts>{}(Values)), ...);
   return Seed;
+}
+
+/// FNV-1a offset basis: the seed for a fresh fnv1a64 chain.
+inline constexpr uint64_t Fnv1a64Init = 0xcbf29ce484222325ULL;
+
+/// 64-bit FNV-1a over \p Data, continuing from \p Seed. Unlike
+/// hashValues this is a *stable* hash — the same bytes hash to the same
+/// value on every platform and in every process — so it is safe to
+/// persist (on-disk spec cache, `.irbc` Meta section) and to compare
+/// across fleet members.
+inline uint64_t fnv1a64(std::string_view Data, uint64_t Seed = Fnv1a64Init) {
+  uint64_t H = Seed;
+  for (char C : Data) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
 }
 
 } // namespace irdl

@@ -1,0 +1,65 @@
+//===- MappedFile.cpp - Read-only memory-mapped files ---------------------===//
+
+#include "support/MappedFile.h"
+
+#include "support/File.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace irdl;
+
+std::shared_ptr<MappedFile> MappedFile::open(const std::string &Path,
+                                             std::string &Error) {
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0) {
+    Error = Path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+
+  struct stat St;
+  if (fstat(Fd, &St) != 0) {
+    Error = Path + ": " + std::strerror(errno);
+    ::close(Fd);
+    return nullptr;
+  }
+  if (S_ISDIR(St.st_mode)) {
+    Error = Path + ": is a directory";
+    ::close(Fd);
+    return nullptr;
+  }
+
+  auto File = std::shared_ptr<MappedFile>(new MappedFile());
+
+  // Regular non-empty files get the real mapping; everything else (empty
+  // files, pipes, device nodes) takes the read fallback so callers never
+  // need to care which path they got.
+  if (S_ISREG(St.st_mode) && St.st_size > 0) {
+    size_t Size = static_cast<size_t>(St.st_size);
+    void *Addr = mmap(nullptr, Size, PROT_READ, MAP_PRIVATE, Fd, 0);
+    if (Addr != MAP_FAILED) {
+      ::close(Fd);
+      File->Mapping = Addr;
+      File->Bytes = static_cast<const char *>(Addr);
+      File->Size = Size;
+      return File;
+    }
+  }
+  ::close(Fd);
+
+  if (failed(readFileToString(Path, File->Fallback, Error)))
+    return nullptr;
+  File->Bytes = File->Fallback.data();
+  File->Size = File->Fallback.size();
+  return File;
+}
+
+MappedFile::~MappedFile() {
+  if (Mapping)
+    munmap(Mapping, Size);
+}

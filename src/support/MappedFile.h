@@ -1,0 +1,54 @@
+//===- MappedFile.h - Read-only memory-mapped files --------------*- C++ -*-===//
+///
+/// \file
+/// RAII wrapper over a read-only `mmap` of a whole file. The bytecode
+/// reader uses this to back compiled constraint-program storage directly
+/// by the page cache — loading a spec becomes `open` + `mmap` + a hash
+/// check instead of a copy of the whole buffer. When mapping is
+/// unavailable (pipes, exotic filesystems, empty files) the class falls
+/// back to an in-memory read, so callers always get a valid view.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRDL_SUPPORT_MAPPEDFILE_H
+#define IRDL_SUPPORT_MAPPEDFILE_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace irdl {
+
+/// An immutable view of a file's bytes, mmap-backed when possible. The
+/// object owns the mapping; keep it (e.g. via shared_ptr) alive for as
+/// long as any view into data() is dereferenced.
+class MappedFile {
+public:
+  /// Opens and maps \p Path read-only. Returns nullptr and fills
+  /// \p Error on failure (missing file, directory, I/O error).
+  static std::shared_ptr<MappedFile> open(const std::string &Path,
+                                          std::string &Error);
+
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+  ~MappedFile();
+
+  std::string_view data() const { return {Bytes, Size}; }
+  size_t size() const { return Size; }
+
+  /// True when data() aliases an actual mmap (as opposed to the
+  /// read-into-memory fallback). Exposed for tests and benchmarks.
+  bool isMapped() const { return Mapping != nullptr; }
+
+private:
+  MappedFile() = default;
+
+  const char *Bytes = nullptr;
+  size_t Size = 0;
+  void *Mapping = nullptr;   // munmap target, null for the fallback
+  std::string Fallback;      // owns the bytes when not mapped
+};
+
+} // namespace irdl
+
+#endif // IRDL_SUPPORT_MAPPEDFILE_H

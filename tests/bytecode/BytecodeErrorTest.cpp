@@ -126,15 +126,11 @@ std::vector<size_t> sectionBoundaries(const std::string &Buffer) {
   while (Pos < Buffer.size()) {
     Bounds.push_back(Pos); // section id
     ++Pos;
+    // v2 headers carry a fixed 8-byte little-endian payload length.
     uint64_t Len = 0;
-    unsigned Shift = 0;
-    while (Pos < Buffer.size()) {
-      uint8_t B = static_cast<uint8_t>(Buffer[Pos++]);
-      Len |= static_cast<uint64_t>(B & 0x7F) << Shift;
-      Shift += 7;
-      if (!(B & 0x80))
-        break;
-    }
+    for (unsigned I = 0; I != 8 && Pos < Buffer.size(); ++I)
+      Len |= static_cast<uint64_t>(static_cast<uint8_t>(Buffer[Pos++]))
+             << (8 * I);
     Bounds.push_back(Pos); // payload start
     Pos += Len;
     Bounds.push_back(Pos); // payload end
@@ -145,9 +141,9 @@ std::vector<size_t> sectionBoundaries(const std::string &Buffer) {
 TEST(BytecodeError, TruncationSweepAtSectionBoundaries) {
   std::string Buffer = makeValidBuffer();
   std::vector<size_t> Bounds = sectionBoundaries(Buffer);
-  // Strings + Specs + TypeAttrPool + IR: four sections, three seams each,
-  // plus the header end.
-  ASSERT_GE(Bounds.size(), 13u);
+  // Strings + Specs + Programs + TypeAttrPool + IR: five sections, three
+  // seams each, plus the header end.
+  ASSERT_GE(Bounds.size(), 16u);
   EXPECT_EQ(Bounds.back(), Buffer.size());
   for (size_t Boundary : Bounds)
     for (size_t Len : {Boundary - 1, Boundary, Boundary + 1}) {

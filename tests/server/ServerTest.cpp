@@ -190,6 +190,36 @@ TEST(ServerTest, DuplicateLoadRejectedReloadAccepted) {
   EXPECT_EQ(Response.Status, FrameStatus::Fail) << Response.Payload;
 }
 
+TEST(ServerTest, IdenticalReloadIsDeduplicated) {
+  ServerFixture Fixture("dedup");
+  ServeClient Client = Fixture.connect();
+  ResponseFrame Response;
+  std::string Error;
+
+  ASSERT_TRUE(succeeded(
+      Client.loadDialect("cmath.irdl", cmathSource(), Response, Error)))
+      << Error;
+  ASSERT_EQ(Response.Status, FrameStatus::Ok) << Response.Payload;
+  std::shared_ptr<const Epoch> Before = Fixture.Server.epochs().current();
+
+  // Byte-identical content: the content-hash dedup answers Ok with the
+  // unchanged epoch number and publishes no new epoch at all.
+  ASSERT_TRUE(succeeded(
+      Client.reloadDialect("cmath.irdl", cmathSource(), Response, Error)))
+      << Error;
+  ASSERT_EQ(Response.Status, FrameStatus::Ok) << Response.Payload;
+  EXPECT_EQ(Response.Payload, "2");
+  EXPECT_EQ(Fixture.Server.epochs().current().get(), Before.get());
+
+  // Actually different content still rebuilds.
+  ASSERT_TRUE(succeeded(
+      Client.reloadDialect("cmath.irdl", StrictCmath, Response, Error)))
+      << Error;
+  ASSERT_EQ(Response.Status, FrameStatus::Ok) << Response.Payload;
+  EXPECT_EQ(Response.Payload, "3");
+  EXPECT_NE(Fixture.Server.epochs().current().get(), Before.get());
+}
+
 TEST(ServerTest, FailedReloadKeepsPreviousEpoch) {
   ServerFixture Fixture("badreload");
   ServeClient Client = Fixture.connect();

@@ -12,9 +12,14 @@ service misbehaves:
   known-bad module answers Fail with rendered diagnostics that carry the
   buffer name and the ``IR failed to verify before the pipeline`` tag
   irdl_opt prints for the same input;
+* RELOAD_DIALECT of a byte-identical spec is deduplicated by the
+  content-hash cache: it answers Ok with the *unchanged* epoch number
+  and bumps ``irdl_serve_spec_cache_hits``;
 * METRICS returns a well-formed Prometheus exposition (every sample line
   belongs to a ``# TYPE``-declared family) whose
-  ``irdl_serve_requests_total`` counters are nonzero;
+  ``irdl_serve_requests_total`` counters are nonzero and whose
+  ``irdl_serve_spec_cache_hits`` counter is nonzero after the
+  duplicate reload;
 * SHUTDOWN makes the server exit 0 and remove its socket file.
 
 With ``--bench-json FILE`` (a ``perf_serve --json`` summary) it also
@@ -223,6 +228,21 @@ def main(argv):
                 f"bad VERIFY diagnostics look wrong:\n{diag}"
             print("VERIFY bad.mlir failed with rendered diagnostics")
 
+            # Re-send the last dialect byte-for-byte: the content-hash
+            # cache must dedup it — Ok, epoch unchanged, hit counted.
+            with open(dialects[-1], "rb") as f:
+                source = f.read()
+            status, payload = request(
+                sock, RELOAD_DIALECT,
+                named_payload(os.path.basename(dialects[-1]), source))
+            assert status == OK, \
+                f"duplicate RELOAD_DIALECT: {payload.decode()}"
+            assert payload == str(epoch).encode(), \
+                f"duplicate RELOAD_DIALECT bumped the epoch: " \
+                f"{payload!r} != {epoch}"
+            print(f"duplicate RELOAD_DIALECT {os.path.basename(dialects[-1])} "
+                  f"deduplicated (epoch stays {epoch})")
+
             status, payload = request(sock, METRICS)
             assert status == OK, "METRICS failed"
             samples = check_prometheus(payload.decode())
@@ -230,8 +250,14 @@ def main(argv):
                 v for k, v in samples.items()
                 if k.startswith("irdl_serve_requests_total"))
             assert served > 0, "irdl_serve_requests_total is zero"
+            cache_hits = sum(
+                v for k, v in samples.items()
+                if k.startswith("irdl_serve_spec_cache_hits"))
+            assert cache_hits > 0, \
+                "irdl_serve_spec_cache_hits is zero after a duplicate reload"
             print(f"METRICS well-formed ({len(samples)} samples, "
-                  f"{int(served)} requests served)")
+                  f"{int(served)} requests served, "
+                  f"{int(cache_hits)} spec cache hits)")
 
             status, payload = request(sock, SHUTDOWN)
             assert status == OK, "SHUTDOWN failed"
