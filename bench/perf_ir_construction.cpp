@@ -1,0 +1,141 @@
+//===- perf_ir_construction.cpp - Op create/erase throughput ------------===//
+///
+/// Measures the cost the trailing-object arena refactor targets directly:
+/// building and tearing down IR. One Operation::create is one arena
+/// allocation (operands, results, successors, and region headers ride in
+/// the op's block), and erase() recycles the block through a size-class
+/// free list — so this bench is dominated by layout computation and
+/// use-list linking, not malloc.
+///
+/// The phase breakdown builds and erases one million operations in
+/// 100k-op batches: a def-use chain (each op consumes the previous op's
+/// result) appended to a block, then torn down back-to-front.
+
+#include "PerfHarness.h"
+
+#include "ir/Block.h"
+#include "ir/Context.h"
+#include "ir/OpArena.h"
+#include "ir/Region.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace irdl;
+
+namespace {
+
+struct BenchOps {
+  OpDefinition *Produce;
+  OpDefinition *Consume;
+};
+
+BenchOps registerBenchDialect(IRContext &Ctx) {
+  Dialect *D = Ctx.getOrCreateDialect("bench");
+  OpDefinition *Produce = D->lookupOp("produce");
+  if (!Produce)
+    Produce = D->addOp("produce");
+  OpDefinition *Consume = D->lookupOp("consume");
+  if (!Consume)
+    Consume = D->addOp("consume");
+  return {Produce, Consume};
+}
+
+/// Appends a def-use chain of \p N ops to \p B: one producer, then
+/// consumers that each feed on the previous op's result.
+void buildChain(IRContext &Ctx, BenchOps Ops, Block &B, unsigned N) {
+  Type F32 = Ctx.getFloatType(32);
+  OperationState Seed(Ctx, Ops.Produce);
+  Seed.ResultTypes = {F32};
+  Operation *Prev = Operation::create(Seed);
+  B.push_back(Prev);
+  for (unsigned I = 1; I != N; ++I) {
+    OperationState S(Ctx, Ops.Consume);
+    S.Operands = {Prev->getResult(0)};
+    S.ResultTypes = {F32};
+    Prev = Operation::create(S);
+    B.push_back(Prev);
+  }
+}
+
+/// Erases the chain back-to-front (uses die before their defs).
+void eraseChain(Block &B) {
+  while (!B.empty())
+    B.back().erase();
+}
+
+void BM_CreateErase_NoOperands(benchmark::State &State) {
+  IRContext Ctx;
+  BenchOps Ops = registerBenchDialect(Ctx);
+  Type F32 = Ctx.getFloatType(32);
+  for (auto _ : State) {
+    OperationState S(Ctx, Ops.Produce);
+    S.ResultTypes = {F32};
+    Operation *Op = Operation::create(S);
+    benchmark::DoNotOptimize(Op);
+    Op->destroy();
+  }
+}
+BENCHMARK(BM_CreateErase_NoOperands);
+
+void BM_CreateErase_Operands(benchmark::State &State) {
+  IRContext Ctx;
+  BenchOps Ops = registerBenchDialect(Ctx);
+  Type F32 = Ctx.getFloatType(32);
+  OperationState Seed(Ctx, Ops.Produce);
+  Seed.ResultTypes = {F32};
+  Operation *Def = Operation::create(Seed);
+  unsigned NumOperands = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    OperationState S(Ctx, Ops.Consume);
+    S.Operands.assign(NumOperands, Def->getResult(0));
+    S.ResultTypes = {F32};
+    Operation *Op = Operation::create(S);
+    benchmark::DoNotOptimize(Op);
+    Op->destroy();
+  }
+  Def->destroy();
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_CreateErase_Operands)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BuildEraseChain(benchmark::State &State) {
+  IRContext Ctx;
+  BenchOps Ops = registerBenchDialect(Ctx);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    Block B;
+    buildChain(Ctx, Ops, B, N);
+    eraseChain(B);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_BuildEraseChain)->Arg(1000)->Arg(100000);
+
+/// Phase breakdown: one million ops built and erased in 100k-op batches.
+/// The batches reuse one context, so every batch after the first is
+/// served from the arena free lists — the steady state of a rewrite
+/// driver churning ops.
+void runPhaseBreakdown() {
+  constexpr unsigned BatchSize = 100000;
+  constexpr unsigned NumBatches = 10;
+  IRContext Ctx;
+  BenchOps Ops = registerBenchDialect(Ctx);
+  PhaseSampler BuildSampler("construct-100k-ops");
+  PhaseSampler EraseSampler("erase-100k-ops");
+  {
+    IRDL_TIME_SCOPE("construct-erase-1m-ops");
+    for (unsigned Batch = 0; Batch != NumBatches; ++Batch) {
+      Block B;
+      BuildSampler.sample([&] { buildChain(Ctx, Ops, B, BatchSize); });
+      EraseSampler.sample([&] { eraseChain(B); });
+    }
+  }
+  OpArenaStats Stats = Ctx.getOpArena().getStats();
+  benchmark::DoNotOptimize(Stats.NumAllocs);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  return runPerfMain(argc, argv, "perf_ir_construction", runPhaseBreakdown);
+}

@@ -123,31 +123,40 @@ void runPhaseBreakdown() {
   }
   {
     IRDL_TIME_SCOPE("parse-custom-x100");
+    PhaseSampler Sampler("parse-custom");
     for (int I = 0; I != 100; ++I) {
-      SourceMgr SM;
-      DiagnosticEngine Diags(&SM);
-      OwningOpRef M = parseSourceString(F->Ctx, F->CustomText, SM, Diags);
-      benchmark::DoNotOptimize(M.get());
+      Sampler.sample([&] {
+        SourceMgr SM;
+        DiagnosticEngine Diags(&SM);
+        OwningOpRef M = parseSourceString(F->Ctx, F->CustomText, SM, Diags);
+        benchmark::DoNotOptimize(M.get());
+      });
     }
   }
   {
     IRDL_TIME_SCOPE("parse-generic-x100");
+    PhaseSampler Sampler("parse-generic");
     for (int I = 0; I != 100; ++I) {
-      SourceMgr SM;
-      DiagnosticEngine Diags(&SM);
-      OwningOpRef M =
-          parseSourceString(F->Ctx, F->GenericText, SM, Diags);
-      benchmark::DoNotOptimize(M.get());
+      Sampler.sample([&] {
+        SourceMgr SM;
+        DiagnosticEngine Diags(&SM);
+        OwningOpRef M =
+            parseSourceString(F->Ctx, F->GenericText, SM, Diags);
+        benchmark::DoNotOptimize(M.get());
+      });
     }
   }
   {
     IRDL_TIME_SCOPE("print-x100");
+    PhaseSampler Sampler("print-custom");
     SourceMgr SM;
     DiagnosticEngine Diags(&SM);
     OwningOpRef M = parseSourceString(F->Ctx, F->CustomText, SM, Diags);
     for (int I = 0; I != 100; ++I) {
-      std::string Text = printOpToString(M.get());
-      benchmark::DoNotOptimize(Text);
+      Sampler.sample([&] {
+        std::string Text = printOpToString(M.get());
+        benchmark::DoNotOptimize(Text);
+      });
     }
   }
 }

@@ -39,12 +39,12 @@ struct ConormPattern : RewritePattern {
       return failure();
     IRContext *Ctx = Rewriter.getContext();
 
-    OperationState MulState(Ctx->resolveOpDef("cmath.mul"), Op->getLoc());
+    OperationState MulState(*Ctx, Ctx->resolveOpDef("cmath.mul"), Op->getLoc());
     MulState.Operands = {L->getOperand(0), R->getOperand(0)};
     MulState.ResultTypes = {L->getOperand(0).getType()};
     Operation *Mul = Rewriter.createOp(MulState);
 
-    OperationState NormState(Ctx->resolveOpDef("cmath.norm"),
+    OperationState NormState(*Ctx, Ctx->resolveOpDef("cmath.norm"),
                              Op->getLoc());
     NormState.Operands = {Mul->getResult(0)};
     NormState.ResultTypes = {Op->getResult(0).getType()};

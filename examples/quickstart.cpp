@@ -64,7 +64,7 @@ int main() {
       {ParamValue(F32),
        ParamValue(IntVal{32, Signedness::Unsigned, 16})});
 
-  OperationState FuncState(Ctx.resolveOpDef("std.func"));
+  OperationState FuncState(Ctx, Ctx.resolveOpDef("std.func"));
   FuncState.addAttribute("sym_name", Ctx.getStringAttr("demo_main"));
   FuncState.addAttribute(
       "function_type",

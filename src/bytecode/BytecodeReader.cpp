@@ -1134,7 +1134,7 @@ struct BytecodeReader::Impl {
       return nullptr;
     }
 
-    OperationState State(std::move(OpName));
+    OperationState State(Ctx, std::move(OpName));
     uint64_t NumResults;
     if (!readCount(C, "result count", NumResults))
       return nullptr;
@@ -1155,6 +1155,10 @@ struct BytecodeReader::Impl {
     for (uint64_t &Id : OperandIds)
       if (!C.readVarInt(Id))
         return nullptr;
+    // Create the op with null operands so the fixup pass fills slots in
+    // place — keeping the operand array inside the op's single allocation
+    // instead of growing it afterwards.
+    State.Operands.assign(NumOperands, Value());
 
     uint64_t NumAttrs;
     if (!readCount(C, "attribute count", NumAttrs))
@@ -1197,7 +1201,7 @@ struct BytecodeReader::Impl {
 
     for (uint64_t I = 0; I != NumRegions; ++I) {
       if (failed(readRegion(C, Op->getRegion(static_cast<unsigned>(I))))) {
-        delete Op;
+        Op->destroy();
         return nullptr;
       }
     }
@@ -1248,14 +1252,15 @@ struct BytecodeReader::Impl {
       return failure();
     Result.Module = OwningOpRef(Root);
     for (const OperandFixup &F : Fixups) {
-      for (uint64_t Id : F.ValueIds) {
+      for (uint64_t I = 0, E = F.ValueIds.size(); I != E; ++I) {
+        uint64_t Id = F.ValueIds[I];
         if (Id >= Values.size()) {
           Result.Module.reset();
           return C.error("operand value index " + std::to_string(Id) +
                          " out of range (limit " +
                          std::to_string(Values.size()) + ")");
         }
-        F.Op->addOperand(Values[Id]);
+        F.Op->setOperand(static_cast<unsigned>(I), Values[Id]);
       }
     }
     return success();

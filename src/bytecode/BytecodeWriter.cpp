@@ -215,14 +215,14 @@ struct BytecodeWriter::Impl {
   void numberOp(Operation *Op) {
     for (unsigned I = 0, N = Op->getNumResults(); I != N; ++I)
       ValueIds.emplace(Op->getResult(I).getImpl(), NumValues++);
-    for (const auto &R : Op->getRegions()) {
+    for (Region &R : Op->getRegions()) {
       uint64_t BlockIndex = 0;
-      for (Block &B : *R) {
+      for (Block &B : R) {
         BlockIds.emplace(&B, BlockIndex++);
         for (unsigned I = 0, N = B.getNumArguments(); I != N; ++I)
           ValueIds.emplace(B.getArgument(I).getImpl(), NumValues++);
       }
-      for (Block &B : *R)
+      for (Block &B : R)
         for (Operation &Nested : B)
           numberOp(&Nested);
     }
@@ -247,8 +247,8 @@ struct BytecodeWriter::Impl {
     for (Block *Succ : Op->getSuccessors())
       Out.writeVarInt(BlockIds.at(Succ));
     Out.writeVarInt(Op->getNumRegions());
-    for (const auto &R : Op->getRegions())
-      writeRegion(Out, *R);
+    for (Region &R : Op->getRegions())
+      writeRegion(Out, R);
   }
 
   void writeRegion(BytecodeOutput &Out, Region &R) {

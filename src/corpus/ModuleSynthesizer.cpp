@@ -30,7 +30,7 @@ public:
 
   OwningOpRef run() {
     buildPools();
-    OperationState ModState(Ctx.resolveOpDef("builtin.module"));
+    OperationState ModState(Ctx, Ctx.resolveOpDef("builtin.module"));
     Region *ModRegion = ModState.addRegion();
     Block *Body = new Block();
     ModRegion->push_back(Body);
@@ -286,7 +286,7 @@ private:
 
   Operation *synthesizeOp(const OpSpec &OS, std::vector<Value> &ValuePool,
                           unsigned Depth) {
-    OperationState State(OS.Def);
+    OperationState State(Ctx, OS.Def);
     for (const OperandSpec &RS : OS.Results)
       for (unsigned I = 0, N = countFor(RS.VK); I != N; ++I)
         State.ResultTypes.push_back(typeFor(RS.Constr));
@@ -326,7 +326,7 @@ private:
       if (!RS->TerminatorOpName.empty()) {
         if (const OpDefinition *TermDef =
                 Ctx.resolveOpDef(RS->TerminatorOpName)) {
-          OperationState TermState(TermDef);
+          OperationState TermState(Ctx, TermDef);
           B->push_back(Operation::create(TermState));
         }
       }

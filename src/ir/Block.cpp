@@ -67,8 +67,10 @@ Operation *Block::getTerminator() {
 }
 
 std::vector<Block *> Block::getSuccessors() {
-  if (Operation *Term = getTerminator())
-    return Term->getSuccessors();
+  if (Operation *Term = getTerminator()) {
+    SuccessorRange Succs = Term->getSuccessors();
+    return {Succs.begin(), Succs.end()};
+  }
   return {};
 }
 
@@ -98,6 +100,6 @@ void Block::clear() {
   while (!Ops.empty()) {
     Operation *Op = &Ops.back();
     remove(Op);
-    delete Op;
+    Op->destroy();
   }
 }

@@ -76,7 +76,7 @@ public:
                     std::vector<Type> ResultTypes,
                     NamedAttrList Attrs = {}) {
     OperationName Name = resolveName(OpName);
-    OperationState State(Name);
+    OperationState State(*Ctx, Name);
     State.Operands = std::move(Operands);
     State.ResultTypes = std::move(ResultTypes);
     State.Attributes = std::move(Attrs);

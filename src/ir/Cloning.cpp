@@ -28,7 +28,7 @@ void irdl::cloneRegionInto(Region &From, Region &To, IRMapping &Mapper) {
 }
 
 Operation *irdl::cloneOp(Operation *Op, IRMapping &Mapper) {
-  OperationState State(Op->getName(), Op->getLoc());
+  OperationState State(*Op->getContext(), Op->getName(), Op->getLoc());
   for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I)
     State.Operands.push_back(Mapper.lookupOrDefault(Op->getOperand(I)));
   for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I)

@@ -2,6 +2,7 @@
 
 #include "ir/Context.h"
 
+#include "ir/OpArena.h"
 #include "support/Statistic.h"
 
 using namespace irdl;
@@ -20,7 +21,7 @@ namespace irdl {
 void registerBuiltinOps(IRContext &Ctx);
 }
 
-IRContext::IRContext() {
+IRContext::IRContext() : Arena(std::make_unique<OpArena>()) {
   registerBuiltinDialect();
   registerBuiltinOps(*this);
 }

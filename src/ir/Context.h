@@ -23,6 +23,8 @@
 
 namespace irdl {
 
+class OpArena;
+
 namespace detail {
 /// One shard of the context's type/attribute uniquer: an open multimap
 /// keyed by the (definition, params) hash, guarded by a reader/writer
@@ -155,11 +157,23 @@ public:
   bool allowsUnregisteredOps() const { return AllowUnregisteredOps; }
   void setAllowUnregisteredOps(bool Allow) { AllowUnregisteredOps = Allow; }
 
+  //===------------------------------------------------------------------===//
+  // Operation storage
+  //===------------------------------------------------------------------===//
+
+  /// The bump-pointer arena every Operation of this context is allocated
+  /// from. Sharded per thread; see ir/OpArena.h. Operations must not
+  /// outlive their context.
+  OpArena &getOpArena() { return *Arena; }
+
 private:
   void registerBuiltinDialect();
 
   mutable std::shared_mutex DialectsMu;
   std::map<std::string, std::unique_ptr<Dialect>, std::less<>> Dialects;
+
+  /// Storage arena for operations (and their operand overflow arrays).
+  std::unique_ptr<OpArena> Arena;
 
   /// The uniquer pools are sharded by hash so concurrent verification
   /// threads creating types/attrs rarely contend on the same lock.

@@ -29,9 +29,9 @@ TypeOrAttrDefinitionBase::lookupParam(std::string_view ParamName) const {
   return std::nullopt;
 }
 
-std::string OpDefinition::getFullName() const {
-  return Owner->getNamespace() + "." + Name;
-}
+OpDefinition::OpDefinition(Dialect *D, std::string Name)
+    : Owner(D), Name(std::move(Name)),
+      FullName(D->getNamespace() + "." + this->Name) {}
 
 TypeDefinition *Dialect::addType(std::string Name) {
   auto [It, Inserted] = Types.try_emplace(Name, nullptr);

@@ -114,12 +114,14 @@ public:
   using ParseFn =
       std::function<LogicalResult(CustomOpParser &, OperationState &)>;
 
-  OpDefinition(Dialect *D, std::string Name)
-      : Owner(D), Name(std::move(Name)) {}
+  OpDefinition(Dialect *D, std::string Name);
 
   Dialect *getDialect() const { return Owner; }
   const std::string &getShortName() const { return Name; }
-  std::string getFullName() const;
+  /// The cached "dialect.op" name. Returned by reference so that every
+  /// OperationName of a registered op aliases one string instead of
+  /// copying it per operation.
+  const std::string &getFullName() const { return FullName; }
 
   const std::string &getSummary() const { return Summary; }
   void setSummary(std::string S) { Summary = std::move(S); }
@@ -151,6 +153,7 @@ public:
 private:
   Dialect *Owner;
   std::string Name;
+  std::string FullName;
   std::string Summary;
   bool Terminator = false;
   std::optional<unsigned> NumSuccessors;

@@ -40,7 +40,7 @@ public:
   void deleteOrphans() {
     for (Operation *Op : Orphans) {
       // Any remaining uses belong to IR that has been destroyed already.
-      delete Op;
+      Op->destroy();
     }
     Orphans.clear();
   }
@@ -135,7 +135,7 @@ public:
       return V;
     }
     assert(!Scopes.empty());
-    OperationState State(OperationName("builtin.__forward_ref__"), Loc);
+    OperationState State(Ctx, OperationName("builtin.__forward_ref__"), Loc);
     State.ResultTypes.push_back(Ty);
     Operation *Placeholder = Operation::create(State);
     Scopes.back().Forwards.emplace(Name, Placeholder);
@@ -156,7 +156,7 @@ public:
                                   " does not match forward uses of type " +
                                   Old.getType().str());
       Old.replaceAllUsesWith(V);
-      delete Placeholder;
+      Placeholder->destroy();
       S.Forwards.erase(FIt);
     }
     S.Values.emplace(Name, V);
@@ -758,7 +758,7 @@ public:
     OperationName Name;
     if (failed(resolveOpName(FullName, OpLoc, Name)))
       return failure();
-    OperationState State(Name, OpLoc);
+    OperationState State(Ctx, Name, OpLoc);
 
     // Operand references.
     std::vector<CustomOpParser::UnresolvedOperand> OperandRefs;
@@ -870,7 +870,7 @@ public:
       return emitError(OpLoc, "operation '" + Def->getFullName() +
                                   "' has no custom syntax; use the generic "
                                   "form");
-    OperationState State(OperationName(Def), OpLoc);
+    OperationState State(Ctx, OperationName(Def), OpLoc);
     CustomOpParser Custom(*this);
     if (failed(Def->getParseFn()(Custom, State)))
       return failure();
@@ -974,7 +974,7 @@ public:
   /// Parses the whole buffer as a module.
   Operation *parseTopLevel() {
     OperationState State(
-        OperationName(Ctx.resolveOpDef("builtin.module")), tok().Loc);
+        Ctx, OperationName(Ctx.resolveOpDef("builtin.module")), tok().Loc);
     Region *R = State.addRegion();
     Block *Body = new Block();
     R->push_back(Body);

@@ -50,7 +50,7 @@ public:
     if (Op) {
       if (Op->getBlock())
         Op->removeFromBlock();
-      delete Op;
+      Op->destroy();
     }
     Op = nullptr;
   }

@@ -3,6 +3,8 @@
 #include "ir/Operation.h"
 
 #include "ir/Block.h"
+#include "ir/Context.h"
+#include "ir/OpArena.h"
 #include "ir/Printer.h"
 #include "ir/Region.h"
 
@@ -43,13 +45,13 @@ bool NamedAttrList::erase(std::string_view Name) {
 }
 
 //===----------------------------------------------------------------------===//
-// Operation
+// OperationState
 //===----------------------------------------------------------------------===//
 
-OperationState::OperationState(OperationName Name)
-    : Name(std::move(Name)) {}
-OperationState::OperationState(OperationName Name, SMLoc Loc)
-    : Loc(Loc), Name(std::move(Name)) {}
+OperationState::OperationState(IRContext &Ctx, OperationName Name)
+    : Ctx(&Ctx), Name(std::move(Name)) {}
+OperationState::OperationState(IRContext &Ctx, OperationName Name, SMLoc Loc)
+    : Ctx(&Ctx), Loc(Loc), Name(std::move(Name)) {}
 OperationState::~OperationState() = default;
 
 Region *OperationState::addRegion() {
@@ -57,91 +59,176 @@ Region *OperationState::addRegion() {
   return Regions.back().get();
 }
 
-Operation::Operation(OperationState &State)
-    : Name(State.Name), Loc(State.Loc), Attrs(State.Attributes),
-      Successors(State.Successors) {
-  Operands.reserve(State.Operands.size());
-  for (Value V : State.Operands)
-    Operands.push_back(std::make_unique<OpOperand>(this, V));
+//===----------------------------------------------------------------------===//
+// Operation
+//===----------------------------------------------------------------------===//
 
-  Results.reserve(State.ResultTypes.size());
-  for (unsigned I = 0, E = State.ResultTypes.size(); I != E; ++I)
-    Results.push_back(std::make_unique<detail::OpResultImpl>(
-        State.ResultTypes[I], this, I));
-
-  Regions.reserve(State.Regions.size());
-  for (auto &Parsed : State.Regions) {
-    Regions.push_back(std::make_unique<Region>(this));
-    Regions.back()->takeBody(*Parsed);
-  }
+Operation::Layout Operation::computeLayout(unsigned NumResults,
+                                           unsigned OperandCapacity,
+                                           unsigned NumSuccessors,
+                                           unsigned NumRegions) {
+  auto AlignTo = [](size_t Offset, size_t Align) {
+    return (Offset + Align - 1) & ~(Align - 1);
+  };
+  Layout L;
+  size_t Offset = sizeof(Operation);
+  Offset = AlignTo(Offset, alignof(detail::OpResultImpl));
+  L.ResultsOffset = Offset;
+  Offset += NumResults * sizeof(detail::OpResultImpl);
+  Offset = AlignTo(Offset, alignof(OpOperand));
+  L.OperandsOffset = Offset;
+  Offset += OperandCapacity * sizeof(OpOperand);
+  Offset = AlignTo(Offset, alignof(Block *));
+  L.SuccessorsOffset = Offset;
+  Offset += NumSuccessors * sizeof(Block *);
+  Offset = AlignTo(Offset, alignof(Region));
+  L.RegionsOffset = Offset;
+  Offset += NumRegions * sizeof(Region);
+  L.Bytes = Offset;
+  return L;
 }
 
 Operation *Operation::create(OperationState &State) {
-  return new Operation(State);
+  assert(State.Ctx && "operation state has no context");
+  Layout L = computeLayout(State.ResultTypes.size(), State.Operands.size(),
+                           State.Successors.size(), State.Regions.size());
+  void *Mem = State.Ctx->getOpArena().allocate(L.Bytes, alignof(Operation));
+  return new (Mem) Operation(State, L);
+}
+
+Operation::Operation(OperationState &State, const Layout &L)
+    : Name(State.Name), Loc(State.Loc), Attrs(State.Attributes),
+      Ctx(State.Ctx) {
+  auto *Base = reinterpret_cast<std::byte *>(this);
+  ResultStorage =
+      reinterpret_cast<detail::OpResultImpl *>(Base + L.ResultsOffset);
+  OperandStorage = reinterpret_cast<OpOperand *>(Base + L.OperandsOffset);
+  SuccessorStorage = reinterpret_cast<Block **>(Base + L.SuccessorsOffset);
+  RegionStorage = reinterpret_cast<Region *>(Base + L.RegionsOffset);
+  NumResultsVal = static_cast<uint32_t>(State.ResultTypes.size());
+  NumOperandsVal = OperandCapacity =
+      static_cast<uint32_t>(State.Operands.size());
+  NumSuccessorsVal = static_cast<uint32_t>(State.Successors.size());
+  NumRegionsVal = static_cast<uint32_t>(State.Regions.size());
+  AllocBytes = static_cast<uint32_t>(L.Bytes);
+
+  for (unsigned I = 0; I != NumResultsVal; ++I)
+    new (ResultStorage + I)
+        detail::OpResultImpl(State.ResultTypes[I], this, I);
+  for (unsigned I = 0; I != NumOperandsVal; ++I)
+    new (OperandStorage + I) OpOperand(this, State.Operands[I]);
+  for (unsigned I = 0; I != NumSuccessorsVal; ++I)
+    SuccessorStorage[I] = State.Successors[I];
+  for (unsigned I = 0; I != NumRegionsVal; ++I) {
+    new (RegionStorage + I) Region(this);
+    RegionStorage[I].takeBody(*State.Regions[I]);
+  }
 }
 
 Operation::~Operation() {
   assert(use_empty() && "destroying an operation whose results are in use");
+  // Regions first (nested ops may still hold uses of values above them;
+  // Region's destructor drops those references), then operands (each
+  // unlinks from its value's use list), then results.
+  for (unsigned I = NumRegionsVal; I != 0; --I)
+    RegionStorage[I - 1].~Region();
+  for (unsigned I = NumOperandsVal; I != 0; --I)
+    OperandStorage[I - 1].~OpOperand();
+  if (!operandsAreInline())
+    Ctx->getOpArena().deallocate(OperandStorage,
+                                 OperandCapacity * sizeof(OpOperand));
+  for (unsigned I = NumResultsVal; I != 0; --I)
+    ResultStorage[I - 1].~OpResultImpl();
 }
 
-std::vector<Value> Operation::getOperands() const {
-  std::vector<Value> Result;
-  Result.reserve(Operands.size());
-  for (const auto &Op : Operands)
-    Result.push_back(Op->get());
-  return Result;
+void Operation::destroy() {
+  OpArena &A = Ctx->getOpArena();
+  uint32_t Bytes = AllocBytes;
+  this->~Operation();
+  A.deallocate(this, Bytes);
 }
 
-void Operation::setOperands(const std::vector<Value> &NewOperands) {
+void irdl::IntrusiveListTraits<Operation>::deleteNode(Operation *Op) {
+  Op->destroy();
+}
+
+bool Operation::operandsAreInline() const {
+  if (OperandCapacity == 0)
+    return true;
+  auto P = reinterpret_cast<uintptr_t>(OperandStorage);
+  auto B = reinterpret_cast<uintptr_t>(this);
+  return P >= B && P < B + AllocBytes;
+}
+
+void Operation::growOperandStorage(unsigned NewCapacity) {
+  assert(NewCapacity > OperandCapacity && "not growing");
+  OpArena &A = Ctx->getOpArena();
+  auto *NewStorage = static_cast<OpOperand *>(
+      A.allocate(NewCapacity * sizeof(OpOperand), alignof(OpOperand)));
+  // OpOperands are links in their value's use list and cannot be moved
+  // bytewise: rebuild each link against the same value, then retire the
+  // old one. The relative order of uses within a value's list may change.
+  for (unsigned I = 0; I != NumOperandsVal; ++I) {
+    new (NewStorage + I) OpOperand(this, OperandStorage[I].get());
+    OperandStorage[I].~OpOperand();
+  }
+  if (!operandsAreInline())
+    A.deallocate(OperandStorage, OperandCapacity * sizeof(OpOperand));
+  OperandStorage = NewStorage;
+  OperandCapacity = NewCapacity;
+}
+
+void Operation::setOperands(std::span<const Value> NewOperands) {
   // Reuse existing slots where possible; then shrink or grow.
-  size_t Common = std::min(Operands.size(), NewOperands.size());
+  size_t Common = std::min<size_t>(NumOperandsVal, NewOperands.size());
   for (size_t I = 0; I != Common; ++I)
-    Operands[I]->set(NewOperands[I]);
-  if (NewOperands.size() < Operands.size()) {
-    Operands.resize(NewOperands.size());
+    OperandStorage[I].set(NewOperands[I]);
+  if (NewOperands.size() < NumOperandsVal) {
+    for (unsigned I = NumOperandsVal; I != NewOperands.size(); --I)
+      OperandStorage[I - 1].~OpOperand();
+    NumOperandsVal = static_cast<uint32_t>(NewOperands.size());
     return;
   }
   for (size_t I = Common, E = NewOperands.size(); I != E; ++I)
-    Operands.push_back(std::make_unique<OpOperand>(this, NewOperands[I]));
+    addOperand(NewOperands[I]);
 }
 
 void Operation::eraseOperand(unsigned Index) {
-  assert(Index < Operands.size() && "operand index out of range");
-  Operands.erase(Operands.begin() + Index);
+  assert(Index < NumOperandsVal && "operand index out of range");
+  // Slots cannot move (their use-list links are address-based); shift the
+  // values down instead and retire the last slot.
+  for (unsigned I = Index; I + 1 < NumOperandsVal; ++I)
+    OperandStorage[I].set(OperandStorage[I + 1].get());
+  OperandStorage[NumOperandsVal - 1].~OpOperand();
+  --NumOperandsVal;
 }
 
 void Operation::addOperand(Value V) {
-  Operands.push_back(std::make_unique<OpOperand>(this, V));
-}
-
-std::vector<Value> Operation::getResults() const {
-  std::vector<Value> Result;
-  Result.reserve(Results.size());
-  for (const auto &Res : Results)
-    Result.push_back(Value(Res.get()));
-  return Result;
-}
-
-std::vector<Type> Operation::getResultTypes() const {
-  std::vector<Type> Result;
-  Result.reserve(Results.size());
-  for (const auto &Res : Results)
-    Result.push_back(Res->getType());
-  return Result;
+  if (NumOperandsVal == OperandCapacity)
+    growOperandStorage(std::max(4u, OperandCapacity * 2));
+  new (OperandStorage + NumOperandsVal) OpOperand(this, V);
+  ++NumOperandsVal;
 }
 
 bool Operation::use_empty() const {
-  for (const auto &Res : Results)
-    if (Res->FirstUse)
+  for (unsigned I = 0; I != NumResultsVal; ++I)
+    if (ResultStorage[I].FirstUse)
       return false;
   return true;
 }
 
-void Operation::replaceAllUsesWith(const std::vector<Value> &NewValues) {
-  assert(NewValues.size() == Results.size() &&
+void Operation::replaceAllUsesWith(std::span<const Value> NewValues) {
+  assert(NewValues.size() == NumResultsVal &&
          "replacement arity must match result arity");
-  for (unsigned I = 0, E = Results.size(); I != E; ++I)
-    Value(Results[I].get()).replaceAllUsesWith(NewValues[I]);
+  for (unsigned I = 0; I != NumResultsVal; ++I)
+    Value(ResultStorage + I).replaceAllUsesWith(NewValues[I]);
+}
+
+void Operation::replaceAllUsesWith(ResultRange NewValues) {
+  assert(NewValues.size() == NumResultsVal &&
+         "replacement arity must match result arity");
+  for (unsigned I = 0; I != NumResultsVal; ++I)
+    Value(ResultStorage + I).replaceAllUsesWith(NewValues[I]);
 }
 
 Operation *Operation::getParentOp() const {
@@ -161,15 +248,7 @@ void Operation::erase() {
   assert(use_empty() && "erasing an operation whose results are in use");
   if (ParentBlock)
     removeFromBlock();
-  delete this;
-}
-
-void Operation::walk(const std::function<void(Operation *)> &Callback) {
-  Callback(this);
-  for (auto &R : Regions)
-    for (Block &B : *R)
-      for (Operation &Op : B)
-        Op.walk(Callback);
+  destroy();
 }
 
 bool Operation::isIsolatedFromAbove() const {

@@ -3,9 +3,15 @@
 /// \file
 /// The generic Operation: a named instruction with operands, results, named
 /// attributes, successor blocks, and nested regions — MLIR's extensible op
-/// model (Section 2 of the paper). Operations are allocated detached and
-/// inserted into blocks; the owning block's intrusive list manages their
-/// lifetime.
+/// model (Section 2 of the paper). An operation is a *single* sized
+/// allocation: the operand, result, successor, and region storage is laid
+/// out inline after the op header (the MLIR trailing-objects layout), and
+/// the block comes from the owning IRContext's bump-pointer arena
+/// (ir/OpArena.h). Operations are created detached and inserted into
+/// blocks; the owning block's intrusive list manages their lifetime, and
+/// erase()/destroy() return the block to the arena's free lists instead of
+/// the heap. See docs/memory-layout.md for the layout diagram and the
+/// ownership contract.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,15 +23,18 @@
 #include "support/IntrusiveList.h"
 #include "support/SourceMgr.h"
 
-#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace irdl {
 
 class Block;
+class IRContext;
+class Operation;
 class Region;
+class RegionRange;
 
 /// A named attribute entry on an operation.
 struct NamedAttribute {
@@ -63,22 +72,25 @@ private:
   std::vector<NamedAttribute> Entries;
 };
 
-/// The resolved name of an operation: its definition, plus the full name
-/// string for unregistered operations.
+/// The resolved name of an operation: its definition, plus an owned full
+/// name string only for unregistered operations — registered names alias
+/// the definition's cached full name, so constructing an OperationName
+/// (and therefore an Operation) performs no string copy.
 class OperationName {
 public:
   OperationName() = default;
-  /*implicit*/ OperationName(const OpDefinition *Def)
-      : Def(Def), FullName(Def->getFullName()) {}
+  /*implicit*/ OperationName(const OpDefinition *Def) : Def(Def) {}
   OperationName(std::string UnregisteredName)
       : FullName(std::move(UnregisteredName)) {}
 
   const OpDefinition *getDef() const { return Def; }
   bool isRegistered() const { return Def != nullptr; }
-  const std::string &str() const { return FullName; }
+  const std::string &str() const {
+    return Def ? Def->getFullName() : FullName;
+  }
 
   bool operator==(const OperationName &RHS) const {
-    return FullName == RHS.FullName;
+    return str() == RHS.str();
   }
 
 private:
@@ -86,10 +98,164 @@ private:
   std::string FullName;
 };
 
+/// A view over an operation's operand storage yielding Values. Cheap to
+/// copy; invalidated by any operand-list mutation on the operation.
+class OperandRange {
+public:
+  OperandRange() = default;
+  OperandRange(const OpOperand *Base, unsigned Count)
+      : Base(Base), Count(Count) {}
+
+  class iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Value;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+    explicit iterator(const OpOperand *P) : P(P) {}
+    Value operator*() const { return P->get(); }
+    iterator &operator++() {
+      ++P;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator Tmp = *this;
+      ++P;
+      return Tmp;
+    }
+    bool operator==(const iterator &RHS) const = default;
+
+  private:
+    const OpOperand *P = nullptr;
+  };
+
+  iterator begin() const { return iterator(Base); }
+  iterator end() const { return iterator(Base + Count); }
+  unsigned size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  Value operator[](unsigned Index) const {
+    assert(Index < Count && "operand index out of range");
+    return Base[Index].get();
+  }
+  Value front() const { return (*this)[0]; }
+  Value back() const { return (*this)[Count - 1]; }
+
+  /// Materializes the range (for callers that need to outlive a
+  /// mutation, e.g. erasing the op the range points into).
+  std::vector<Value> vec() const { return {begin(), end()}; }
+
+private:
+  const OpOperand *Base = nullptr;
+  unsigned Count = 0;
+};
+
+/// A view over an operation's result storage yielding Values.
+class ResultRange {
+public:
+  ResultRange() = default;
+  ResultRange(detail::OpResultImpl *Base, unsigned Count)
+      : Base(Base), Count(Count) {}
+
+  class iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Value;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+    explicit iterator(detail::OpResultImpl *P) : P(P) {}
+    Value operator*() const { return Value(P); }
+    iterator &operator++() {
+      ++P;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator Tmp = *this;
+      ++P;
+      return Tmp;
+    }
+    bool operator==(const iterator &RHS) const = default;
+
+  private:
+    detail::OpResultImpl *P = nullptr;
+  };
+
+  iterator begin() const { return iterator(Base); }
+  iterator end() const { return iterator(Base + Count); }
+  unsigned size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  Value operator[](unsigned Index) const {
+    assert(Index < Count && "result index out of range");
+    return Value(Base + Index);
+  }
+  Value front() const { return (*this)[0]; }
+  Value back() const { return (*this)[Count - 1]; }
+
+  std::vector<Value> vec() const { return {begin(), end()}; }
+
+private:
+  detail::OpResultImpl *Base = nullptr;
+  unsigned Count = 0;
+};
+
+/// A view over an operation's result storage yielding the result Types.
+class ResultTypeRange {
+public:
+  ResultTypeRange() = default;
+  ResultTypeRange(const detail::OpResultImpl *Base, unsigned Count)
+      : Base(Base), Count(Count) {}
+
+  class iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Type;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+    explicit iterator(const detail::OpResultImpl *P) : P(P) {}
+    Type operator*() const { return P->getType(); }
+    iterator &operator++() {
+      ++P;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator Tmp = *this;
+      ++P;
+      return Tmp;
+    }
+    bool operator==(const iterator &RHS) const = default;
+
+  private:
+    const detail::OpResultImpl *P = nullptr;
+  };
+
+  iterator begin() const { return iterator(Base); }
+  iterator end() const { return iterator(Base + Count); }
+  unsigned size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  Type operator[](unsigned Index) const {
+    assert(Index < Count && "result index out of range");
+    return Base[Index].getType();
+  }
+
+  std::vector<Type> vec() const { return {begin(), end()}; }
+
+private:
+  const detail::OpResultImpl *Base = nullptr;
+  unsigned Count = 0;
+};
+
+/// A view over an operation's successor storage.
+using SuccessorRange = std::span<Block *const>;
+
 /// Aggregated construction parameters for an operation (mirrors
-/// mlir::OperationState). Regions added here are *moved into* the created
+/// mlir::OperationState). Creation is context-aware: the context supplies
+/// the arena the operation is allocated from, so every state names its
+/// context up front. Regions added here are *moved into* the created
 /// operation.
 struct OperationState {
+  IRContext *Ctx = nullptr;
   SMLoc Loc;
   OperationName Name;
   std::vector<Value> Operands;
@@ -99,12 +265,18 @@ struct OperationState {
   std::vector<std::unique_ptr<Region>> Regions;
 
   // Constructors/destructor out of line: Region is incomplete here.
-  OperationState(OperationName Name);
-  OperationState(OperationName Name, SMLoc Loc);
+  OperationState(IRContext &Ctx, OperationName Name);
+  OperationState(IRContext &Ctx, OperationName Name, SMLoc Loc);
   ~OperationState();
 
+  void addOperands(std::span<const Value> Vals) {
+    Operands.insert(Operands.end(), Vals.begin(), Vals.end());
+  }
   void addOperands(std::initializer_list<Value> Vals) {
     Operands.insert(Operands.end(), Vals);
+  }
+  void addTypes(std::span<const Type> Tys) {
+    ResultTypes.insert(ResultTypes.end(), Tys.begin(), Tys.end());
   }
   void addTypes(std::initializer_list<Type> Tys) {
     ResultTypes.insert(ResultTypes.end(), Tys);
@@ -119,14 +291,29 @@ struct OperationState {
 };
 
 /// A generic SSA operation.
-class Operation : public IntrusiveListNode<Operation> {
+///
+/// Memory layout (one arena allocation):
+///
+///   [ Operation header | OpResultImpl x NumResults
+///     | OpOperand x OperandCapacity | Block* x NumSuccessors
+///     | Region x NumRegions ]
+///
+/// Result/successor/region counts are fixed at creation; the operand list
+/// may grow past its inline capacity, in which case the operand array
+/// alone moves to a fresh arena block (the header keeps pointing at the
+/// live array, so accessors never branch on the storage mode).
+class Operation final : public IntrusiveListNode<Operation> {
 public:
-  /// Creates a detached operation, taking the bodies of any regions added
-  /// to \p State. The caller (usually a Block insertion or OpBuilder) is
-  /// responsible for its eventual ownership.
+  /// Creates a detached operation from the context's arena, taking the
+  /// bodies of any regions added to \p State. The caller (usually a Block
+  /// insertion or OpBuilder) is responsible for its eventual ownership;
+  /// destruction must go through erase()/destroy(), never `delete`.
   static Operation *create(OperationState &State);
 
-  ~Operation();
+  /// Destroys a detached operation: runs destructors and returns its
+  /// storage to the context arena's free lists. All results must be
+  /// unused.
+  void destroy();
 
   //===------------------------------------------------------------------===//
   // Identity
@@ -138,6 +325,9 @@ public:
   SMLoc getLoc() const { return Loc; }
   void setLoc(SMLoc L) { Loc = L; }
 
+  /// The context whose arena owns this operation's storage.
+  IRContext *getContext() const { return Ctx; }
+
   /// Returns true if this op may only terminate a block.
   bool isTerminator() const {
     return Name.getDef() && Name.getDef()->isTerminator();
@@ -147,23 +337,29 @@ public:
   // Operands
   //===------------------------------------------------------------------===//
 
-  unsigned getNumOperands() const { return Operands.size(); }
+  unsigned getNumOperands() const { return NumOperandsVal; }
   Value getOperand(unsigned Index) const {
-    assert(Index < Operands.size() && "operand index out of range");
-    return Operands[Index]->get();
+    assert(Index < NumOperandsVal && "operand index out of range");
+    return OperandStorage[Index].get();
   }
   void setOperand(unsigned Index, Value V) {
-    assert(Index < Operands.size() && "operand index out of range");
-    Operands[Index]->set(V);
+    assert(Index < NumOperandsVal && "operand index out of range");
+    OperandStorage[Index].set(V);
   }
   OpOperand &getOpOperand(unsigned Index) {
-    assert(Index < Operands.size() && "operand index out of range");
-    return *Operands[Index];
+    assert(Index < NumOperandsVal && "operand index out of range");
+    return OperandStorage[Index];
   }
-  std::vector<Value> getOperands() const;
+  OperandRange getOperands() const {
+    return OperandRange(OperandStorage, NumOperandsVal);
+  }
 
   /// Replaces the full operand list.
-  void setOperands(const std::vector<Value> &NewOperands);
+  void setOperands(std::span<const Value> NewOperands);
+  void setOperands(std::initializer_list<Value> NewOperands) {
+    setOperands(std::span<const Value>(NewOperands.begin(),
+                                       NewOperands.size()));
+  }
 
   /// Removes the operand at \p Index.
   void eraseOperand(unsigned Index);
@@ -175,19 +371,29 @@ public:
   // Results
   //===------------------------------------------------------------------===//
 
-  unsigned getNumResults() const { return Results.size(); }
+  unsigned getNumResults() const { return NumResultsVal; }
   Value getResult(unsigned Index) const {
-    assert(Index < Results.size() && "result index out of range");
-    return Value(Results[Index].get());
+    assert(Index < NumResultsVal && "result index out of range");
+    return Value(ResultStorage + Index);
   }
-  std::vector<Value> getResults() const;
-  std::vector<Type> getResultTypes() const;
+  ResultRange getResults() const {
+    return ResultRange(ResultStorage, NumResultsVal);
+  }
+  ResultTypeRange getResultTypes() const {
+    return ResultTypeRange(ResultStorage, NumResultsVal);
+  }
 
   /// True if no result has any use.
   bool use_empty() const;
 
   /// Replaces all uses of this op's results with \p NewValues (same arity).
-  void replaceAllUsesWith(const std::vector<Value> &NewValues);
+  void replaceAllUsesWith(std::span<const Value> NewValues);
+  void replaceAllUsesWith(std::initializer_list<Value> NewValues) {
+    replaceAllUsesWith(
+        std::span<const Value>(NewValues.begin(), NewValues.size()));
+  }
+  /// Convenience overload: the replacement values of another operation.
+  void replaceAllUsesWith(ResultRange NewValues);
 
   //===------------------------------------------------------------------===//
   // Attributes
@@ -206,29 +412,27 @@ public:
   // Successors
   //===------------------------------------------------------------------===//
 
-  unsigned getNumSuccessors() const { return Successors.size(); }
+  unsigned getNumSuccessors() const { return NumSuccessorsVal; }
   Block *getSuccessor(unsigned Index) const {
-    assert(Index < Successors.size() && "successor index out of range");
-    return Successors[Index];
+    assert(Index < NumSuccessorsVal && "successor index out of range");
+    return SuccessorStorage[Index];
   }
   void setSuccessor(unsigned Index, Block *B) {
-    assert(Index < Successors.size() && "successor index out of range");
-    Successors[Index] = B;
+    assert(Index < NumSuccessorsVal && "successor index out of range");
+    SuccessorStorage[Index] = B;
   }
-  const std::vector<Block *> &getSuccessors() const { return Successors; }
+  SuccessorRange getSuccessors() const {
+    return SuccessorRange(SuccessorStorage, NumSuccessorsVal);
+  }
 
   //===------------------------------------------------------------------===//
   // Regions
   //===------------------------------------------------------------------===//
 
-  unsigned getNumRegions() const { return Regions.size(); }
-  Region &getRegion(unsigned Index) {
-    assert(Index < Regions.size() && "region index out of range");
-    return *Regions[Index];
-  }
-  const std::vector<std::unique_ptr<Region>> &getRegions() const {
-    return Regions;
-  }
+  unsigned getNumRegions() const { return NumRegionsVal; }
+  /// Defined inline in Region.h (needs the complete Region type).
+  Region &getRegion(unsigned Index);
+  RegionRange getRegions() const;
 
   //===------------------------------------------------------------------===//
   // Position
@@ -243,15 +447,19 @@ public:
   /// Unlinks this op from its block (ownership passes to the caller).
   void removeFromBlock();
 
-  /// Unlinks and deletes this op. All results must be unused.
+  /// Unlinks and destroys this op, returning its storage to the context
+  /// arena. All results must be unused.
   void erase();
 
   //===------------------------------------------------------------------===//
   // Traversal & verification
   //===------------------------------------------------------------------===//
 
-  /// Visits this op and all nested ops, pre-order.
-  void walk(const std::function<void(Operation *)> &Callback);
+  /// Visits this op and all nested ops, pre-order. Templated visitor: the
+  /// callable is statically dispatched (no std::function allocation per
+  /// walk). Defined inline in Region.h, which callers need anyway to
+  /// traverse the IR.
+  template <typename FnT> void walk(FnT &&Callback);
 
   /// True if no operation nested within this op uses a value defined
   /// outside of it (MLIR's IsolatedFromAbove, computed structurally).
@@ -267,16 +475,56 @@ public:
   std::string str() const;
 
 private:
-  Operation(OperationState &State);
+  /// Byte offsets of the trailing arrays within one allocation.
+  struct Layout {
+    size_t ResultsOffset;
+    size_t OperandsOffset;
+    size_t SuccessorsOffset;
+    size_t RegionsOffset;
+    size_t Bytes;
+  };
+  static Layout computeLayout(unsigned NumResults, unsigned OperandCapacity,
+                              unsigned NumSuccessors, unsigned NumRegions);
+
+  Operation(OperationState &State, const Layout &L);
+  ~Operation();
+
+  /// Moves the operand array to a fresh arena block of \p NewCapacity
+  /// slots (use lists are relinked; use order within a value's list may
+  /// change).
+  void growOperandStorage(unsigned NewCapacity);
+
+  /// True when the operand array still lives inside the op's own
+  /// allocation (vs. a separate arena block after growth).
+  bool operandsAreInline() const;
 
   OperationName Name;
   SMLoc Loc;
-  std::vector<std::unique_ptr<OpOperand>> Operands;
-  std::vector<std::unique_ptr<detail::OpResultImpl>> Results;
   NamedAttrList Attrs;
-  std::vector<Block *> Successors;
-  std::vector<std::unique_ptr<Region>> Regions;
+  IRContext *Ctx = nullptr;
   Block *ParentBlock = nullptr;
+
+  // The trailing arrays. All four point into this op's allocation at
+  // creation; OperandStorage may later point at a separate arena block
+  // if the operand list outgrows its inline capacity.
+  detail::OpResultImpl *ResultStorage = nullptr;
+  OpOperand *OperandStorage = nullptr;
+  Block **SuccessorStorage = nullptr;
+  Region *RegionStorage = nullptr;
+
+  uint32_t NumOperandsVal = 0;
+  uint32_t OperandCapacity = 0;
+  uint32_t NumResultsVal = 0;
+  uint32_t NumSuccessorsVal = 0;
+  uint32_t NumRegionsVal = 0;
+  /// Size of the op's own allocation, for returning it to the arena.
+  uint32_t AllocBytes = 0;
+};
+
+/// Operations are arena-allocated: intrusive lists must destroy them via
+/// destroy(), not `delete`.
+template <> struct IntrusiveListTraits<Operation> {
+  static void deleteNode(Operation *Op);
 };
 
 } // namespace irdl

@@ -31,8 +31,8 @@ Pass::~Pass() = default;
 
 LogicalResult FunctionPass::run(Operation *Root, DiagnosticEngine &Diags) {
   std::vector<Operation *> Funcs;
-  for (auto &R : Root->getRegions())
-    for (Block &B : *R)
+  for (Region &R : Root->getRegions())
+    for (Block &B : R)
       for (Operation &Op : B)
         if (isFunctionLike(&Op))
           Funcs.push_back(&Op);

@@ -59,6 +59,49 @@ private:
   IntrusiveList<Block> Blocks;
 };
 
+/// A view over an operation's inline region storage. Regions live inside
+/// the op's single allocation, so the view is just a pointer and a count.
+class RegionRange {
+public:
+  RegionRange() = default;
+  RegionRange(Region *Base, unsigned Count) : Base(Base), Count(Count) {}
+
+  Region *begin() const { return Base; }
+  Region *end() const { return Base + Count; }
+  unsigned size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  Region &operator[](unsigned Index) const {
+    assert(Index < Count && "region index out of range");
+    return Base[Index];
+  }
+  Region &front() const { return (*this)[0]; }
+  Region &back() const { return (*this)[Count - 1]; }
+
+private:
+  Region *Base = nullptr;
+  unsigned Count = 0;
+};
+
+// Operation members that need the complete Region/Block types. Declared in
+// Operation.h; every IR traversal includes Region.h anyway.
+
+inline Region &Operation::getRegion(unsigned Index) {
+  assert(Index < NumRegionsVal && "region index out of range");
+  return RegionStorage[Index];
+}
+
+inline RegionRange Operation::getRegions() const {
+  return RegionRange(RegionStorage, NumRegionsVal);
+}
+
+template <typename FnT> void Operation::walk(FnT &&Callback) {
+  Callback(this);
+  for (Region &R : getRegions())
+    for (Block &B : R)
+      for (Operation &Op : B)
+        Op.walk(Callback);
+}
+
 } // namespace irdl
 
 #endif // IRDL_IR_REGION_H

@@ -24,7 +24,7 @@ PatternRewriter::~PatternRewriter() = default;
 RewritePattern::~RewritePattern() = default;
 
 void PatternRewriter::replaceOp(Operation *Op,
-                                const std::vector<Value> &NewValues) {
+                                std::span<const Value> NewValues) {
   notifyOpReplaced(Op, NewValues);
   Op->replaceAllUsesWith(NewValues);
   eraseOp(Op);
@@ -84,8 +84,8 @@ private:
   void seedWorklist(Operation *Root) {
     Worklist.clear();
     InWorklist.clear();
-    for (auto &R : Root->getRegions())
-      for (Block &B : *R)
+    for (Region &R : Root->getRegions())
+      for (Block &B : R)
         for (Operation &Op : B)
           Op.walk([&](Operation *Nested) { addToWorklist(Nested); });
   }
@@ -138,7 +138,7 @@ private:
   }
 
   void notifyOpReplaced(Operation *Op,
-                        const std::vector<Value> &NewValues) override {
+                        std::span<const Value> NewValues) override {
     // Users of the replaced values may now match new patterns.
     for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I)
       for (OpOperand *Use = Op->getResult(I).getFirstUse(); Use;

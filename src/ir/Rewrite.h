@@ -30,7 +30,15 @@ public:
   virtual ~PatternRewriter();
 
   /// Replaces \p Op's results with \p NewValues and erases it.
-  void replaceOp(Operation *Op, const std::vector<Value> &NewValues);
+  void replaceOp(Operation *Op, std::span<const Value> NewValues);
+  void replaceOp(Operation *Op, std::initializer_list<Value> NewValues) {
+    replaceOp(Op, std::span<const Value>(NewValues.begin(),
+                                         NewValues.size()));
+  }
+  /// Convenience: replace with another op's results.
+  void replaceOp(Operation *Op, ResultRange NewValues) {
+    replaceOp(Op, NewValues.vec());
+  }
 
   /// Erases \p Op, which must have no uses.
   void eraseOp(Operation *Op);
@@ -45,7 +53,7 @@ protected:
   virtual void notifyOpInserted(Operation *Op) { (void)Op; }
   virtual void notifyOpErased(Operation *Op) { (void)Op; }
   virtual void notifyOpReplaced(Operation *Op,
-                                const std::vector<Value> &NewValues) {
+                                std::span<const Value> NewValues) {
     (void)Op;
     (void)NewValues;
   }

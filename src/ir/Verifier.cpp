@@ -202,8 +202,8 @@ private:
   LogicalResult verifyImpl(Operation *Op) {
     if (failed(verifyOpItself(Op)))
       return failure();
-    for (auto &R : Op->getRegions())
-      if (failed(verifyRegion(*R)))
+    for (Region &R : Op->getRegions())
+      if (failed(verifyRegion(R)))
         return failure();
     return success();
   }
@@ -320,11 +320,11 @@ private:
 /// to fan out.
 bool canVerifyChildrenInParallel(Operation *Op) {
   size_t NumChildren = 0;
-  for (auto &R : Op->getRegions()) {
-    if (R->getNumBlocks() > 1)
+  for (Region &R : Op->getRegions()) {
+    if (R.getNumBlocks() > 1)
       return false;
-    if (!R->empty())
-      NumChildren += R->front().getNumOps();
+    if (!R.empty())
+      NumChildren += R.front().getNumOps();
   }
   return NumChildren >= 2;
 }
@@ -341,9 +341,9 @@ LogicalResult verifyOpParallel(Operation *Root, DiagnosticEngine &Diags) {
     return failure();
 
   std::vector<Operation *> Children;
-  for (auto &R : Root->getRegions())
-    if (!R->empty())
-      for (Operation &Op : R->front())
+  for (Region &R : Root->getRegions())
+    if (!R.empty())
+      for (Operation &Op : R.front())
         Children.push_back(&Op);
 
   std::vector<DiagnosticEngine> Engines(Children.size());

@@ -21,6 +21,14 @@ namespace irdl {
 template <typename T>
 class IntrusiveList;
 
+/// Customization point for how an owning IntrusiveList destroys its nodes.
+/// The default uses `delete`; arena-allocated node types (Operation)
+/// specialize this to route destruction back to their allocator.
+template <typename T>
+struct IntrusiveListTraits {
+  static void deleteNode(T *N) { delete N; }
+};
+
 /// Base class for nodes stored in an IntrusiveList<T>.
 template <typename T>
 class IntrusiveListNode {
@@ -159,7 +167,7 @@ public:
   /// Unlinks and deletes \p N. Returns an iterator to the following node.
   iterator erase(T *N) {
     iterator Following(static_cast<Node *>(N)->Next);
-    delete remove(N);
+    IntrusiveListTraits<T>::deleteNode(remove(N));
     return Following;
   }
 
@@ -169,7 +177,7 @@ public:
     while (Cur != &Sentinel) {
       Node *NextNode = Cur->Next;
       Cur->Prev = Cur->Next = nullptr;
-      delete static_cast<T *>(Cur);
+      IntrusiveListTraits<T>::deleteNode(static_cast<T *>(Cur));
       Cur = NextNode;
     }
     Sentinel.Prev = Sentinel.Next = &Sentinel;

@@ -19,12 +19,12 @@ protected:
   }
 
   Operation *makePlain() {
-    OperationState State{OperationName(PlainDef)};
+    OperationState State(Ctx, OperationName(PlainDef));
     return Operation::create(State);
   }
 
   Operation *makeBr(Block *Target) {
-    OperationState State{OperationName(BrDef)};
+    OperationState State(Ctx, OperationName(BrDef));
     State.addSuccessor(Target);
     return Operation::create(State);
   }
@@ -54,7 +54,7 @@ TEST_F(BlockRegionTest, RemoveFromBlock) {
   A->removeFromBlock();
   EXPECT_TRUE(B.empty());
   EXPECT_EQ(A->getBlock(), nullptr);
-  delete A;
+  A->destroy();
 }
 
 TEST_F(BlockRegionTest, EraseOp) {
@@ -66,8 +66,7 @@ TEST_F(BlockRegionTest, EraseOp) {
 }
 
 TEST_F(BlockRegionTest, TerminatorDetection) {
-  OperationState ModState{
-      OperationName(Ctx.resolveOpDef("builtin.module"))};
+  OperationState ModState(Ctx, OperationName(Ctx.resolveOpDef("builtin.module")));
   Region *R = ModState.addRegion();
   Block *B1 = new Block();
   Block *B2 = new Block();
@@ -82,7 +81,7 @@ TEST_F(BlockRegionTest, TerminatorDetection) {
   ASSERT_EQ(Succs.size(), 1u);
   EXPECT_EQ(Succs[0], B2);
   Operation *Mod = Operation::create(ModState);
-  delete Mod;
+  Mod->destroy();
 }
 
 TEST_F(BlockRegionTest, BlockArguments) {
@@ -144,7 +143,7 @@ TEST_F(BlockRegionTest, CrossBlockReferenceTeardown) {
   // An op in block 2 uses a value from block 1; deleting the region must
   // not trip use-list assertions regardless of order.
   auto *ModDef = Ctx.resolveOpDef("builtin.module");
-  OperationState State{OperationName(ModDef)};
+  OperationState State(Ctx, OperationName(ModDef));
   Region *R = State.addRegion();
   Block *B1 = new Block();
   Block *B2 = new Block();
@@ -153,17 +152,17 @@ TEST_F(BlockRegionTest, CrossBlockReferenceTeardown) {
 
   Dialect *D = Ctx.getOrCreateDialect("test");
   OpDefinition *ProduceDef = D->addOp("produce2");
-  OperationState PS{OperationName(ProduceDef)};
+  OperationState PS(Ctx, OperationName(ProduceDef));
   PS.ResultTypes.push_back(Ctx.getFloatType(32));
   Operation *P = Operation::create(PS);
   B1->push_back(P);
 
-  OperationState CS{OperationName(PlainDef)};
+  OperationState CS(Ctx, OperationName(PlainDef));
   CS.Operands.push_back(P->getResult(0));
   B2->push_back(Operation::create(CS));
 
   Operation *Mod = Operation::create(State);
-  delete Mod; // Must not assert.
+  Mod->destroy(); // Must not assert.
   SUCCEED();
 }
 

@@ -24,7 +24,7 @@ protected:
 TEST_F(BuilderTest, CreateWithoutInsertionPointIsDetached) {
   Operation *Op = Builder.create("test.op", {}, {Ctx.getFloatType(32)});
   EXPECT_EQ(Op->getBlock(), nullptr);
-  delete Op;
+  Op->destroy();
 }
 
 TEST_F(BuilderTest, SequentialInsertionAtEnd) {

@@ -92,7 +92,7 @@ TEST_F(BuiltinOpsTest, MulfRequiresMatchingFloatTypes) {
   // types only at verification).
   Block &Body = M->getRegion(0).front().front().getRegion(0).front();
   Value Arg = Body.getArgument(0);
-  OperationState S(Ctx.resolveOpDef("std.mulf"));
+  OperationState S(Ctx, Ctx.resolveOpDef("std.mulf"));
   S.Operands = {Arg, Arg};
   S.ResultTypes = {Arg.getType()};
   Body.push_front(Operation::create(S));
@@ -150,13 +150,13 @@ TEST_F(BuiltinOpsTest, VoidFunction) {
 }
 
 TEST_F(BuiltinOpsTest, FuncRequiresAttrs) {
-  OperationState S(Ctx.resolveOpDef("std.func"));
+  OperationState S(Ctx, Ctx.resolveOpDef("std.func"));
   S.addRegion();
   Operation *Func = Operation::create(S);
   DiagnosticEngine V;
   EXPECT_TRUE(failed(Func->verify(V)));
   EXPECT_NE(V.renderAll().find("sym_name"), std::string::npos);
-  delete Func;
+  Func->destroy();
 }
 
 } // namespace

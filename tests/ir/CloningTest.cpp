@@ -45,7 +45,7 @@ TEST_F(CloningTest, CloneSimpleOp) {
   EXPECT_EQ(Clone->getResult(0).getType(), Ctx.getFloatType(32));
   EXPECT_EQ(Clone->getAttr("tag"), Ctx.getIntegerAttr(7, 32));
   EXPECT_EQ(Clone->getBlock(), nullptr); // detached
-  delete Clone;
+  Clone->destroy();
 }
 
 TEST_F(CloningTest, OperandRemapping) {
@@ -64,14 +64,14 @@ TEST_F(CloningTest, OperandRemapping) {
   // Unmapped: the clone references the original %a.
   Operation *Clone1 = cloneOp(&Sink);
   EXPECT_EQ(Clone1->getOperand(0), A.getResult(0));
-  delete Clone1;
+  Clone1->destroy();
 
   // Mapped %a -> %b.
   IRMapping Mapper;
   Mapper.map(A.getResult(0), B.getResult(0));
   Operation *Clone2 = cloneOp(&Sink, Mapper);
   EXPECT_EQ(Clone2->getOperand(0), B.getResult(0));
-  delete Clone2;
+  Clone2->destroy();
 }
 
 TEST_F(CloningTest, CloneFunctionWithRegion) {
@@ -146,7 +146,7 @@ TEST_F(CloningTest, ClonePreservesTextualForm) {
   std::string B = printOpToString(Clone);
   EXPECT_EQ(A, B);
   // Clone owns nested state; deleting it leaves the original intact.
-  delete Clone;
+  Clone->destroy();
   EXPECT_EQ(printOpToString(&Func), A);
 }
 

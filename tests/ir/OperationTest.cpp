@@ -21,7 +21,7 @@ protected:
   }
 
   Operation *makeProduce(Type Ty) {
-    OperationState State{OperationName(ProduceDef)};
+    OperationState State(Ctx, OperationName(ProduceDef));
     State.ResultTypes.push_back(Ty);
     return Operation::create(State);
   }
@@ -40,20 +40,20 @@ TEST_F(OperationTest, CreateWithResults) {
   EXPECT_EQ(Op->getResult(0).getIndex(), 0u);
   EXPECT_EQ(Op->getName().str(), "test.produce");
   EXPECT_TRUE(Op->isRegistered());
-  delete Op;
+  Op->destroy();
 }
 
 TEST_F(OperationTest, CreateWithOperands) {
   Operation *P = makeProduce(Ctx.getFloatType(32));
-  OperationState State{OperationName(ConsumeDef)};
+  OperationState State(Ctx, OperationName(ConsumeDef));
   State.Operands.push_back(P->getResult(0));
   Operation *C = Operation::create(State);
   EXPECT_EQ(C->getNumOperands(), 1u);
   EXPECT_EQ(C->getOperand(0), P->getResult(0));
   EXPECT_FALSE(P->use_empty());
-  delete C;
+  C->destroy();
   EXPECT_TRUE(P->use_empty());
-  delete P;
+  P->destroy();
 }
 
 TEST_F(OperationTest, Attributes) {
@@ -64,7 +64,7 @@ TEST_F(OperationTest, Attributes) {
   EXPECT_FALSE(static_cast<bool>(Op->getAttr("missing")));
   EXPECT_TRUE(Op->removeAttr("flag"));
   EXPECT_FALSE(Op->removeAttr("flag"));
-  delete Op;
+  Op->destroy();
 }
 
 TEST_F(OperationTest, NamedAttrListIsSorted) {
@@ -82,7 +82,7 @@ TEST_F(OperationTest, NamedAttrListIsSorted) {
 TEST_F(OperationTest, SetOperandsGrowAndShrink) {
   Operation *A = makeProduce(Ctx.getFloatType(32));
   Operation *B = makeProduce(Ctx.getFloatType(32));
-  OperationState State{OperationName(ConsumeDef)};
+  OperationState State(Ctx, OperationName(ConsumeDef));
   Operation *C = Operation::create(State);
 
   C->setOperands({A->getResult(0), B->getResult(0)});
@@ -97,39 +97,39 @@ TEST_F(OperationTest, SetOperandsGrowAndShrink) {
 
   C->setOperands({});
   EXPECT_TRUE(B->use_empty());
-  delete C;
-  delete A;
-  delete B;
+  C->destroy();
+  A->destroy();
+  B->destroy();
 }
 
 TEST_F(OperationTest, EraseOperand) {
   Operation *A = makeProduce(Ctx.getFloatType(32));
   Operation *B = makeProduce(Ctx.getFloatType(64));
-  OperationState State{OperationName(ConsumeDef)};
+  OperationState State(Ctx, OperationName(ConsumeDef));
   State.Operands = {A->getResult(0), B->getResult(0)};
   Operation *C = Operation::create(State);
   C->eraseOperand(0);
   EXPECT_EQ(C->getNumOperands(), 1u);
   EXPECT_EQ(C->getOperand(0), B->getResult(0));
   EXPECT_TRUE(A->use_empty());
-  delete C;
-  delete A;
-  delete B;
+  C->destroy();
+  A->destroy();
+  B->destroy();
 }
 
 TEST_F(OperationTest, MultipleResults) {
-  OperationState State{OperationName(ProduceDef)};
+  OperationState State(Ctx, OperationName(ProduceDef));
   State.ResultTypes = {Ctx.getFloatType(32), Ctx.getIntegerType(32)};
   Operation *Op = Operation::create(State);
   EXPECT_EQ(Op->getNumResults(), 2u);
   EXPECT_EQ(Op->getResult(1).getIndex(), 1u);
   auto Types = Op->getResultTypes();
   EXPECT_EQ(Types[1], Ctx.getIntegerType(32));
-  delete Op;
+  Op->destroy();
 }
 
 TEST_F(OperationTest, RegionsInState) {
-  OperationState State{OperationName(ProduceDef)};
+  OperationState State(Ctx, OperationName(ProduceDef));
   Region *R = State.addRegion();
   Block *B = new Block();
   R->push_back(B);
@@ -138,30 +138,30 @@ TEST_F(OperationTest, RegionsInState) {
   EXPECT_EQ(Op->getRegion(0).getNumBlocks(), 1u);
   EXPECT_EQ(Op->getRegion(0).front().getParent(), &Op->getRegion(0));
   EXPECT_EQ(Op->getRegion(0).getParentOp(), Op);
-  delete Op;
+  Op->destroy();
 }
 
 TEST_F(OperationTest, WalkVisitsNestedOps) {
-  OperationState State{OperationName(ProduceDef)};
+  OperationState State(Ctx, OperationName(ProduceDef));
   Region *R = State.addRegion();
   Block *B = new Block();
   R->push_back(B);
-  OperationState Inner{OperationName(ConsumeDef)};
+  OperationState Inner(Ctx, OperationName(ConsumeDef));
   B->push_back(Operation::create(Inner));
   Operation *Op = Operation::create(State);
 
   int Count = 0;
   Op->walk([&](Operation *) { ++Count; });
   EXPECT_EQ(Count, 2);
-  delete Op;
+  Op->destroy();
 }
 
 TEST_F(OperationTest, ParentChain) {
-  OperationState State{OperationName(ProduceDef)};
+  OperationState State(Ctx, OperationName(ProduceDef));
   Region *R = State.addRegion();
   Block *B = new Block();
   R->push_back(B);
-  OperationState InnerState{OperationName(ConsumeDef)};
+  OperationState InnerState(Ctx, OperationName(ConsumeDef));
   Operation *Inner = Operation::create(InnerState);
   B->push_back(Inner);
   Operation *Outer = Operation::create(State);
@@ -169,16 +169,16 @@ TEST_F(OperationTest, ParentChain) {
   EXPECT_EQ(Inner->getParentOp(), Outer);
   EXPECT_EQ(Outer->getParentOp(), nullptr);
   EXPECT_EQ(Inner->getBlock()->getParentOp(), Outer);
-  delete Outer;
+  Outer->destroy();
 }
 
 TEST_F(OperationTest, UnregisteredOperation) {
-  OperationState State{OperationName(std::string("mystery.op"))};
+  OperationState State(Ctx, OperationName(std::string("mystery.op")));
   Operation *Op = Operation::create(State);
   EXPECT_FALSE(Op->isRegistered());
   EXPECT_EQ(Op->getDef(), nullptr);
   EXPECT_EQ(Op->getName().str(), "mystery.op");
-  delete Op;
+  Op->destroy();
 }
 
 } // namespace

@@ -151,11 +151,11 @@ TEST_F(ParallelVerifierTest, IsolatedFromAbove) {
 
   // An op whose region uses a value defined outside it is not isolated.
   Operation &Source = M->getRegion(0).front().front();
-  OperationState WrapState(Ctx.resolveOpDef("test.wrap"));
+  OperationState WrapState(Ctx, Ctx.resolveOpDef("test.wrap"));
   Region *R = WrapState.addRegion();
   Block *B = new Block();
   R->push_back(B);
-  OperationState SinkState(Ctx.resolveOpDef("test.sink"));
+  OperationState SinkState(Ctx, Ctx.resolveOpDef("test.sink"));
   SinkState.Operands = {Source.getResult(0)};
   B->push_back(Operation::create(SinkState));
   Operation *Wrap = Operation::create(WrapState);

@@ -187,8 +187,9 @@ TEST_F(PassTest, GreedyRewritePassReportsStatistics) {
     LogicalResult
     matchAndRewrite(Operation *Op,
                     PatternRewriter &Rewriter) const override {
-      OperationState S(
-          Rewriter.getContext()->resolveOpDef("std.mulf"), Op->getLoc());
+      OperationState S(*Rewriter.getContext(),
+                       Rewriter.getContext()->resolveOpDef("std.mulf"),
+                       Op->getLoc());
       S.Operands = {Op->getOperand(0), Op->getOperand(1)};
       S.ResultTypes = {Op->getResult(0).getType()};
       Operation *Mul = Rewriter.createOp(S);

@@ -86,10 +86,10 @@ TEST_F(PrinterTest, GenericOpForm) {
   Block B;
   OpBuilder Builder(&Ctx);
   Builder.setInsertionPointToEnd(&B);
-  OperationState S1{OperationName(Def)};
+  OperationState S1(Ctx, OperationName(Def));
   S1.ResultTypes.push_back(Ctx.getFloatType(32));
   Operation *Src = Builder.create(S1);
-  OperationState S2{OperationName(Sink)};
+  OperationState S2(Ctx, OperationName(Sink));
   S2.Operands.push_back(Src->getResult(0));
   Operation *Snk = Builder.create(S2);
 
@@ -104,10 +104,10 @@ TEST_F(PrinterTest, MultiResultNaming) {
   Block B;
   OpBuilder Builder(&Ctx);
   Builder.setInsertionPointToEnd(&B);
-  OperationState S{OperationName(Def)};
+  OperationState S(Ctx, OperationName(Def));
   S.ResultTypes = {Ctx.getFloatType(32), Ctx.getIntegerType(1)};
   Operation *P = Builder.create(S);
-  OperationState U{OperationName(Use)};
+  OperationState U(Ctx, OperationName(Use));
   U.Operands = {P->getResult(1), P->getResult(0)};
   Operation *UOp = Builder.create(U);
 
@@ -118,29 +118,29 @@ TEST_F(PrinterTest, MultiResultNaming) {
 TEST_F(PrinterTest, AttrDictAndUnitElision) {
   Dialect *D = Ctx.getOrCreateDialect("test");
   OpDefinition *Def = D->addOp("attrs");
-  OperationState S{OperationName(Def)};
+  OperationState S(Ctx, OperationName(Def));
   S.addAttribute("b", Ctx.getIntegerAttr(1, 32));
   S.addAttribute("a", Ctx.getUnitAttr());
   Operation *Op = Operation::create(S);
   EXPECT_EQ(Op->str(), "\"test.attrs\"() {a, b = 1 : i32} : () -> ()");
-  delete Op;
+  Op->destroy();
 }
 
 TEST_F(PrinterTest, RegionPrinting) {
   Dialect *D = Ctx.getOrCreateDialect("test");
   OpDefinition *Wrap = D->addOp("wrap");
   OpDefinition *Inner = D->addOp("inner");
-  OperationState S{OperationName(Wrap)};
+  OperationState S(Ctx, OperationName(Wrap));
   Region *R = S.addRegion();
   Block *B = new Block();
   R->push_back(B);
-  OperationState IS{OperationName(Inner)};
+  OperationState IS(Ctx, OperationName(Inner));
   B->push_back(Operation::create(IS));
   Operation *Op = Operation::create(S);
   EXPECT_EQ(Op->str(), "\"test.wrap\"() ({\n"
                        "  \"test.inner\"() : () -> ()\n"
                        "}) : () -> ()");
-  delete Op;
+  Op->destroy();
 }
 
 TEST_F(PrinterTest, FloatLiteralRoundTrippable) {

@@ -71,7 +71,7 @@ TEST_P(RandomRoundTripTest, PrintParsePrintFixedPoint) {
 
   // Build a module with a chain of random ops; operands come from
   // earlier results of matching type (or fresh source ops).
-  OperationState ModState(Ctx.resolveOpDef("builtin.module"));
+  OperationState ModState(Ctx, Ctx.resolveOpDef("builtin.module"));
   Region *ModRegion = ModState.addRegion();
   Block *Body = new Block();
   ModRegion->push_back(Body);
@@ -83,7 +83,7 @@ TEST_P(RandomRoundTripTest, PrintParsePrintFixedPoint) {
   // Seed with a few producers.
   OpDefinition *Producer = Defs[1]; // op01: 0 operands, 1 result
   for (int I = 0; I < 4; ++I) {
-    OperationState S(Producer);
+    OperationState S(Ctx, Producer);
     S.ResultTypes = {TypePool[Rng.below(TypePool.size())]};
     Available.push_back(Builder.create(S)->getResult(0));
   }
@@ -94,7 +94,7 @@ TEST_P(RandomRoundTripTest, PrintParsePrintFixedPoint) {
     unsigned NumOperands = Def->getShortName()[2] - '0';
     unsigned NumResults = Def->getShortName()[3] - '0';
 
-    OperationState S(Def);
+    OperationState S(Ctx, Def);
     for (unsigned J = 0; J < NumOperands; ++J)
       S.Operands.push_back(Available[Rng.below(Available.size())]);
     for (unsigned J = 0; J < NumResults; ++J)
@@ -133,7 +133,7 @@ TEST(AttrNameQuoting, NonIdentifierNamesRoundTrip) {
   IRContext Ctx;
   Dialect *D = Ctx.getOrCreateDialect("q");
   D->addOp("op");
-  OperationState S(D->lookupOp("op"));
+  OperationState S(Ctx, D->lookupOp("op"));
   S.addAttribute("dotted.name", Ctx.getIntegerAttr(1, 32));
   S.addAttribute("with space", Ctx.getUnitAttr());
   OwningOpRef Op(Operation::create(S));

@@ -35,8 +35,9 @@ struct AddSelfToMul : RewritePattern {
                                 PatternRewriter &Rewriter) const override {
     if (Op->getOperand(0) != Op->getOperand(1))
       return failure();
-    OperationState State(
-        Rewriter.getContext()->resolveOpDef("std.mulf"), Op->getLoc());
+    OperationState State(*Rewriter.getContext(),
+                         Rewriter.getContext()->resolveOpDef("std.mulf"),
+                         Op->getLoc());
     State.Operands = {Op->getOperand(0), Op->getOperand(1)};
     State.ResultTypes = {Op->getResult(0).getType()};
     Operation *Mul = Rewriter.createOp(State);
@@ -62,7 +63,7 @@ struct FoldMulOfConstants : RewritePattern {
     double LV = L->getAttr("value").getParams()[0].getFloat().Value;
     double RV = R->getAttr("value").getParams()[0].getFloat().Value;
     unsigned Width = L->getAttr("value").getParams()[0].getFloat().Width;
-    OperationState State(Ctx->resolveOpDef("std.constant"), Op->getLoc());
+    OperationState State(*Ctx, Ctx->resolveOpDef("std.constant"), Op->getLoc());
     State.addAttribute("value", Ctx->getFloatAttr(LV * RV, Width));
     State.ResultTypes = {Op->getResult(0).getType()};
     Operation *Folded = Rewriter.createOp(State);

@@ -18,13 +18,13 @@ protected:
   }
 
   Operation *makeProduce() {
-    OperationState State{OperationName(ProduceDef)};
+    OperationState State(Ctx, OperationName(ProduceDef));
     State.ResultTypes.push_back(Ctx.getFloatType(32));
     return Operation::create(State);
   }
 
   Operation *makeConsume(std::vector<Value> Operands) {
-    OperationState State{OperationName(ConsumeDef)};
+    OperationState State(Ctx, OperationName(ConsumeDef));
     State.Operands = std::move(Operands);
     return Operation::create(State);
   }
@@ -48,11 +48,11 @@ TEST_F(UseDefTest, UseCounts) {
   EXPECT_FALSE(V.hasOneUse());
   EXPECT_EQ(V.getNumUses(), 3u);
 
-  delete C2;
+  C2->destroy();
   EXPECT_EQ(V.getNumUses(), 1u);
-  delete C1;
+  C1->destroy();
   EXPECT_TRUE(V.use_empty());
-  delete P;
+  P->destroy();
 }
 
 TEST_F(UseDefTest, UseListIteration) {
@@ -69,9 +69,9 @@ TEST_F(UseDefTest, UseListIteration) {
   EXPECT_EQ(Users[0], C2);
   EXPECT_EQ(Users[1], C1);
 
-  delete C1;
-  delete C2;
-  delete P;
+  C1->destroy();
+  C2->destroy();
+  P->destroy();
 }
 
 TEST_F(UseDefTest, ReplaceAllUsesWith) {
@@ -87,10 +87,10 @@ TEST_F(UseDefTest, ReplaceAllUsesWith) {
   EXPECT_EQ(C1->getOperand(0), P2->getResult(0));
   EXPECT_EQ(C2->getOperand(1), P2->getResult(0));
 
-  delete C1;
-  delete C2;
-  delete P1;
-  delete P2;
+  C1->destroy();
+  C2->destroy();
+  P1->destroy();
+  P2->destroy();
 }
 
 TEST_F(UseDefTest, SetOperandRelinks) {
@@ -107,9 +107,9 @@ TEST_F(UseDefTest, SetOperandRelinks) {
   C->setOperand(0, P2->getResult(0));
   EXPECT_EQ(P2->getResult(0).getNumUses(), 1u);
 
-  delete C;
-  delete P1;
-  delete P2;
+  C->destroy();
+  P1->destroy();
+  P2->destroy();
 }
 
 TEST_F(UseDefTest, BlockArgumentValues) {
@@ -124,7 +124,7 @@ TEST_F(UseDefTest, BlockArgumentValues) {
 
   Operation *C = makeConsume({Arg});
   EXPECT_TRUE(Arg.hasOneUse());
-  delete C;
+  C->destroy();
 }
 
 TEST_F(UseDefTest, OperationReplaceAllUsesWith) {
@@ -133,9 +133,9 @@ TEST_F(UseDefTest, OperationReplaceAllUsesWith) {
   Operation *C = makeConsume({P1->getResult(0)});
   P1->replaceAllUsesWith(std::vector<Value>{P2->getResult(0)});
   EXPECT_EQ(C->getOperand(0), P2->getResult(0));
-  delete C;
-  delete P1;
-  delete P2;
+  C->destroy();
+  P1->destroy();
+  P2->destroy();
 }
 
 TEST_F(UseDefTest, NullValueHandling) {

@@ -117,7 +117,7 @@ TEST_F(VerifierTest, TerminatorMustBeLast) {
   // Append an op after the terminator.
   Block &Body = M->getRegion(0).front().front().getRegion(0).front();
   Dialect *D = Ctx.lookupDialect("test");
-  OperationState S{OperationName(D->lookupOp("source"))};
+  OperationState S(Ctx, OperationName(D->lookupOp("source")));
   S.ResultTypes.push_back(Ctx.getFloatType(32));
   Body.push_back(Operation::create(S));
   EXPECT_TRUE(failed(verify(M)));

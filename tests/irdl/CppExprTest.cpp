@@ -146,14 +146,14 @@ TEST_F(CppExprTest, OperationAccessors) {
 
   // Build append(v2, v3) -> v5 (valid) and -> v6 (invalid).
   auto Build = [&](int64_t ResSize) {
-    OperationState SL(IRCtx.resolveOpDef("vec.append"));
+    OperationState SL(IRCtx, IRCtx.resolveOpDef("vec.append"));
     // Source ops for operands.
     Dialect *T = IRCtx.getOrCreateDialect("tst");
     static int Counter = 0;
     OpDefinition *Src = T->lookupOp("src") ? T->lookupOp("src")
                                            : T->addOp("src");
     (void)Counter;
-    OperationState S1(Src), S2(Src);
+    OperationState S1(IRCtx, Src), S2(IRCtx, Src);
     S1.ResultTypes = {VecTy(2)};
     S2.ResultTypes = {VecTy(3)};
     Operation *O1 = Operation::create(S1);
@@ -169,18 +169,18 @@ TEST_F(CppExprTest, OperationAccessors) {
     DiagnosticEngine V;
     EXPECT_TRUE(succeeded(App->getDef()->getVerifier()(App, V)))
         << V.renderAll();
-    delete App;
-    delete O1;
-    delete O2;
+    App->destroy();
+    O1->destroy();
+    O2->destroy();
   }
   {
     auto [O1, O2, App] = Build(6);
     DiagnosticEngine V;
     EXPECT_TRUE(failed(App->getDef()->getVerifier()(App, V)));
     EXPECT_NE(V.renderAll().find("IRDL-C++"), std::string::npos);
-    delete App;
-    delete O1;
-    delete O2;
+    App->destroy();
+    O1->destroy();
+    O2->destroy();
   }
 }
 

@@ -47,15 +47,15 @@ protected:
       Src = T->addOp("src");
     std::vector<Value> Operands;
     for (char C : Pattern) {
-      OperationState S(Src);
+      OperationState S(Ctx, Src);
       S.ResultTypes = {C == 'f' ? Ctx.getFloatType(32)
                                 : Ctx.getIntegerType(32)};
       Operation *Op = Operation::create(S);
       Sources.push_back(Op);
       Operands.push_back(Op->getResult(0));
     }
-    OperationState S(Ctx.resolveOpDef(std::string("seg.") +
-                                      std::string(Name)));
+    OperationState S(Ctx, Ctx.resolveOpDef(std::string("seg.") +
+                                           std::string(Name)));
     S.Operands = std::move(Operands);
     S.Attributes = std::move(Attrs);
     S.ResultTypes = std::move(Results);
@@ -71,9 +71,9 @@ protected:
 
   ~SegmentsTest() override {
     for (Operation *Op : Built)
-      delete Op;
+      Op->destroy();
     for (Operation *Op : Sources)
-      delete Op;
+      Op->destroy();
   }
 
   IRContext Ctx;
@@ -157,13 +157,13 @@ TEST_F(SegmentsTest, ComputeSegmentsDirect) {
   Specs.push_back({"a", Constraint::anyType(), VariadicKind::Single});
   Specs.push_back({"b", Constraint::anyType(), VariadicKind::Variadic});
   std::string Err;
-  OperationState S(OperationName(std::string("x.y")));
+  OperationState S(Ctx, OperationName(std::string("x.y")));
   Operation *Op = Operation::create(S);
   auto Segments = computeSegments(Specs, 4, Op, "operandSegmentSizes", Err);
   ASSERT_TRUE(Segments.has_value()) << Err;
   EXPECT_EQ((*Segments)[0], std::make_pair(0u, 1u));
   EXPECT_EQ((*Segments)[1], std::make_pair(1u, 3u));
-  delete Op;
+  Op->destroy();
 }
 
 } // namespace

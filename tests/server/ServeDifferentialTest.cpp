@@ -15,6 +15,7 @@
 #include "corpus/ModuleSynthesizer.h"
 #include "ir/IRParser.h"
 #include "ir/Printer.h"
+#include "ir/Region.h"
 #include "ir/Verifier.h"
 #include "server/Client.h"
 #include "server/Server.h"

@@ -9,6 +9,10 @@ bench; either the bare registry object or a ``--json`` summary with a
   nonzero — on any large workload the memoized verification cache is the
   reason repeated verification is cheap, so a zero here means either the
   cache or its instrumentation silently broke;
+* the arena counter ``ir_arena_slabs_allocated_total`` must be nonzero —
+  every Operation::create goes through the per-context OpArena, so any
+  workload that builds IR reserves at least one slab; a zero means op
+  storage stopped flowing through the arena (or its gauges went dark);
 * every histogram with samples must satisfy p50 <= p90 <= p99 <= max,
   i.e. the shard merge and quantile estimator are self-consistent.
 
@@ -18,12 +22,14 @@ the job: workloads legitimately skip some of them (e.g. a single-thread
 run never touches the pool).
 
 Usage: check_metrics.py METRICS.json [--no-require-memo-hits]
+                                     [--no-require-arena]
 """
 
 import json
 import sys
 
 MEMO_HITS = "irdl_constraint_memo_hits_total"
+ARENA_SLABS = "ir_arena_slabs_allocated_total"
 
 
 def series_key(entry):
@@ -34,6 +40,7 @@ def series_key(entry):
 
 def main(argv):
     require_memo = "--no-require-memo-hits" not in argv
+    require_arena = "--no-require-arena" not in argv
     paths = [a for a in argv[1:] if not a.startswith("--")]
     if len(paths) != 1:
         print(__doc__.strip(), file=sys.stderr)
@@ -54,6 +61,14 @@ def main(argv):
         print(f"\nerror: {MEMO_HITS} is zero in {paths[0]} — the memo "
               "cache (or its instrumentation) is not firing on a workload "
               "that must exercise it", file=sys.stderr)
+        failed = True
+    arena_slabs = sum(
+        v for k, v in counters.items() if k.startswith(ARENA_SLABS))
+    if require_arena and arena_slabs == 0:
+        print(f"\nerror: {ARENA_SLABS} is zero in {paths[0]} — every "
+              "Operation::create reserves arena slabs, so a workload that "
+              "builds IR with metrics on must light this up",
+              file=sys.stderr)
         failed = True
 
     print("histograms:")
