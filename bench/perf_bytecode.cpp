@@ -47,7 +47,7 @@ struct Fixture {
     // (nested whole so block-argument operands stay owned).
     M = parseSourceString(Ctx, "builtin.module {\n}\n", SrcMgr, Diags);
     if (M->getRegion(0).empty())
-      M->getRegion(0).push_back(new Block());
+      M->getRegion(0).emplaceBlock();
     Block *Body = &M->getRegion(0).front();
     for (size_t I = 0, N = Corpus.Module->getDialects().size(); I != N;
          ++I) {

@@ -3,13 +3,16 @@
 /// Measures the cost the trailing-object arena refactor targets directly:
 /// building and tearing down IR. One Operation::create is one arena
 /// allocation (operands, results, successors, and region headers ride in
-/// the op's block), and erase() recycles the block through a size-class
-/// free list — so this bench is dominated by layout computation and
-/// use-list linking, not malloc.
+/// the op's block), one Block::create is one arena allocation (block
+/// arguments ride inline), and erase() recycles storage through a
+/// size-class free list — so this bench is dominated by layout computation
+/// and use-list linking, not malloc.
 ///
 /// The phase breakdown builds and erases one million operations in
-/// 100k-op batches: a def-use chain (each op consumes the previous op's
-/// result) appended to a block, then torn down back-to-front.
+/// 100k-op batches (a def-use chain appended to a block, torn down
+/// back-to-front), then exercises the block-side allocator: a 100k-block
+/// deep CFG built and torn down, block-argument-heavy create/erase
+/// batches, and splitBefore churn over a long op chain.
 
 #include "PerfHarness.h"
 
@@ -20,6 +23,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iterator>
+#include <optional>
+
 using namespace irdl;
 
 namespace {
@@ -27,6 +33,7 @@ namespace {
 struct BenchOps {
   OpDefinition *Produce;
   OpDefinition *Consume;
+  OpDefinition *Br;
 };
 
 BenchOps registerBenchDialect(IRContext &Ctx) {
@@ -37,7 +44,8 @@ BenchOps registerBenchDialect(IRContext &Ctx) {
   OpDefinition *Consume = D->lookupOp("consume");
   if (!Consume)
     Consume = D->addOp("consume");
-  return {Produce, Consume};
+  OpDefinition *Br = Ctx.lookupDialect("std")->lookupOp("br");
+  return {Produce, Consume, Br};
 }
 
 /// Appends a def-use chain of \p N ops to \p B: one producer, then
@@ -103,33 +111,152 @@ void BM_BuildEraseChain(benchmark::State &State) {
   BenchOps Ops = registerBenchDialect(Ctx);
   unsigned N = static_cast<unsigned>(State.range(0));
   for (auto _ : State) {
-    Block B;
-    buildChain(Ctx, Ops, B, N);
-    eraseChain(B);
+    Block *B = Block::create(Ctx);
+    buildChain(Ctx, Ops, *B, N);
+    eraseChain(*B);
+    B->destroy();
   }
   State.SetItemsProcessed(State.iterations() * N);
 }
 BENCHMARK(BM_BuildEraseChain)->Arg(1000)->Arg(100000);
 
-/// Phase breakdown: one million ops built and erased in 100k-op batches.
-/// The batches reuse one context, so every batch after the first is
-/// served from the arena free lists — the steady state of a rewrite
+void BM_BlockCreateErase(benchmark::State &State) {
+  IRContext Ctx;
+  registerBenchDialect(Ctx);
+  Type F32 = Ctx.getFloatType(32);
+  unsigned NumArgs = static_cast<unsigned>(State.range(0));
+  std::vector<Type> ArgTypes(NumArgs, F32);
+  for (auto _ : State) {
+    Block *B = Block::create(Ctx, ArgTypes);
+    benchmark::DoNotOptimize(B);
+    B->destroy();
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_BlockCreateErase)->Arg(0)->Arg(4)->Arg(16);
+
+/// Phase breakdown, part 1: one million ops built and erased in 100k-op
+/// batches. The batches reuse one context, so every batch after the first
+/// is served from the arena free lists — the steady state of a rewrite
 /// driver churning ops.
-void runPhaseBreakdown() {
+void runOpPhases(IRContext &Ctx, BenchOps Ops) {
   constexpr unsigned BatchSize = 100000;
   constexpr unsigned NumBatches = 10;
-  IRContext Ctx;
-  BenchOps Ops = registerBenchDialect(Ctx);
   PhaseSampler BuildSampler("construct-100k-ops");
   PhaseSampler EraseSampler("erase-100k-ops");
   {
     IRDL_TIME_SCOPE("construct-erase-1m-ops");
     for (unsigned Batch = 0; Batch != NumBatches; ++Batch) {
-      Block B;
-      BuildSampler.sample([&] { buildChain(Ctx, Ops, B, BatchSize); });
-      EraseSampler.sample([&] { eraseChain(B); });
+      Block *B = Block::create(Ctx);
+      BuildSampler.sample([&] { buildChain(Ctx, Ops, *B, BatchSize); });
+      EraseSampler.sample([&] {
+        eraseChain(*B);
+        B->destroy();
+      });
     }
   }
+}
+
+/// Phase breakdown, part 2: a deep CFG — 100k blocks in one region, each
+/// ending in a branch to the next — built and torn down NumBatches times.
+/// Teardown goes through Region's intrusive list, i.e. the same arena
+/// free path the owning op's destructor uses.
+void runDeepCfgPhases(IRContext &Ctx, BenchOps Ops) {
+  constexpr unsigned NumBlocks = 100000;
+  constexpr unsigned NumBatches = 5;
+  PhaseSampler BuildSampler("construct-100k-blocks");
+  PhaseSampler EraseSampler("erase-100k-blocks");
+  {
+    IRDL_TIME_SCOPE("deep-cfg-100k-blocks");
+    for (unsigned Batch = 0; Batch != NumBatches; ++Batch) {
+      std::optional<Region> R(Ctx);
+      BuildSampler.sample([&] {
+        std::vector<Block *> Blocks;
+        Blocks.reserve(NumBlocks);
+        for (unsigned I = 0; I != NumBlocks; ++I)
+          Blocks.push_back(&R->emplaceBlock());
+        for (unsigned I = 0; I + 1 != NumBlocks; ++I) {
+          OperationState S(Ctx, Ops.Br);
+          S.addSuccessor(Blocks[I + 1]);
+          Blocks[I]->push_back(Operation::create(S));
+        }
+      });
+      EraseSampler.sample([&] { R.reset(); });
+    }
+  }
+}
+
+/// Phase breakdown, part 3: block-argument-heavy create/erase. Each block
+/// gets eight arguments consumed by an op in its body, then the whole
+/// thing is erased — stressing inline argument storage, use-list linking
+/// against arguments, and mid-list eraseArgument transplants.
+void runBlockArgPhases(IRContext &Ctx, BenchOps Ops) {
+  constexpr unsigned NumBlocks = 20000;
+  constexpr unsigned NumArgs = 8;
+  constexpr unsigned NumBatches = 5;
+  Type F32 = Ctx.getFloatType(32);
+  std::vector<Type> ArgTypes(NumArgs, F32);
+  PhaseSampler Sampler("blockarg-churn");
+  {
+    IRDL_TIME_SCOPE("blockarg-churn-total");
+    for (unsigned Batch = 0; Batch != NumBatches; ++Batch) {
+      Sampler.sample([&] {
+        for (unsigned I = 0; I != NumBlocks; ++I) {
+          Block *B = Block::create(Ctx, ArgTypes);
+          OperationState S(Ctx, Ops.Consume);
+          // Hold every argument but the middle one, so eraseArgument
+          // removes an unused slot while the survivors behind it (which
+          // do have uses) take the transplant-and-retarget path.
+          for (unsigned A = 0; A != NumArgs; ++A)
+            if (A != NumArgs / 2)
+              S.Operands.push_back(B->getArgument(A));
+          B->push_back(Operation::create(S));
+          B->eraseArgument(NumArgs / 2);
+          B->clear(); // drop the consumer first
+          B->destroy();
+        }
+      });
+    }
+  }
+}
+
+/// Phase breakdown, part 4: splitBefore churn. A long op chain is split
+/// into 1000-op blocks, then the region is torn down — the hot path of a
+/// CFG-canonicalisation pass.
+void runSplitPhases(IRContext &Ctx, BenchOps Ops) {
+  constexpr unsigned ChainLen = 100000;
+  constexpr unsigned SplitEvery = 1000;
+  constexpr unsigned NumBatches = 5;
+  PhaseSampler Sampler("splitbefore-churn");
+  {
+    IRDL_TIME_SCOPE("splitbefore-churn-total");
+    for (unsigned Batch = 0; Batch != NumBatches; ++Batch) {
+      std::optional<Region> R(Ctx);
+      Block *B = &R->emplaceBlock();
+      buildChain(Ctx, Ops, *B, ChainLen);
+      Sampler.sample([&] {
+        Block *Cur = B;
+        while (Cur->getNumOps() > SplitEvery) {
+          auto Pos = Cur->begin();
+          std::advance(Pos, SplitEvery);
+          Cur = Cur->splitBefore(Pos);
+        }
+      });
+      // Ops in later blocks use results from earlier blocks; drop the
+      // references before the region teardown frees blocks front-to-back.
+      R->dropAllReferences();
+      R.reset();
+    }
+  }
+}
+
+void runPhaseBreakdown() {
+  IRContext Ctx;
+  BenchOps Ops = registerBenchDialect(Ctx);
+  runOpPhases(Ctx, Ops);
+  runDeepCfgPhases(Ctx, Ops);
+  runBlockArgPhases(Ctx, Ops);
+  runSplitPhases(Ctx, Ops);
   OpArenaStats Stats = Ctx.getOpArena().getStats();
   benchmark::DoNotOptimize(Stats.NumAllocs);
 }

@@ -5,6 +5,7 @@
 
 #include "PerfHarness.h"
 
+#include "corpus/ModuleSynthesizer.h"
 #include "ir/IRParser.h"
 #include "ir/Printer.h"
 #include "irdl/IRDL.h"
@@ -22,13 +23,28 @@ struct Fixture {
   SourceMgr SrcMgr;
   DiagnosticEngine Diags{&SrcMgr};
   std::unique_ptr<IRDLModule> Module;
+  std::unique_ptr<IRDLModule> ScfModule;
   std::string CustomText;
   std::string GenericText;
+  std::string DeepRegionText;
 
   Fixture() {
     Module = loadIRDLFile(Ctx, std::string(IRDL_DIALECTS_DIR) +
                                    "/cmath.irdl",
                           SrcMgr, Diags);
+    // A deeply nested module over the region-bearing scf dialect: every
+    // op instance carries nested regions with entry blocks and block
+    // arguments, so parsing it stresses the block/argument allocator,
+    // not just op creation.
+    ScfModule = loadIRDLFile(Ctx, std::string(IRDL_DIALECTS_DIR) +
+                                      "/scf.irdl",
+                             SrcMgr, Diags);
+    OwningOpRef Deep = synthesizeModule(
+        Ctx, *ScfModule->getDialects()[0],
+        {/*Seed=*/7, /*InstancesPerOp=*/8, /*MaxRegionDepth=*/5});
+    PrintOptions GenericOpts;
+    GenericOpts.GenericForm = true;
+    DeepRegionText = printOpToString(Deep.get(), GenericOpts);
     // A chain of cmath.mul ops in both syntaxes.
     std::ostringstream Custom, Generic;
     Custom << "std.func @f(%x: !cmath.complex<f32>) -> "
@@ -142,6 +158,19 @@ void runPhaseBreakdown() {
         DiagnosticEngine Diags(&SM);
         OwningOpRef M =
             parseSourceString(F->Ctx, F->GenericText, SM, Diags);
+        benchmark::DoNotOptimize(M.get());
+      });
+    }
+  }
+  {
+    IRDL_TIME_SCOPE("parse-deep-region-x100");
+    PhaseSampler Sampler("parse-deep-region");
+    for (int I = 0; I != 100; ++I) {
+      Sampler.sample([&] {
+        SourceMgr SM;
+        DiagnosticEngine Diags(&SM);
+        OwningOpRef M =
+            parseSourceString(F->Ctx, F->DeepRegionText, SM, Diags);
         benchmark::DoNotOptimize(M.get());
       });
     }

@@ -85,7 +85,7 @@ struct ServeFixture {
     OwningOpRef M =
         parseSourceString(Ctx, "builtin.module {\n}\n", SrcMgr, Diags);
     if (M->getRegion(0).empty())
-      M->getRegion(0).push_back(new Block());
+      M->getRegion(0).emplaceBlock();
     Block *Body = &M->getRegion(0).front();
     uint64_t Seed = perfSeed();
     for (const auto &[File, Source] : DialectSources) {

@@ -70,8 +70,7 @@ int main() {
       "function_type",
       Ctx.getTypeAttr(Ctx.getFunctionType({F32, F32}, {F32})));
   Region *Body = FuncState.addRegion();
-  Block *Entry = new Block();
-  Body->push_back(Entry);
+  Block *Entry = &Body->emplaceBlock();
   Value A = Entry->addArgument(F32);
   Value B = Entry->addArgument(F32);
 

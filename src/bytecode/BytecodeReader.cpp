@@ -1217,7 +1217,7 @@ struct BytecodeReader::Impl {
     std::vector<Block *> Blocks;
     Blocks.reserve(NumBlocks);
     for (uint64_t I = 0; I != NumBlocks; ++I) {
-      Block *B = new Block();
+      Block *B = Block::create(Ctx);
       R.push_back(B);
       Blocks.push_back(B);
       uint64_t NumArgs;

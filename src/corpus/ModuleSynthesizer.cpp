@@ -32,7 +32,7 @@ public:
     buildPools();
     OperationState ModState(Ctx, Ctx.resolveOpDef("builtin.module"));
     Region *ModRegion = ModState.addRegion();
-    Block *Body = new Block();
+    Block *Body = Block::create(Ctx);
     ModRegion->push_back(Body);
     Operation *Module = Operation::create(ModState);
 
@@ -309,7 +309,7 @@ private:
     // Region bodies are built into the OperationState's regions before
     // creation; their blocks move into the op wholesale.
     for (auto &[RS, R] : PendingRegions) {
-      Block *B = new Block();
+      Block *B = Block::create(Ctx);
       R->push_back(B);
       std::vector<Value> RegionPool = ValuePool;
       for (const OperandSpec &AS : RS->Args)

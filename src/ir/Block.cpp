@@ -2,46 +2,141 @@
 
 #include "ir/Block.h"
 
+#include "ir/Context.h"
+#include "ir/OpArena.h"
 #include "ir/Region.h"
+
+#include <algorithm>
 
 using namespace irdl;
 
-Block::~Block() { clear(); }
+//===----------------------------------------------------------------------===//
+// Creation / destruction
+//===----------------------------------------------------------------------===//
+
+Block::Layout Block::computeLayout(unsigned ArgCapacity) {
+  auto AlignTo = [](size_t Offset, size_t Align) {
+    return (Offset + Align - 1) & ~(Align - 1);
+  };
+  Layout L;
+  size_t Offset = sizeof(Block);
+  Offset = AlignTo(Offset, alignof(detail::BlockArgumentImpl));
+  L.ArgsOffset = Offset;
+  Offset += ArgCapacity * sizeof(detail::BlockArgumentImpl);
+  L.Bytes = Offset;
+  return L;
+}
+
+Block *Block::create(IRContext &Ctx, TypeRange ArgTypes) {
+  Layout L = computeLayout(static_cast<unsigned>(ArgTypes.size()));
+  void *Mem = Ctx.getOpArena().allocate(L.Bytes, alignof(Block));
+  return new (Mem) Block(Ctx, ArgTypes, L);
+}
+
+Block::Block(IRContext &Ctx, TypeRange ArgTypes, const Layout &L)
+    : Ctx(&Ctx) {
+  auto *Base = reinterpret_cast<std::byte *>(this);
+  ArgStorage =
+      reinterpret_cast<detail::BlockArgumentImpl *>(Base + L.ArgsOffset);
+  NumArgsVal = ArgCapacity = static_cast<uint32_t>(ArgTypes.size());
+  AllocBytes = static_cast<uint32_t>(L.Bytes);
+  for (unsigned I = 0; I != NumArgsVal; ++I)
+    new (ArgStorage + I) detail::BlockArgumentImpl(ArgTypes[I], this, I);
+}
+
+Block::~Block() {
+  clear();
+  for (unsigned I = NumArgsVal; I != 0; --I)
+    ArgStorage[I - 1].~BlockArgumentImpl();
+  if (!argsAreInline())
+    Ctx->getOpArena().deallocate(
+        ArgStorage, ArgCapacity * sizeof(detail::BlockArgumentImpl));
+}
+
+void Block::destroy() {
+  OpArena &A = Ctx->getOpArena();
+  uint32_t Bytes = AllocBytes;
+  this->~Block();
+  A.deallocate(this, Bytes);
+}
+
+void Block::erase() {
+  if (ParentRegion)
+    ParentRegion->remove(this);
+  destroy();
+}
+
+void irdl::IntrusiveListTraits<Block>::deleteNode(Block *B) { B->destroy(); }
 
 Operation *Block::getParentOp() const {
   return ParentRegion ? ParentRegion->getParentOp() : nullptr;
 }
 
-std::vector<Value> Block::getArguments() const {
-  std::vector<Value> Result;
-  Result.reserve(Args.size());
-  for (const auto &Arg : Args)
-    Result.push_back(Value(Arg.get()));
-  return Result;
+//===----------------------------------------------------------------------===//
+// Arguments
+//===----------------------------------------------------------------------===//
+
+bool Block::argsAreInline() const {
+  if (ArgCapacity == 0)
+    return true;
+  auto P = reinterpret_cast<uintptr_t>(ArgStorage);
+  auto B = reinterpret_cast<uintptr_t>(this);
+  return P >= B && P < B + AllocBytes;
 }
 
-std::vector<Type> Block::getArgumentTypes() const {
-  std::vector<Type> Result;
-  Result.reserve(Args.size());
-  for (const auto &Arg : Args)
-    Result.push_back(Arg->getType());
-  return Result;
+void Block::growArgumentStorage(unsigned NewCapacity) {
+  assert(NewCapacity > ArgCapacity && "not growing");
+  OpArena &A = Ctx->getOpArena();
+  auto *NewStorage = static_cast<detail::BlockArgumentImpl *>(
+      A.allocate(NewCapacity * sizeof(detail::BlockArgumentImpl),
+                 alignof(detail::BlockArgumentImpl)));
+  // A BlockArgumentImpl is a value definition: its address is held by
+  // every OpOperand using it, so it cannot move bytewise. Rebuild each
+  // argument in the new array and retarget its uses one by one (set()
+  // pushes onto the new impl's list head, so use order may change).
+  for (unsigned I = 0; I != NumArgsVal; ++I) {
+    detail::BlockArgumentImpl &Old = ArgStorage[I];
+    new (NewStorage + I) detail::BlockArgumentImpl(Old.getType(), this, I);
+    while (OpOperand *Use = Old.FirstUse)
+      Use->set(Value(NewStorage + I));
+    Old.~BlockArgumentImpl();
+  }
+  if (!argsAreInline())
+    A.deallocate(ArgStorage,
+                 ArgCapacity * sizeof(detail::BlockArgumentImpl));
+  ArgStorage = NewStorage;
+  ArgCapacity = NewCapacity;
 }
 
 Value Block::addArgument(Type Ty) {
-  Args.push_back(std::make_unique<detail::BlockArgumentImpl>(
-      Ty, this, static_cast<unsigned>(Args.size())));
-  return Value(Args.back().get());
+  if (NumArgsVal == ArgCapacity)
+    growArgumentStorage(std::max(4u, ArgCapacity * 2));
+  new (ArgStorage + NumArgsVal)
+      detail::BlockArgumentImpl(Ty, this, NumArgsVal);
+  return Value(ArgStorage + NumArgsVal++);
 }
 
 void Block::eraseArgument(unsigned Index) {
-  assert(Index < Args.size() && "argument index out of range");
-  assert(Value(Args[Index].get()).use_empty() &&
+  assert(Index < NumArgsVal && "argument index out of range");
+  assert(Value(ArgStorage + Index).use_empty() &&
          "erasing a block argument that still has uses");
-  Args.erase(Args.begin() + Index);
-  for (unsigned I = Index, E = Args.size(); I != E; ++I)
-    Args[I]->Index = I;
+  ArgStorage[Index].~BlockArgumentImpl();
+  // Slots cannot move bytewise (use lists hold their addresses): rebuild
+  // each survivor one slot down with its re-computed index and retarget
+  // its uses, exactly like argument growth.
+  for (unsigned I = Index; I + 1 < NumArgsVal; ++I) {
+    detail::BlockArgumentImpl &Src = ArgStorage[I + 1];
+    new (ArgStorage + I) detail::BlockArgumentImpl(Src.getType(), this, I);
+    while (OpOperand *Use = Src.FirstUse)
+      Use->set(Value(ArgStorage + I));
+    Src.~BlockArgumentImpl();
+  }
+  --NumArgsVal;
 }
+
+//===----------------------------------------------------------------------===//
+// Operations
+//===----------------------------------------------------------------------===//
 
 Block::iterator Block::insert(iterator Pos, Operation *Op) {
   assert(!Op->getBlock() && "operation is already in a block");
@@ -66,17 +161,15 @@ Operation *Block::getTerminator() {
   return Last.isTerminator() ? &Last : nullptr;
 }
 
-std::vector<Block *> Block::getSuccessors() {
-  if (Operation *Term = getTerminator()) {
-    SuccessorRange Succs = Term->getSuccessors();
-    return {Succs.begin(), Succs.end()};
-  }
-  return {};
+SuccessorRange Block::getSuccessors() {
+  if (Operation *Term = getTerminator())
+    return Term->getSuccessors();
+  return SuccessorRange();
 }
 
 Block *Block::splitBefore(iterator Pos) {
   assert(ParentRegion && "splitting a detached block");
-  Block *NewBlock = new Block();
+  Block *NewBlock = Block::create(*Ctx);
   Region::iterator InsertPos(this);
   ++InsertPos;
   ParentRegion->insert(InsertPos, NewBlock);

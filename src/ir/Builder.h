@@ -61,6 +61,15 @@ public:
   // Creation
   //===------------------------------------------------------------------===//
 
+  /// Creates a block (with one argument per type in \p ArgTypes) at the
+  /// end of \p R and moves the insertion point to its end.
+  Block *createBlock(Region *R, TypeRange ArgTypes = {}) {
+    Block *B = Block::create(*Ctx, ArgTypes);
+    R->push_back(B);
+    setInsertionPointToEnd(B);
+    return B;
+  }
+
   /// Creates an operation from \p State and inserts it (if an insertion
   /// point is set). Regions in the state are moved into the operation.
   Operation *create(OperationState &State) {

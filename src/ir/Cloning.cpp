@@ -11,7 +11,7 @@ void irdl::cloneRegionInto(Region &From, Region &To, IRMapping &Mapper) {
   // First create all blocks and their arguments so forward references
   // (successors, cross-block value uses) resolve.
   for (Block &B : From) {
-    Block *NewBlock = new Block();
+    Block *NewBlock = Block::create(*To.getContext());
     To.push_back(NewBlock);
     Mapper.map(&B, NewBlock);
     for (unsigned I = 0, E = B.getNumArguments(); I != E; ++I) {

@@ -99,7 +99,7 @@ public:
     for (auto &[Name, B] : S.Blocks) {
       if (!S.BlockDefined[Name]) {
         Diags.emitError(SMLoc(), "reference to undefined block ^" + Name);
-        delete B;
+        B->destroy();
         Result = failure();
       }
     }
@@ -169,7 +169,7 @@ public:
     auto It = S.Blocks.find(Name);
     if (It != S.Blocks.end())
       return It->second;
-    Block *B = new Block();
+    Block *B = Block::create(Ctx);
     S.Blocks.emplace(Name, B);
     S.BlockDefined.emplace(Name, false);
     return B;
@@ -889,7 +889,7 @@ public:
 
     Block *CurBlock = nullptr;
     if (!EntryArgs.empty()) {
-      CurBlock = new Block();
+      CurBlock = Block::create(Ctx);
       R.push_back(CurBlock);
       for (const auto &[Ref, Ty] : EntryArgs) {
         Value Arg = CurBlock->addArgument(Ty);
@@ -959,7 +959,7 @@ public:
         continue;
       }
       if (!CurBlock) {
-        CurBlock = new Block();
+        CurBlock = Block::create(Ctx);
         R.push_back(CurBlock);
       }
       if (failed(parseOpStatement(CurBlock))) {
@@ -976,7 +976,7 @@ public:
     OperationState State(
         Ctx, OperationName(Ctx.resolveOpDef("builtin.module")), tok().Loc);
     Region *R = State.addRegion();
-    Block *Body = new Block();
+    Block *Body = Block::create(Ctx);
     R->push_back(Body);
 
     pushScope();

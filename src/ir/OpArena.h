@@ -1,12 +1,13 @@
 //===- OpArena.h - Bump-pointer arena for IR objects -------------*- C++ -*-===//
 ///
 /// \file
-/// The per-context allocator behind Operation storage. An OpArena hands out
-/// blocks from large bump-pointer slabs and recycles erased blocks through
-/// size-class free lists, so the parse→verify→rewrite hot paths stop paying
-/// one `malloc`/`free` round trip per operation (plus one per operand,
-/// result, and region — the trailing-object layout folds those into the
-/// op's single block).
+/// The per-context allocator behind Operation and Block storage. An OpArena
+/// hands out blocks from large bump-pointer slabs and recycles erased
+/// blocks through size-class free lists, so the parse→verify→rewrite hot
+/// paths stop paying one `malloc`/`free` round trip per operation or
+/// basic block (plus one per operand, result, region, and block argument
+/// — the trailing-object layouts fold those into each object's single
+/// block).
 ///
 /// Thread model: the arena is sharded. Each thread is assigned a shard
 /// (round-robin on first use, like the metrics registry), and every shard
@@ -24,8 +25,8 @@
 ///
 /// Lifetime contract: deallocate() recycles a block into a free list; the
 /// underlying slab memory is only returned to the OS when the arena (i.e.
-/// the owning IRContext) dies. Operations must therefore not outlive
-/// their context — which was already true, since their types and
+/// the owning IRContext) dies. Operations and blocks must therefore not
+/// outlive their context — which was already true, since their types and
 /// attributes are context-owned. See docs/memory-layout.md.
 ///
 //===----------------------------------------------------------------------===//

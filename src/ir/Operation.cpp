@@ -55,7 +55,8 @@ OperationState::OperationState(IRContext &Ctx, OperationName Name, SMLoc Loc)
 OperationState::~OperationState() = default;
 
 Region *OperationState::addRegion() {
-  Regions.push_back(std::make_unique<Region>(/*Parent=*/nullptr));
+  assert(Ctx && "operation state has no context");
+  Regions.push_back(std::make_unique<Region>(*Ctx));
   return Regions.back().get();
 }
 

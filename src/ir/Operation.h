@@ -246,8 +246,36 @@ private:
   unsigned Count = 0;
 };
 
-/// A view over an operation's successor storage.
-using SuccessorRange = std::span<Block *const>;
+/// A view over successor-block storage (an operation's successor array,
+/// or a block's terminator successors). Cheap to copy; invalidated when
+/// the underlying operation is mutated or erased.
+class SuccessorRange {
+public:
+  using iterator = Block *const *;
+
+  SuccessorRange() = default;
+  SuccessorRange(Block *const *Base, unsigned Count)
+      : Base(Base), Count(Count) {}
+
+  iterator begin() const { return Base; }
+  iterator end() const { return Base + Count; }
+  unsigned size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  Block *operator[](unsigned Index) const {
+    assert(Index < Count && "successor index out of range");
+    return Base[Index];
+  }
+  Block *front() const { return (*this)[0]; }
+  Block *back() const { return (*this)[Count - 1]; }
+
+  /// Materializes the range (for callers that need to outlive a
+  /// mutation, e.g. erasing the terminator the range points into).
+  std::vector<Block *> vec() const { return {begin(), end()}; }
+
+private:
+  Block *const *Base = nullptr;
+  unsigned Count = 0;
+};
 
 /// Aggregated construction parameters for an operation (mirrors
 /// mlir::OperationState). Creation is context-aware: the context supplies

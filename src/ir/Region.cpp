@@ -4,8 +4,9 @@
 
 using namespace irdl;
 
-Block &Region::emplaceBlock() {
-  Block *B = new Block();
+Block &Region::emplaceBlock(TypeRange ArgTypes) {
+  assert(Ctx && "region has no context");
+  Block *B = Block::create(*Ctx, ArgTypes);
   push_back(B);
   return *B;
 }
@@ -26,7 +27,7 @@ void Region::remove(Block *B) {
 
 void Region::erase(Block *B) {
   remove(B);
-  delete B;
+  B->destroy();
 }
 
 Region::~Region() { dropAllReferences(); }
@@ -38,6 +39,7 @@ void Region::dropAllReferences() {
 }
 
 void Region::takeBody(Region &Other) {
+  assert(Other.Ctx == Ctx && "taking blocks across contexts");
   for (Block &B : Other)
     B.setParentInternal(this);
   Blocks.splice(end(), Other.Blocks);

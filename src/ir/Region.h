@@ -16,7 +16,15 @@ namespace irdl {
 
 class Region {
 public:
-  explicit Region(Operation *Parent) : ParentOp(Parent) {}
+  /// A region attached to \p Parent (the common case: the inline region
+  /// headers in an operation's allocation).
+  explicit Region(Operation *Parent)
+      : ParentOp(Parent), Ctx(Parent ? Parent->getContext() : nullptr) {}
+
+  /// A detached region under construction (OperationState::addRegion);
+  /// the context lets emplaceBlock allocate blocks before the owning op
+  /// exists.
+  explicit Region(IRContext &Ctx) : ParentOp(nullptr), Ctx(&Ctx) {}
 
   /// Drops every operand reference held by ops in this region (recursively)
   /// before the blocks are destroyed, so that deletion order does not
@@ -24,6 +32,9 @@ public:
   ~Region();
 
   Operation *getParentOp() const { return ParentOp; }
+
+  /// The context whose arena owns this region's blocks.
+  IRContext *getContext() const { return Ctx; }
 
   using iterator = IntrusiveList<Block>::iterator;
 
@@ -35,17 +46,18 @@ public:
   Block &front() { return Blocks.front(); }
   Block &back() { return Blocks.back(); }
 
-  /// Appends a fresh block and returns it.
-  Block &emplaceBlock();
+  /// Appends a fresh block (with one argument per type in \p ArgTypes)
+  /// and returns it.
+  Block &emplaceBlock(TypeRange ArgTypes = {});
 
   /// Inserts \p B (which must be detached) before \p Pos.
   iterator insert(iterator Pos, Block *B);
   void push_back(Block *B);
 
-  /// Unlinks \p B without deleting it.
+  /// Unlinks \p B without destroying it.
   void remove(Block *B);
 
-  /// Unlinks and deletes \p B.
+  /// Unlinks \p B and returns its storage to the context arena.
   void erase(Block *B);
 
   /// Moves all blocks of \p Other to the end of this region.
@@ -56,6 +68,7 @@ public:
 
 private:
   Operation *ParentOp;
+  IRContext *Ctx;
   IntrusiveList<Block> Blocks;
 };
 

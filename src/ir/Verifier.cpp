@@ -38,7 +38,7 @@ std::vector<Block *> computeRPO(Region *R) {
     Visited[&R->front()] = true;
     while (!Stack.empty()) {
       auto &[B, NextSucc] = Stack.back();
-      std::vector<Block *> Succs = B->getSuccessors();
+      SuccessorRange Succs = B->getSuccessors();
       if (NextSucc < Succs.size()) {
         Block *S = Succs[NextSucc++];
         if (!Visited[S]) {

@@ -10,6 +10,7 @@
 #include "ir/Context.h"
 #include "ir/OpArena.h"
 #include "ir/Region.h"
+#include "support/Metrics.h"
 #include "support/Statistic.h"
 
 #include <gtest/gtest.h>
@@ -186,6 +187,80 @@ TEST_F(ArenaTest, ParallelCreateEraseAcrossThreads) {
   EXPECT_EQ(After.BytesLive, Before.BytesLive);
   EXPECT_EQ(After.NumAllocs - Before.NumAllocs,
             After.NumFrees - Before.NumFrees);
+}
+
+TEST_F(ArenaTest, BlockCreateIsExactlyOneArenaAllocation) {
+  // An argumentless block.
+  uint64_t Before = arenaAllocCount();
+  Block *B = Block::create(Ctx);
+  EXPECT_EQ(arenaAllocCount() - Before, 1u);
+  B->destroy();
+
+  // Block arguments ride inline in the block's allocation: still one.
+  std::vector<Type> Args(8, Ctx.getFloatType(32));
+  Before = arenaAllocCount();
+  Block *BA = Block::create(Ctx, Args);
+  EXPECT_EQ(arenaAllocCount() - Before, 1u);
+  EXPECT_EQ(BA->getNumArguments(), 8u);
+  BA->destroy();
+}
+
+TEST_F(ArenaTest, LargeArgumentBlockIsStillOneAllocation) {
+  // 300 arguments push the layout past MaxBucketedSize, so this goes down
+  // the large-block path — which must still be a single allocate() call.
+  std::vector<Type> Args(300, Ctx.getFloatType(32));
+  OpArenaStats StatsBefore = Ctx.getOpArena().getStats();
+  uint64_t Before = arenaAllocCount();
+  Block *B = Block::create(Ctx, Args);
+  EXPECT_EQ(arenaAllocCount() - Before, 1u);
+  OpArenaStats StatsAfter = Ctx.getOpArena().getStats();
+  EXPECT_EQ(StatsAfter.LargeAllocs, StatsBefore.LargeAllocs + 1);
+  ASSERT_EQ(B->getNumArguments(), 300u);
+  for (unsigned I = 0; I != 300; ++I)
+    EXPECT_EQ(B->getArgument(I).getIndex(), I);
+  B->destroy();
+  EXPECT_EQ(Ctx.getOpArena().getStats().BytesLive, StatsBefore.BytesLive);
+}
+
+TEST_F(ArenaTest, ErasedBlocksAreReused) {
+  OpArenaStats Start = Ctx.getOpArena().getStats();
+  Block *A = Block::create(Ctx);
+  A->destroy();
+  // Same shape → same size class → the freed slot is reused.
+  Block *B = Block::create(Ctx);
+  OpArenaStats S = Ctx.getOpArena().getStats();
+  EXPECT_GE(S.FreeListHits, Start.FreeListHits + 1);
+  EXPECT_GE(S.BytesReused, Start.BytesReused + 1);
+  B->destroy();
+  OpArenaStats End = Ctx.getOpArena().getStats();
+  EXPECT_EQ(End.BytesLive, Start.BytesLive);
+  EXPECT_EQ(End.NumFrees, Start.NumFrees + 2);
+}
+
+TEST_F(ArenaTest, LiveBytesGaugeDrainsOnContextDestruction) {
+  bool WasEnabled = metricsEnabled();
+  setMetricsEnabled(true);
+  Gauge &Live = MetricsRegistry::instance().getGauge(
+      "ir_arena_bytes_live", "bytes currently handed out by operation arenas");
+  int64_t Before = Live.get();
+  {
+    IRContext Local;
+    Dialect *D = Local.getOrCreateDialect("test");
+    OpDefinition *Def = D->addOp("produce");
+    std::vector<Type> ArgTypes{Local.getFloatType(32)};
+    Region R(Local);
+    for (unsigned I = 0; I != 100; ++I) {
+      Block &B = R.emplaceBlock(ArgTypes);
+      OperationState S(Local, OperationName(Def));
+      S.ResultTypes.push_back(Local.getFloatType(32));
+      B.push_back(Operation::create(S));
+    }
+    EXPECT_GT(Live.get(), Before);
+  }
+  // Blocks, args, and ops all lived on the context's arena; destroying the
+  // context must return the live-bytes gauge exactly to its prior level.
+  EXPECT_EQ(Live.get(), Before);
+  setMetricsEnabled(WasEnabled);
 }
 
 TEST_F(ArenaTest, RawArenaRoundUpAndReuse) {

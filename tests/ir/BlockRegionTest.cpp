@@ -15,11 +15,24 @@ protected:
   BlockRegionTest() {
     Dialect *D = Ctx.getOrCreateDialect("test");
     PlainDef = D->addOp("plain");
+    ProduceDef = D->addOp("produce");
     BrDef = Ctx.lookupDialect("std")->lookupOp("br");
   }
 
   Operation *makePlain() {
     OperationState State(Ctx, OperationName(PlainDef));
+    return Operation::create(State);
+  }
+
+  Operation *makeProduce() {
+    OperationState State(Ctx, OperationName(ProduceDef));
+    State.ResultTypes.push_back(Ctx.getFloatType(32));
+    return Operation::create(State);
+  }
+
+  Operation *makeConsume(std::vector<Value> Operands) {
+    OperationState State(Ctx, OperationName(PlainDef));
+    State.Operands = std::move(Operands);
     return Operation::create(State);
   }
 
@@ -31,73 +44,144 @@ protected:
 
   IRContext Ctx;
   OpDefinition *PlainDef = nullptr;
+  OpDefinition *ProduceDef = nullptr;
   OpDefinition *BrDef = nullptr;
 };
 
 TEST_F(BlockRegionTest, InsertAndIterate) {
-  Block B;
+  Block *B = Block::create(Ctx);
   Operation *A = makePlain();
   Operation *C = makePlain();
-  B.push_back(A);
-  B.push_back(C);
-  EXPECT_EQ(B.getNumOps(), 2u);
-  EXPECT_EQ(&B.front(), A);
-  EXPECT_EQ(&B.back(), C);
-  EXPECT_EQ(A->getBlock(), &B);
+  B->push_back(A);
+  B->push_back(C);
+  EXPECT_EQ(B->getNumOps(), 2u);
+  EXPECT_EQ(&B->front(), A);
+  EXPECT_EQ(&B->back(), C);
+  EXPECT_EQ(A->getBlock(), B);
   EXPECT_EQ(A->getNextNode(), C);
+  B->destroy();
 }
 
 TEST_F(BlockRegionTest, RemoveFromBlock) {
-  Block B;
+  Block *B = Block::create(Ctx);
   Operation *A = makePlain();
-  B.push_back(A);
+  B->push_back(A);
   A->removeFromBlock();
-  EXPECT_TRUE(B.empty());
+  EXPECT_TRUE(B->empty());
   EXPECT_EQ(A->getBlock(), nullptr);
   A->destroy();
+  B->destroy();
 }
 
 TEST_F(BlockRegionTest, EraseOp) {
-  Block B;
+  Block *B = Block::create(Ctx);
   Operation *A = makePlain();
-  B.push_back(A);
+  B->push_back(A);
   A->erase();
-  EXPECT_TRUE(B.empty());
+  EXPECT_TRUE(B->empty());
+  B->destroy();
 }
 
 TEST_F(BlockRegionTest, TerminatorDetection) {
   OperationState ModState(Ctx, OperationName(Ctx.resolveOpDef("builtin.module")));
   Region *R = ModState.addRegion();
-  Block *B1 = new Block();
-  Block *B2 = new Block();
+  Block *B1 = Block::create(Ctx);
+  Block *B2 = Block::create(Ctx);
   R->push_back(B1);
   R->push_back(B2);
   B1->push_back(makePlain());
   EXPECT_EQ(B1->getTerminator(), nullptr);
+  EXPECT_TRUE(B1->getSuccessors().empty());
   Operation *Br = makeBr(B2);
   B1->push_back(Br);
   EXPECT_EQ(B1->getTerminator(), Br);
-  auto Succs = B1->getSuccessors();
+  SuccessorRange Succs = B1->getSuccessors();
   ASSERT_EQ(Succs.size(), 1u);
   EXPECT_EQ(Succs[0], B2);
+  EXPECT_EQ(Succs.vec(), std::vector<Block *>{B2});
   Operation *Mod = Operation::create(ModState);
   Mod->destroy();
 }
 
 TEST_F(BlockRegionTest, BlockArguments) {
-  Block B;
-  B.addArgument(Ctx.getFloatType(32));
-  B.addArgument(Ctx.getIntegerType(1));
-  EXPECT_EQ(B.getNumArguments(), 2u);
-  EXPECT_EQ(B.getArgumentTypes()[1], Ctx.getIntegerType(1));
-  B.eraseArgument(0);
-  EXPECT_EQ(B.getNumArguments(), 1u);
-  EXPECT_EQ(B.getArgument(0).getType(), Ctx.getIntegerType(1));
-  EXPECT_EQ(B.getArgument(0).getIndex(), 0u);
+  Block *B = Block::create(Ctx);
+  B->addArgument(Ctx.getFloatType(32));
+  B->addArgument(Ctx.getIntegerType(1));
+  EXPECT_EQ(B->getNumArguments(), 2u);
+  EXPECT_EQ(B->getArgumentTypes()[1], Ctx.getIntegerType(1));
+  B->eraseArgument(0);
+  EXPECT_EQ(B->getNumArguments(), 1u);
+  EXPECT_EQ(B->getArgument(0).getType(), Ctx.getIntegerType(1));
+  EXPECT_EQ(B->getArgument(0).getIndex(), 0u);
+  B->destroy();
+}
+
+TEST_F(BlockRegionTest, CreateWithArgumentTypes) {
+  std::vector<Type> Types = {Ctx.getFloatType(32), Ctx.getIntegerType(8),
+                             Ctx.getIndexType()};
+  Block *B = Block::create(Ctx, Types);
+  ASSERT_EQ(B->getNumArguments(), 3u);
+  for (unsigned I = 0; I != 3; ++I) {
+    EXPECT_EQ(B->getArgument(I).getType(), Types[I]);
+    EXPECT_EQ(B->getArgument(I).getIndex(), I);
+    EXPECT_EQ(B->getArgument(I).getOwnerBlock(), B);
+  }
+  EXPECT_EQ(B->getArgumentTypes().vec(), Types);
+  EXPECT_EQ(B->getArguments().size(), 3u);
+  B->destroy();
+}
+
+TEST_F(BlockRegionTest, EraseArgumentReindexesAndKeepsUses) {
+  // Regression: erasing a mid-list argument must re-index the survivors
+  // AND keep their use lists intact (the storage moves down one slot).
+  Block *B = Block::create(
+      Ctx, std::initializer_list<Type>{Ctx.getFloatType(32),
+                                       Ctx.getFloatType(64),
+                                       Ctx.getIntegerType(32)});
+  Value A0 = B->getArgument(0);
+  Value A2 = B->getArgument(2);
+  Operation *C0 = makeConsume({A0, A0});
+  Operation *C2 = makeConsume({A2});
+  B->push_back(C0);
+  B->push_back(C2);
+
+  B->eraseArgument(1); // f64 arg, unused
+  ASSERT_EQ(B->getNumArguments(), 2u);
+  EXPECT_EQ(B->getArgument(0).getType(), Ctx.getFloatType(32));
+  EXPECT_EQ(B->getArgument(1).getType(), Ctx.getIntegerType(32));
+  // getIndex() (the arg number) must reflect the new positions.
+  EXPECT_EQ(B->getArgument(0).getIndex(), 0u);
+  EXPECT_EQ(B->getArgument(1).getIndex(), 1u);
+  // The surviving i32 argument moved down a slot; its uses must have
+  // been retargeted at the new storage.
+  EXPECT_EQ(C0->getOperand(0), B->getArgument(0));
+  EXPECT_EQ(C0->getOperand(1), B->getArgument(0));
+  EXPECT_EQ(C2->getOperand(0), B->getArgument(1));
+  EXPECT_EQ(B->getArgument(0).getNumUses(), 2u);
+  EXPECT_EQ(B->getArgument(1).getNumUses(), 1u);
+  B->destroy();
+}
+
+TEST_F(BlockRegionTest, AddArgumentGrowthKeepsUses) {
+  // addArgument past the inline capacity moves the argument array out of
+  // line; existing arguments keep their values and use lists.
+  Block *B = Block::create(
+      Ctx, std::initializer_list<Type>{Ctx.getFloatType(32)});
+  Operation *C = makeConsume({B->getArgument(0)});
+  B->push_back(C);
+  for (unsigned I = 0; I != 33; ++I)
+    B->addArgument(Ctx.getIntegerType(32));
+  ASSERT_EQ(B->getNumArguments(), 34u);
+  EXPECT_EQ(C->getOperand(0), B->getArgument(0));
+  EXPECT_EQ(B->getArgument(0).getNumUses(), 1u);
+  EXPECT_EQ(B->getArgument(0).getType(), Ctx.getFloatType(32));
+  for (unsigned I = 0; I != 34; ++I)
+    EXPECT_EQ(B->getArgument(I).getIndex(), I);
+  B->destroy();
 }
 
 TEST_F(BlockRegionTest, RegionBlockManagement) {
-  Region R(nullptr);
+  Region R(Ctx);
   Block &B1 = R.emplaceBlock();
   Block &B2 = R.emplaceBlock();
   EXPECT_EQ(R.getNumBlocks(), 2u);
@@ -110,7 +194,7 @@ TEST_F(BlockRegionTest, RegionBlockManagement) {
 }
 
 TEST_F(BlockRegionTest, SplitBefore) {
-  Region R(nullptr);
+  Region R(Ctx);
   Block &B = R.emplaceBlock();
   Operation *A = makePlain();
   Operation *C = makePlain();
@@ -128,11 +212,59 @@ TEST_F(BlockRegionTest, SplitBefore) {
   EXPECT_EQ(B.getNextNode(), Tail);
 }
 
+TEST_F(BlockRegionTest, SplitBeforePreservesUseListsAndSuccessors) {
+  // Ops moved into the split-off block keep their operand use lists
+  // (including uses of the original block's arguments), and a moved
+  // terminator keeps its successor list.
+  Region R(Ctx);
+  Block &B = R.emplaceBlock(std::initializer_list<Type>{Ctx.getFloatType(32)});
+  Block &Target = R.emplaceBlock();
+  Value Arg = B.getArgument(0);
+
+  Operation *P = makeProduce();
+  Operation *UseArg = makeConsume({Arg, P->getResult(0)});
+  Operation *Br = makeBr(&Target);
+  B.push_back(P);
+  B.push_back(UseArg);
+  B.push_back(Br);
+
+  Block *Tail = B.splitBefore(Block::iterator(UseArg));
+  ASSERT_EQ(Tail->getNumOps(), 2u);
+  // Use lists survived the move.
+  EXPECT_EQ(UseArg->getOperand(0), Arg);
+  EXPECT_EQ(UseArg->getOperand(1), P->getResult(0));
+  EXPECT_EQ(Arg.getNumUses(), 1u);
+  EXPECT_EQ(Arg.getFirstUse()->getOwner(), UseArg);
+  EXPECT_EQ(P->getResult(0).getNumUses(), 1u);
+  // The original block's arguments stayed put.
+  ASSERT_EQ(B.getNumArguments(), 1u);
+  EXPECT_EQ(B.getArgument(0), Arg);
+  EXPECT_EQ(Tail->getNumArguments(), 0u);
+  // The moved terminator still branches to the same target.
+  SuccessorRange Succs = Tail->getSuccessors();
+  ASSERT_EQ(Succs.size(), 1u);
+  EXPECT_EQ(Succs[0], &Target);
+  EXPECT_TRUE(B.getSuccessors().empty());
+}
+
+TEST_F(BlockRegionTest, BlockEraseUnlinksFromRegion) {
+  Region R(Ctx);
+  Block &B1 = R.emplaceBlock();
+  Block &B2 = R.emplaceBlock();
+  (void)B2;
+  B1.erase();
+  EXPECT_EQ(R.getNumBlocks(), 1u);
+  EXPECT_EQ(&R.front(), &B2);
+  // A detached block can be erased too.
+  Block *Detached = Block::create(Ctx);
+  Detached->erase();
+}
+
 TEST_F(BlockRegionTest, TakeBody) {
-  Region Src(nullptr);
+  Region Src(Ctx);
   Src.emplaceBlock();
   Src.emplaceBlock();
-  Region Dst(nullptr);
+  Region Dst(Ctx);
   Dst.takeBody(Src);
   EXPECT_TRUE(Src.empty());
   EXPECT_EQ(Dst.getNumBlocks(), 2u);
@@ -145,14 +277,14 @@ TEST_F(BlockRegionTest, CrossBlockReferenceTeardown) {
   auto *ModDef = Ctx.resolveOpDef("builtin.module");
   OperationState State(Ctx, OperationName(ModDef));
   Region *R = State.addRegion();
-  Block *B1 = new Block();
-  Block *B2 = new Block();
+  Block *B1 = Block::create(Ctx);
+  Block *B2 = Block::create(Ctx);
   R->push_back(B1);
   R->push_back(B2);
 
   Dialect *D = Ctx.getOrCreateDialect("test");
-  OpDefinition *ProduceDef = D->addOp("produce2");
-  OperationState PS(Ctx, OperationName(ProduceDef));
+  OpDefinition *ProduceDef2 = D->addOp("produce2");
+  OperationState PS(Ctx, OperationName(ProduceDef2));
   PS.ResultTypes.push_back(Ctx.getFloatType(32));
   Operation *P = Operation::create(PS);
   B1->push_back(P);

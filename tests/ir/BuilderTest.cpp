@@ -28,26 +28,28 @@ TEST_F(BuilderTest, CreateWithoutInsertionPointIsDetached) {
 }
 
 TEST_F(BuilderTest, SequentialInsertionAtEnd) {
-  Block B;
+  Block &B = *Block::create(Ctx);
   Builder.setInsertionPointToEnd(&B);
   Operation *First = Builder.create("test.op", {}, {});
   Operation *Second = Builder.create("test.op", {}, {});
   EXPECT_EQ(&B.front(), First);
   EXPECT_EQ(&B.back(), Second);
+  B.destroy();
 }
 
 TEST_F(BuilderTest, InsertionBeforeOp) {
-  Block B;
+  Block &B = *Block::create(Ctx);
   Builder.setInsertionPointToEnd(&B);
   Operation *Last = Builder.create("test.op", {}, {});
   Builder.setInsertionPoint(Last);
   Operation *BeforeLast = Builder.create("test.op", {}, {});
   EXPECT_EQ(&B.front(), BeforeLast);
   EXPECT_EQ(BeforeLast->getNextNode(), Last);
+  B.destroy();
 }
 
 TEST_F(BuilderTest, InsertionAfterOp) {
-  Block B;
+  Block &B = *Block::create(Ctx);
   Builder.setInsertionPointToEnd(&B);
   Operation *First = Builder.create("test.op", {}, {});
   Operation *Third = Builder.create("test.op", {}, {});
@@ -55,15 +57,17 @@ TEST_F(BuilderTest, InsertionAfterOp) {
   Operation *SecondOp = Builder.create("test.op", {}, {});
   EXPECT_EQ(First->getNextNode(), SecondOp);
   EXPECT_EQ(SecondOp->getNextNode(), Third);
+  B.destroy();
 }
 
 TEST_F(BuilderTest, InsertionAtStart) {
-  Block B;
+  Block &B = *Block::create(Ctx);
   Builder.setInsertionPointToEnd(&B);
   Builder.create("test.op", {}, {});
   Builder.setInsertionPointToStart(&B);
   Operation *New = Builder.create("test.op", {}, {});
   EXPECT_EQ(&B.front(), New);
+  B.destroy();
 }
 
 TEST_F(BuilderTest, ResolveNamePrefersRegistered) {
@@ -76,7 +80,7 @@ TEST_F(BuilderTest, ResolveNamePrefersRegistered) {
 }
 
 TEST_F(BuilderTest, CreateWithOperandsAndAttrs) {
-  Block B;
+  Block &B = *Block::create(Ctx);
   Builder.setInsertionPointToEnd(&B);
   Operation *P = Builder.create("test.op", {}, {Ctx.getFloatType(32)});
   NamedAttrList Attrs;
@@ -85,6 +89,7 @@ TEST_F(BuilderTest, CreateWithOperandsAndAttrs) {
       Builder.create("test.op", {P->getResult(0)}, {}, std::move(Attrs));
   EXPECT_EQ(C->getNumOperands(), 1u);
   EXPECT_EQ(C->getAttr("k"), Ctx.getIntegerAttr(7, 32));
+  B.destroy();
 }
 
 } // namespace

@@ -131,7 +131,7 @@ TEST_F(OperationTest, MultipleResults) {
 TEST_F(OperationTest, RegionsInState) {
   OperationState State(Ctx, OperationName(ProduceDef));
   Region *R = State.addRegion();
-  Block *B = new Block();
+  Block *B = Block::create(Ctx);
   R->push_back(B);
   Operation *Op = Operation::create(State);
   EXPECT_EQ(Op->getNumRegions(), 1u);
@@ -144,7 +144,7 @@ TEST_F(OperationTest, RegionsInState) {
 TEST_F(OperationTest, WalkVisitsNestedOps) {
   OperationState State(Ctx, OperationName(ProduceDef));
   Region *R = State.addRegion();
-  Block *B = new Block();
+  Block *B = Block::create(Ctx);
   R->push_back(B);
   OperationState Inner(Ctx, OperationName(ConsumeDef));
   B->push_back(Operation::create(Inner));
@@ -159,7 +159,7 @@ TEST_F(OperationTest, WalkVisitsNestedOps) {
 TEST_F(OperationTest, ParentChain) {
   OperationState State(Ctx, OperationName(ProduceDef));
   Region *R = State.addRegion();
-  Block *B = new Block();
+  Block *B = Block::create(Ctx);
   R->push_back(B);
   OperationState InnerState(Ctx, OperationName(ConsumeDef));
   Operation *Inner = Operation::create(InnerState);

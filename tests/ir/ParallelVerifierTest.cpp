@@ -153,7 +153,7 @@ TEST_F(ParallelVerifierTest, IsolatedFromAbove) {
   Operation &Source = M->getRegion(0).front().front();
   OperationState WrapState(Ctx, Ctx.resolveOpDef("test.wrap"));
   Region *R = WrapState.addRegion();
-  Block *B = new Block();
+  Block *B = Block::create(Ctx);
   R->push_back(B);
   OperationState SinkState(Ctx, Ctx.resolveOpDef("test.sink"));
   SinkState.Operands = {Source.getResult(0)};

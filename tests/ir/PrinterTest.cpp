@@ -83,7 +83,7 @@ TEST_F(PrinterTest, GenericOpForm) {
   OpDefinition *Def = D->addOp("source");
   OpDefinition *Sink = D->addOp("sink");
 
-  Block B;
+  Block &B = *Block::create(Ctx);
   OpBuilder Builder(&Ctx);
   Builder.setInsertionPointToEnd(&B);
   OperationState S1(Ctx, OperationName(Def));
@@ -95,13 +95,14 @@ TEST_F(PrinterTest, GenericOpForm) {
 
   EXPECT_EQ(Src->str(), "%0 = \"test.source\"() : () -> (f32)");
   EXPECT_EQ(Snk->str(), "\"test.sink\"(%0) : (f32) -> ()");
+  B.destroy();
 }
 
 TEST_F(PrinterTest, MultiResultNaming) {
   Dialect *D = Ctx.getOrCreateDialect("test");
   OpDefinition *Def = D->addOp("pair");
   OpDefinition *Use = D->addOp("use");
-  Block B;
+  Block &B = *Block::create(Ctx);
   OpBuilder Builder(&Ctx);
   Builder.setInsertionPointToEnd(&B);
   OperationState S(Ctx, OperationName(Def));
@@ -113,6 +114,7 @@ TEST_F(PrinterTest, MultiResultNaming) {
 
   EXPECT_EQ(P->str(), "%0:2 = \"test.pair\"() : () -> (f32, i1)");
   EXPECT_EQ(UOp->str(), "\"test.use\"(%0#1, %0#0) : (i1, f32) -> ()");
+  B.destroy();
 }
 
 TEST_F(PrinterTest, AttrDictAndUnitElision) {
@@ -132,7 +134,7 @@ TEST_F(PrinterTest, RegionPrinting) {
   OpDefinition *Inner = D->addOp("inner");
   OperationState S(Ctx, OperationName(Wrap));
   Region *R = S.addRegion();
-  Block *B = new Block();
+  Block *B = Block::create(Ctx);
   R->push_back(B);
   OperationState IS(Ctx, OperationName(Inner));
   B->push_back(Operation::create(IS));

@@ -73,7 +73,7 @@ TEST_P(RandomRoundTripTest, PrintParsePrintFixedPoint) {
   // earlier results of matching type (or fresh source ops).
   OperationState ModState(Ctx, Ctx.resolveOpDef("builtin.module"));
   Region *ModRegion = ModState.addRegion();
-  Block *Body = new Block();
+  Block *Body = Block::create(Ctx);
   ModRegion->push_back(Body);
 
   OpBuilder Builder(&Ctx);

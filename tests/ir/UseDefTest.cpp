@@ -113,7 +113,7 @@ TEST_F(UseDefTest, SetOperandRelinks) {
 }
 
 TEST_F(UseDefTest, BlockArgumentValues) {
-  Block B;
+  Block &B = *Block::create(Ctx);
   Value Arg = B.addArgument(Ctx.getFloatType(32));
   EXPECT_TRUE(Arg.isBlockArgument());
   EXPECT_FALSE(Arg.isOpResult());
@@ -125,6 +125,7 @@ TEST_F(UseDefTest, BlockArgumentValues) {
   Operation *C = makeConsume({Arg});
   EXPECT_TRUE(Arg.hasOneUse());
   C->destroy();
+  B.destroy();
 }
 
 TEST_F(UseDefTest, OperationReplaceAllUsesWith) {

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <vector>
 
 using namespace irdl;
@@ -168,6 +169,135 @@ TEST_F(UseListStressTest, RandomizedMutationSoup) {
     EXPECT_TRUE(P->use_empty());
     P->erase();
   }
+}
+
+TEST_F(UseListStressTest, BlockArgumentMutationSoup) {
+  // Randomized stress over the block-side mutation API: addArgument /
+  // eraseArgument / splitBefore / block erase, interleaved with consumers
+  // that hold block arguments as operands, cross-checking every argument's
+  // index, owner, and use list after each batch of steps.
+  Rng R(0xB10CA65);
+  Region Reg(Ctx);
+  std::vector<Block *> Blocks;
+  std::vector<Operation *> Consumers;
+  Type F32 = Ctx.getFloatType(32);
+
+  auto makeBlock = [&](unsigned NumArgs) {
+    std::vector<Type> Tys(NumArgs, F32);
+    Blocks.push_back(&Reg.emplaceBlock(Tys));
+    return Blocks.back();
+  };
+  for (unsigned I = 0; I != 4; ++I)
+    makeBlock(static_cast<unsigned>(R.below(4)));
+
+  auto randomArg = [&]() -> Value {
+    for (unsigned Try = 0; Try != 8; ++Try) {
+      Block *B = Blocks[R.below(Blocks.size())];
+      if (B->getNumArguments())
+        return B->getArgument(
+            static_cast<unsigned>(R.below(B->getNumArguments())));
+    }
+    return Value();
+  };
+
+  auto checkArgs = [&] {
+    for (Block *B : Blocks) {
+      for (unsigned A = 0; A != B->getNumArguments(); ++A) {
+        Value V = B->getArgument(A);
+        ASSERT_EQ(V.getIndex(), A);
+        ASSERT_EQ(V.getOwnerBlock(), B);
+        unsigned Seen = 0;
+        for (OpOperand *Use = V.getFirstUse(); Use;
+             Use = Use->getNextUse()) {
+          ++Seen;
+          ASSERT_EQ(Use->get(), V);
+          ASSERT_NE(std::find(Consumers.begin(), Consumers.end(),
+                              Use->getOwner()),
+                    Consumers.end());
+        }
+        unsigned Expected = 0;
+        for (Operation *C : Consumers)
+          for (unsigned I = 0; I != C->getNumOperands(); ++I)
+            if (C->getOperand(I) == V)
+              ++Expected;
+        ASSERT_EQ(Seen, Expected);
+        ASSERT_EQ(V.getNumUses(), Expected);
+      }
+    }
+  };
+
+  for (unsigned Step = 0; Step != 3000; ++Step) {
+    switch (R.below(7)) {
+    case 0: { // new block with 0..2 arguments
+      if (Blocks.size() < 24)
+        makeBlock(static_cast<unsigned>(R.below(3)));
+      break;
+    }
+    case 1: { // addArgument (possibly past inline capacity)
+      Blocks[R.below(Blocks.size())]->addArgument(F32);
+      break;
+    }
+    case 2: { // eraseArgument: first unused arg; survivors re-index
+      Block *B = Blocks[R.below(Blocks.size())];
+      for (unsigned A = 0; A != B->getNumArguments(); ++A)
+        if (B->getArgument(A).use_empty()) {
+          B->eraseArgument(A);
+          break;
+        }
+      break;
+    }
+    case 3: { // new consumer holding random block arguments
+      std::vector<Value> Ops;
+      for (uint64_t I = 0, N = R.below(5); I != N; ++I)
+        if (Value V = randomArg())
+          Ops.push_back(V);
+      Operation *C = makeConsumer(std::move(Ops));
+      Blocks[R.below(Blocks.size())]->push_back(C);
+      Consumers.push_back(C);
+      break;
+    }
+    case 4: { // erase a consumer (recycles its arena slot)
+      if (Consumers.empty())
+        break;
+      size_t Idx = R.below(Consumers.size());
+      Consumers[Idx]->erase();
+      Consumers.erase(Consumers.begin() + Idx);
+      break;
+    }
+    case 5: { // splitBefore at a random position
+      Block *B = Blocks[R.below(Blocks.size())];
+      if (B->empty() || Blocks.size() >= 32)
+        break;
+      auto Pos = B->begin();
+      std::advance(Pos, R.below(B->getNumOps()));
+      Blocks.push_back(B->splitBefore(Pos));
+      break;
+    }
+    case 6: { // erase a whole block (its args and ops die with it)
+      if (Blocks.size() <= 1)
+        break;
+      size_t Idx = R.below(Blocks.size());
+      Block *B = Blocks[Idx];
+      // Drop every operand (in any block) referring to B's arguments.
+      for (Operation *C : Consumers)
+        for (unsigned I = C->getNumOperands(); I != 0; --I) {
+          Value V = C->getOperand(I - 1);
+          if (V.isBlockArgument() && V.getOwnerBlock() == B)
+            C->eraseOperand(I - 1);
+        }
+      // Ops inside B are destroyed by the erase; stop tracking them.
+      for (Operation &Op : *B)
+        Consumers.erase(std::find(Consumers.begin(), Consumers.end(), &Op));
+      B->erase();
+      Blocks.erase(Blocks.begin() + Idx);
+      break;
+    }
+    }
+    if (Step % 211 == 0)
+      checkArgs();
+  }
+  checkArgs();
+  // Region teardown drops the remaining cross-block references itself.
 }
 
 TEST_F(UseListStressTest, EraseAndRecreateReusesPoisonedSlots) {

@@ -39,9 +39,14 @@ BLOCKING_PHASES = [
     "perf_verifier/large-module-verify-interpreted-x30",
     "perf_parse/parse-custom",
     "perf_parse/parse-generic",
+    "perf_parse/parse-deep-region",
     "perf_parse/print-custom",
     "perf_ir_construction/construct-100k-ops",
     "perf_ir_construction/erase-100k-ops",
+    "perf_ir_construction/construct-100k-blocks",
+    "perf_ir_construction/erase-100k-blocks",
+    "perf_ir_construction/blockarg-churn",
+    "perf_ir_construction/splitbefore-churn",
 ]
 
 

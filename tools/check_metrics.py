@@ -9,10 +9,14 @@ bench; either the bare registry object or a ``--json`` summary with a
   nonzero — on any large workload the memoized verification cache is the
   reason repeated verification is cheap, so a zero here means either the
   cache or its instrumentation silently broke;
-* the arena counter ``ir_arena_slabs_allocated_total`` must be nonzero —
-  every Operation::create goes through the per-context OpArena, so any
-  workload that builds IR reserves at least one slab; a zero means op
-  storage stopped flowing through the arena (or its gauges went dark);
+* the arena counters ``ir_arena_slabs_allocated_total`` and
+  ``ir_arena_bytes_allocated_total`` must be nonzero — every
+  Operation::create and Block::create goes through the per-context
+  OpArena, so any workload that builds IR (in particular one parsing a
+  region-bearing dialect, where blocks and block arguments are arena
+  storage too) reserves at least one slab and serves bytes from it; a
+  zero means IR storage stopped flowing through the arena (or its
+  gauges went dark);
 * every histogram with samples must satisfy p50 <= p90 <= p99 <= max,
   i.e. the shard merge and quantile estimator are self-consistent.
 
@@ -30,6 +34,7 @@ import sys
 
 MEMO_HITS = "irdl_constraint_memo_hits_total"
 ARENA_SLABS = "ir_arena_slabs_allocated_total"
+ARENA_BYTES = "ir_arena_bytes_allocated_total"
 
 
 def series_key(entry):
@@ -62,14 +67,15 @@ def main(argv):
               "cache (or its instrumentation) is not firing on a workload "
               "that must exercise it", file=sys.stderr)
         failed = True
-    arena_slabs = sum(
-        v for k, v in counters.items() if k.startswith(ARENA_SLABS))
-    if require_arena and arena_slabs == 0:
-        print(f"\nerror: {ARENA_SLABS} is zero in {paths[0]} — every "
-              "Operation::create reserves arena slabs, so a workload that "
-              "builds IR with metrics on must light this up",
-              file=sys.stderr)
-        failed = True
+    for name, what in ((ARENA_SLABS, "reserves arena slabs"),
+                       (ARENA_BYTES, "serves bytes from the arena")):
+        total = sum(v for k, v in counters.items() if k.startswith(name))
+        if require_arena and total == 0:
+            print(f"\nerror: {name} is zero in {paths[0]} — every "
+                  f"Operation::create and Block::create {what}, so a "
+                  "workload that builds IR with metrics on must light "
+                  "this up", file=sys.stderr)
+            failed = True
 
     print("histograms:")
     for hist in sorted(metrics.get("histograms", []), key=series_key):
